@@ -1,0 +1,127 @@
+package ksp
+
+// One testing.B benchmark per table and figure of the paper's evaluation
+// (Section 6). Each benchmark executes the corresponding experiment of
+// internal/bench at a laptop scale; `go test -bench .` therefore
+// regenerates every reported series. cmd/kspbench runs the same
+// experiments at configurable scale and prints the full tables.
+
+import (
+	"io"
+	"sync"
+	"testing"
+
+	"ksp/internal/bench"
+)
+
+// benchScale keeps the full `go test -bench .` run in the minutes range;
+// kspbench -scale raises it for closer-to-paper runs.
+const (
+	benchScale   = 4000
+	benchQueries = 5
+)
+
+var (
+	suiteOnce sync.Once
+	suite     *bench.Suite
+)
+
+// benchSuite lazily builds one shared suite; dataset and index
+// construction stay out of the measured loops.
+func benchSuite(b *testing.B) *bench.Suite {
+	suiteOnce.Do(func() {
+		suite = bench.NewSuite(benchScale, benchQueries, 1, io.Discard)
+		suite.Data(bench.DBpediaLike)
+		suite.Data(bench.YagoLike)
+	})
+	return suite
+}
+
+func runExperiment(b *testing.B, id string) {
+	s := benchSuite(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Experiment(id); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable4Storage regenerates Table 4 (index storage costs).
+func BenchmarkTable4Storage(b *testing.B) { runExperiment(b, "table4") }
+
+// BenchmarkTable5Preprocessing regenerates Table 5 (index build times).
+func BenchmarkTable5Preprocessing(b *testing.B) { runExperiment(b, "table5") }
+
+// BenchmarkTable6AlphaSize regenerates Table 6 (α-WN sizes, α ∈ {1,2,3,5}).
+func BenchmarkTable6AlphaSize(b *testing.B) { runExperiment(b, "table6") }
+
+// BenchmarkTable7Samples regenerates Table 7 (random-jump samples).
+func BenchmarkTable7Samples(b *testing.B) { runExperiment(b, "table7") }
+
+// BenchmarkFig3VaryK regenerates Figure 3 (varying k, DBpedia-like):
+// runtime split, TQSP computations, R-tree node accesses for BSP/SPP/SP.
+func BenchmarkFig3VaryK(b *testing.B) { runExperiment(b, "fig3") }
+
+// BenchmarkFig4VaryK regenerates Figure 4 (varying k, Yago-like).
+func BenchmarkFig4VaryK(b *testing.B) { runExperiment(b, "fig4") }
+
+// BenchmarkFig5VaryKeywords regenerates Figure 5 (varying |q.ψ|).
+func BenchmarkFig5VaryKeywords(b *testing.B) { runExperiment(b, "fig5") }
+
+// BenchmarkFig6VaryAlpha regenerates Figure 6 (SP runtime as α varies).
+func BenchmarkFig6VaryAlpha(b *testing.B) { runExperiment(b, "fig6") }
+
+// BenchmarkFig7Scalability regenerates Figure 7 (random-jump size sweep).
+func BenchmarkFig7Scalability(b *testing.B) { runExperiment(b, "fig7") }
+
+// BenchmarkFig8QueryClasses regenerates Figure 8 (SDLL/LDLL/O result
+// spatial distance and looseness).
+func BenchmarkFig8QueryClasses(b *testing.B) { runExperiment(b, "fig8") }
+
+// BenchmarkFig9LargeLooseness regenerates Figure 9 (runtime on hard
+// SDLL/LDLL workloads).
+func BenchmarkFig9LargeLooseness(b *testing.B) { runExperiment(b, "fig9") }
+
+// BenchmarkFig10TA regenerates Figure 10 (TA vs BSP/SPP/SP).
+func BenchmarkFig10TA(b *testing.B) { runExperiment(b, "fig10") }
+
+// BenchmarkAblation measures the pruning-rule, spatial-source and
+// edge-direction ablations called out in DESIGN.md.
+func BenchmarkAblation(b *testing.B) { runExperiment(b, "ablation") }
+
+// BenchmarkFreqBands measures the supplementary keyword-frequency
+// experiment (rare vs frequent query keywords).
+func BenchmarkFreqBands(b *testing.B) { runExperiment(b, "freq") }
+
+// --- Micro-benchmarks over the public API ---
+
+func apiDataset(b *testing.B) *Dataset {
+	b.Helper()
+	bd := NewBuilder()
+	for i := 0; i < 200; i++ {
+		bd.AddPlace(placeName(i), Point{X: float64(i % 20), Y: float64(i / 20)})
+		bd.AddLabel(placeName(i), "d", "alpha beta gamma delta")
+	}
+	ds, err := bd.Build(DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return ds
+}
+
+func placeName(i int) string {
+	return "p" + string(rune('a'+i%26)) + string(rune('a'+(i/26)%26)) + string(rune('a'+i/676))
+}
+
+// BenchmarkSearchSP measures a full SP query through the public API.
+func BenchmarkSearchSP(b *testing.B) {
+	ds := apiDataset(b)
+	q := Query{Loc: Point{X: 5, Y: 5}, Keywords: []string{"alpha", "gamma"}, K: 5}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ds.Search(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

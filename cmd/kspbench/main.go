@@ -1,0 +1,71 @@
+// Command kspbench reproduces the paper's evaluation: every table and
+// figure of Section 6 has a corresponding experiment that prints the same
+// rows/series over synthetic datasets shaped like DBpedia and Yago.
+//
+// Usage:
+//
+//	kspbench -exp all                 # the full evaluation
+//	kspbench -exp fig3 -scale 50000   # one experiment at a larger scale
+//	kspbench -list
+//
+// Absolute numbers differ from the paper (synthetic laptop-scale data, Go
+// instead of Java); EXPERIMENTS.md records the shape comparisons.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"ksp/internal/bench"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("kspbench: ")
+	var (
+		exp      = flag.String("exp", "all", "experiment id (see -list) or 'all'")
+		scale    = flag.Int("scale", 20000, "vertices per synthetic dataset")
+		queries  = flag.Int("queries", 20, "queries per setting (the paper uses 100)")
+		seed     = flag.Int64("seed", 1, "random seed")
+		deadline = flag.Duration("bsp-deadline", 5*time.Second, "per-query cap for BSP/TA (paper: 120s)")
+		csvDir   = flag.String("csv", "", "also write each report as CSV into this directory")
+		list     = flag.Bool("list", false, "list experiment ids and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range bench.ExperimentIDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	s := bench.NewSuite(*scale, *queries, *seed, os.Stdout)
+	s.BSPDeadline = *deadline
+	start := time.Now()
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = bench.ExperimentIDs()
+	}
+	for _, id := range ids {
+		reports, err := s.Experiment(id)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, r := range reports {
+			r.Print(os.Stdout)
+		}
+		if *csvDir != "" {
+			names, err := bench.SaveCSVs(*csvDir, reports)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("  csv: %v\n", names)
+		}
+	}
+	fmt.Printf("\ncompleted %q at scale %d with %d queries/setting in %v\n",
+		*exp, *scale, *queries, time.Since(start).Round(time.Millisecond))
+}

@@ -1,0 +1,89 @@
+// Command kspgen generates synthetic spatial RDF datasets (N-Triples) and
+// kSP query workloads shaped like the paper's DBpedia/Yago experiments.
+//
+// Usage:
+//
+//	kspgen -shape dbpedia -n 50000 -o data.nt
+//	kspgen -shape yago -n 50000 -o data.nt -queries q.txt -qcount 100 -m 5
+//
+// The query file holds one query per line: "x y kw1,kw2,...".
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"ksp/internal/gen"
+	"ksp/internal/geo"
+	"ksp/internal/nt"
+	"ksp/internal/rdf"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("kspgen: ")
+	var (
+		shape   = flag.String("shape", "dbpedia", "dataset shape: dbpedia | yago")
+		n       = flag.Int("n", 20000, "number of vertices")
+		seed    = flag.Int64("seed", 1, "random seed")
+		out     = flag.String("o", "data.nt", "output N-Triples file")
+		queries = flag.String("queries", "", "also write a query workload to this file")
+		qcount  = flag.Int("qcount", 100, "number of queries in the workload")
+		m       = flag.Int("m", 5, "keywords per query")
+		class   = flag.String("class", "O", "query class: O | SDLL | LDLL")
+	)
+	flag.Parse()
+
+	var cfg gen.Config
+	switch strings.ToLower(*shape) {
+	case "dbpedia":
+		cfg = gen.DBpediaConfig(*n, *seed)
+	case "yago":
+		cfg = gen.YagoConfig(*n, *seed)
+	default:
+		log.Fatalf("unknown shape %q (want dbpedia or yago)", *shape)
+	}
+
+	g := gen.Generate(cfg)
+	fmt.Printf("generated %s-like graph: %d vertices, %d edges, %d places, %d terms\n",
+		*shape, g.NumVertices(), g.NumEdges(), len(g.Places()), g.Vocab.Len())
+
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := nt.WriteGraph(g, f); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+
+	if *queries == "" {
+		return
+	}
+	qg := gen.NewQueryGen(g, rdf.Outgoing, *seed+1000)
+	qf, err := os.Create(*queries)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer qf.Close()
+	for i := 0; i < *qcount; i++ {
+		var loc geo.Point
+		var kws []string
+		switch strings.ToUpper(*class) {
+		case "SDLL":
+			loc, kws = qg.SDLL(*m)
+		case "LDLL":
+			loc, kws = qg.LDLL(*m)
+		default:
+			loc, kws = qg.Original(*m)
+		}
+		fmt.Fprintf(qf, "%g %g %s\n", loc.X, loc.Y, strings.Join(kws, ","))
+	}
+	fmt.Printf("wrote %d %s queries to %s\n", *qcount, strings.ToUpper(*class), *queries)
+}

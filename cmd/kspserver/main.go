@@ -1,0 +1,66 @@
+// Command kspserver serves kSP queries over HTTP.
+//
+// Usage:
+//
+//	kspserver -data data.nt -addr :8080
+//	kspserver -snapshot data.snap -addr :8080
+//
+// Endpoints: /search, /describe, /stats, /healthz (see internal/server).
+// Example:
+//
+//	curl 'localhost:8080/search?x=43.5&y=4.7&kw=ancient,roman&k=5&trees=1'
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"time"
+
+	"ksp"
+	"ksp/internal/server"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("kspserver: ")
+	var (
+		data     = flag.String("data", "", "N-Triples dataset to load")
+		snapshot = flag.String("snapshot", "", "snapshot produced by Dataset.Save (faster startup)")
+		addr     = flag.String("addr", ":8080", "listen address")
+		alphaR   = flag.Int("alpha", 3, "α radius (N-Triples loading only)")
+		maxK     = flag.Int("maxk", 100, "largest k a request may ask for")
+		timeout  = flag.Duration("timeout", 10*time.Second, "per-query evaluation cap")
+	)
+	flag.Parse()
+
+	cfg := ksp.DefaultConfig()
+	cfg.AlphaRadius = *alphaR
+
+	var (
+		ds  *ksp.Dataset
+		err error
+	)
+	start := time.Now()
+	switch {
+	case *snapshot != "":
+		ds, err = ksp.LoadSnapshot(*snapshot, cfg)
+	case *data != "":
+		ds, err = ksp.OpenFile(*data, cfg)
+	default:
+		log.Fatal("need -data or -snapshot")
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := ds.Stats()
+	fmt.Printf("loaded %d vertices, %d edges, %d places in %v\n",
+		st.Vertices, st.Edges, st.Places, time.Since(start).Round(time.Millisecond))
+
+	s := server.New(ds)
+	s.MaxK = *maxK
+	s.Timeout = *timeout
+	fmt.Printf("listening on %s\n", *addr)
+	log.Fatal(http.ListenAndServe(*addr, s))
+}

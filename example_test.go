@@ -1,0 +1,99 @@
+package ksp_test
+
+import (
+	"fmt"
+	"strings"
+
+	"ksp"
+)
+
+// Example builds the paper's running example (Figure 1) and answers the
+// 1SP query of Example 2: a tourist near Arles doing field research.
+func Example() {
+	b := ksp.NewBuilder()
+	b.AddPlace("Montmajour_Abbey", ksp.Point{X: 43.71, Y: 4.66})
+	b.AddFact("Montmajour_Abbey", "dedication", "Saint_Peter")
+	b.AddFact("Montmajour_Abbey", "diocese", "Ancient_Diocese_of_Arles")
+	b.AddFact("Ancient_Diocese_of_Arles", "subject", "Category:Architectural_history")
+	b.AddLabel("Saint_Peter", "description", "catholic roman saint")
+
+	ds, err := b.Build(ksp.DefaultConfig())
+	if err != nil {
+		panic(err)
+	}
+	res, err := ds.Search(ksp.Query{
+		Loc:      ksp.Point{X: 43.51, Y: 4.75},
+		Keywords: []string{"ancient", "roman", "catholic", "history"},
+		K:        1,
+	})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(ds.URI(res[0].Place), res[0].Looseness)
+	// Output: Montmajour_Abbey 6
+}
+
+// ExampleOpen loads a dataset from N-Triples, the format DBpedia and
+// YAGO publish their dumps in.
+func ExampleOpen() {
+	const data = `
+<ex:Lighthouse> <ex:label> "historic lighthouse coast" .
+<ex:Lighthouse> <ex:hasGeometry> "POINT(2.0 41.4)"^^<http://www.opengis.net/ont/geosparql#wktLiteral> .
+`
+	ds, err := ksp.Open(strings.NewReader(data), ksp.DefaultConfig())
+	if err != nil {
+		panic(err)
+	}
+	st := ds.Stats()
+	fmt.Println(st.Vertices, st.Places)
+	// Output: 1 1
+}
+
+// ExampleDataset_KeywordSearch ranks places purely by how tightly their
+// semantic neighbourhood covers the keywords, ignoring location.
+func ExampleDataset_KeywordSearch() {
+	b := ksp.NewBuilder()
+	b.AddPlace("Tight", ksp.Point{})
+	b.AddLabel("Tight", "d", "wine cheese")
+	b.AddPlace("Loose", ksp.Point{X: 9, Y: 9})
+	b.AddLabel("Loose", "d", "wine")
+	b.AddFact("Loose", "near", "Shop")
+	b.AddLabel("Shop", "d", "cheese")
+	ds, err := b.Build(ksp.DefaultConfig())
+	if err != nil {
+		panic(err)
+	}
+	res, err := ds.KeywordSearch([]string{"wine", "cheese"}, 2)
+	if err != nil {
+		panic(err)
+	}
+	for _, r := range res {
+		fmt.Println(ds.URI(r.Place), r.Looseness)
+	}
+	// Output:
+	// Tight 1
+	// Loose 2
+}
+
+// ExampleDataset_SearchWith compares algorithms on the same query; they
+// always agree on the answer and differ only in cost.
+func ExampleDataset_SearchWith() {
+	b := ksp.NewBuilder()
+	b.AddPlace("Cafe", ksp.Point{X: 1, Y: 1})
+	b.AddLabel("Cafe", "d", "espresso pastry")
+	ds, err := b.Build(ksp.DefaultConfig())
+	if err != nil {
+		panic(err)
+	}
+	q := ksp.Query{Loc: ksp.Point{X: 1, Y: 2}, Keywords: []string{"espresso"}, K: 1}
+	for _, algo := range []ksp.Algorithm{ksp.AlgoBSP, ksp.AlgoSP} {
+		res, _, err := ds.SearchWith(algo, q, ksp.Options{})
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%s: %s %.0f\n", algo, ds.URI(res[0].Place), res[0].Score)
+	}
+	// Output:
+	// BSP: Cafe 1
+	// SP: Cafe 1
+}

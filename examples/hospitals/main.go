@@ -1,0 +1,100 @@
+// Hospitals: the introduction's motivating application — "patients who
+// want to find nearby hospitals which offer treatment for specific
+// conditions".
+//
+// A small health-care knowledge graph links hospitals to departments,
+// treatments and certifications. Patients at different locations search
+// by condition keywords; the kSP engine ranks hospitals by the combination
+// of proximity and how directly their semantic neighbourhood covers the
+// condition.
+//
+// Run with: go run ./examples/hospitals
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ksp"
+)
+
+type hospital struct {
+	name  string
+	loc   ksp.Point
+	depts map[string]string // department -> services text
+}
+
+func main() {
+	hospitals := []hospital{
+		{"St_Mary_General", ksp.Point{X: 0.5, Y: 0.8}, map[string]string{
+			"Cardiology_Dept": "cardiology heart surgery pacemaker arrhythmia",
+			"Emergency_Room":  "emergency trauma acute care",
+			"Maternity_Ward":  "maternity obstetrics birth neonatal",
+		}},
+		{"Riverside_Clinic", ksp.Point{X: 2.1, Y: 1.2}, map[string]string{
+			"Dermatology_Unit": "dermatology skin eczema psoriasis",
+			"Cardiology_Dept":  "cardiology heart echocardiogram",
+		}},
+		{"Hilltop_Medical_Center", ksp.Point{X: 4.0, Y: 3.5}, map[string]string{
+			"Oncology_Center": "oncology cancer chemotherapy radiation",
+			"Cardiology_Dept": "cardiology heart transplant surgery",
+			"Emergency_Room":  "emergency trauma helicopter",
+		}},
+		{"Lakeside_Hospital", ksp.Point{X: 1.0, Y: 3.0}, map[string]string{
+			"Orthopedics_Dept": "orthopedics bone fracture joint replacement",
+			"Physio_Unit":      "physiotherapy rehabilitation recovery",
+		}},
+		{"Downtown_Urgent_Care", ksp.Point{X: 0.2, Y: 0.2}, map[string]string{
+			"Walkin_Clinic": "walkin urgent minor injury vaccination",
+		}},
+	}
+
+	b := ksp.NewBuilder()
+	for _, h := range hospitals {
+		b.AddPlace(h.name, h.loc)
+		b.AddLabel(h.name, "type", "hospital medical")
+		for dept, services := range h.depts {
+			node := h.name + "/" + dept
+			b.AddFact(h.name, "hasDepartment", node)
+			b.AddLabel(node, "offers", services)
+		}
+	}
+	// Certifications hang one hop deeper: they matter, but less than a
+	// department that directly treats the condition — exactly the
+	// looseness semantics of the paper.
+	b.AddFact("St_Mary_General/Cardiology_Dept", "certifiedBy", "National_Heart_Board")
+	b.AddLabel("National_Heart_Board", "grants", "certified excellence cardiac")
+	b.AddFact("Hilltop_Medical_Center/Oncology_Center", "certifiedBy", "Cancer_Care_Alliance")
+	b.AddLabel("Cancer_Care_Alliance", "grants", "certified excellence oncology")
+
+	ds, err := b.Build(ksp.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	patients := []struct {
+		where    string
+		loc      ksp.Point
+		symptoms []string
+	}{
+		{"downtown", ksp.Point{X: 0.3, Y: 0.3}, []string{"heart", "surgery"}},
+		{"downtown", ksp.Point{X: 0.3, Y: 0.3}, []string{"cancer", "chemotherapy"}},
+		{"the lake", ksp.Point{X: 1.2, Y: 2.8}, []string{"fracture", "rehabilitation"}},
+		{"the hills", ksp.Point{X: 3.8, Y: 3.2}, []string{"emergency", "cardiology", "certified"}},
+	}
+	for _, p := range patients {
+		fmt.Printf("patient near %s searching %v:\n", p.where, p.symptoms)
+		res, err := ds.Search(ksp.Query{Loc: p.loc, Keywords: p.symptoms, K: 2})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(res) == 0 {
+			fmt.Println("  no hospital covers those needs")
+			continue
+		}
+		for i, r := range res {
+			fmt.Printf("  %d. %-24s score %.3f (distance %.2f, looseness %.0f)\n",
+				i+1, ds.URI(r.Place), r.Score, r.Dist, r.Looseness)
+		}
+	}
+}

@@ -1,0 +1,74 @@
+// Quickstart: the running example of the paper (Figure 1) end to end.
+//
+// It builds the small DBpedia excerpt around Montmajour Abbey and the
+// Roman Catholic Diocese of Fréjus-Toulon, then runs the 2SP query of
+// Examples 2 and 5 from two locations, printing the retrieved semantic
+// places and their trees.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"ksp"
+)
+
+func main() {
+	b := ksp.NewBuilder()
+
+	// Place p1: Montmajour Abbey (43.71, 4.66).
+	b.AddPlace("Montmajour_Abbey", ksp.Point{X: 43.71, Y: 4.66})
+	b.AddFact("Montmajour_Abbey", "subject", "Category:Romanesque_architecture")
+	b.AddFact("Montmajour_Abbey", "dedication", "Saint_Peter")
+	b.AddFact("Montmajour_Abbey", "diocese", "Ancient_Diocese_of_Arles")
+	b.AddFact("Ancient_Diocese_of_Arles", "subject", "Category:Architectural_history")
+	b.AddFact("Saint_Peter", "birthPlace", "Roman_Empire")
+	b.AddLabel("Saint_Peter", "description", "catholic roman saint")
+	b.AddLabel("Roman_Empire", "description", "ancient roman empire")
+
+	// Place p2: Roman Catholic Diocese of Fréjus-Toulon (43.13, 5.97).
+	b.AddPlace("Roman_Catholic_Diocese_of_Fréjus-Toulon", ksp.Point{X: 43.13, Y: 5.97})
+	b.AddFact("Roman_Catholic_Diocese_of_Fréjus-Toulon", "patron", "Mary_Magdalene")
+	b.AddFact("Roman_Catholic_Diocese_of_Fréjus-Toulon", "denomination", "Catholic_Church")
+	b.AddFact("Mary_Magdalene", "deathPlace", "Anatolia")
+	b.AddLabel("Catholic_Church", "description", "catholic church history")
+	b.AddLabel("Anatolia", "description", "ancient anatolia history")
+
+	ds, err := b.Build(ksp.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := ds.Stats()
+	fmt.Printf("dataset: %d vertices, %d edges, %d places\n\n", st.Vertices, st.Edges, st.Places)
+
+	keywords := []string{"ancient", "roman", "catholic", "history"}
+	for _, q := range []struct {
+		name string
+		loc  ksp.Point
+	}{
+		{"q1 (near the abbey)", ksp.Point{X: 43.51, Y: 4.75}},
+		{"q2 (near the diocese)", ksp.Point{X: 43.17, Y: 5.90}},
+	} {
+		fmt.Printf("kSP query at %s for %v:\n", q.name, keywords)
+		res, _, err := ds.SearchWith(ksp.AlgoSP, ksp.Query{Loc: q.loc, Keywords: keywords, K: 2},
+			ksp.Options{CollectTrees: true})
+		if err != nil {
+			log.Fatal(err)
+		}
+		for i, r := range res {
+			fmt.Printf("  %d. %s  (score %.2f = looseness %.0f × distance %.2f)\n",
+				i+1, ds.URI(r.Place), r.Score, r.Looseness, r.Dist)
+			for _, n := range r.Tree.Nodes {
+				mark := ""
+				if len(n.Matched) > 0 {
+					mark = "  ← keyword match"
+				}
+				fmt.Printf("     %s%s%s\n", strings.Repeat("· ", n.Depth), ds.URI(n.V), mark)
+			}
+		}
+		fmt.Println()
+	}
+}

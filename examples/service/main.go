@@ -1,0 +1,83 @@
+// Service: the full production loop — build a dataset, persist it as a
+// snapshot, restore it (skipping the expensive α-index construction), and
+// serve kSP queries over HTTP, then query the running service.
+//
+// Run with: go run ./examples/service
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"time"
+
+	"ksp"
+	"ksp/internal/server"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "ksp-service")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// 1. Build a small city dataset and snapshot it.
+	b := ksp.NewBuilder()
+	add := func(name string, x, y float64, text string) {
+		b.AddPlace(name, ksp.Point{X: x, Y: y})
+		b.AddLabel(name, "description", text)
+	}
+	add("Museum_Quarter", 1, 1, "museum art modern sculpture")
+	add("Old_Market", 2, 1.5, "market food spices antiques")
+	add("River_Walk", 0.5, 2, "river park walk sunset")
+	add("Guild_Hall", 1.8, 0.7, "guild hall medieval history")
+	b.AddFact("Museum_Quarter", "hosts", "Sculpture_Biennale")
+	b.AddLabel("Sculpture_Biennale", "about", "sculpture exhibition international")
+
+	built, err := b.Build(ksp.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	snap := filepath.Join(dir, "city.snap")
+	if err := built.Save(snap); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("snapshot written: %s\n", snap)
+
+	// 2. Restore — in a real deployment this is the service's cold start.
+	start := time.Now()
+	ds, err := ksp.LoadSnapshot(snap, ksp.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("restored %d places in %v\n\n", ds.Stats().Places, time.Since(start).Round(time.Microsecond))
+
+	// 3. Serve. (httptest keeps the example self-contained; cmd/kspserver
+	// is the standalone equivalent.)
+	srv := httptest.NewServer(server.New(ds))
+	defer srv.Close()
+
+	// 4. Query the running service like any HTTP client would.
+	for _, q := range []string{
+		"/search?x=1&y=1.2&kw=art,sculpture&k=2",
+		"/search?x=2&y=1&kw=history&k=1",
+		"/describe?uri=Old_Market",
+	} {
+		resp, err := http.Get(srv.URL + q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		var body json.RawMessage
+		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+			log.Fatal(err)
+		}
+		resp.Body.Close()
+		pretty, _ := json.MarshalIndent(body, "  ", "  ")
+		fmt.Printf("GET %s\n  %s\n\n", q, pretty)
+	}
+}

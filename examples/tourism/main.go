@@ -1,0 +1,91 @@
+// Tourism: the scenario of Example 2 — a tourist doing field research
+// moves through a region and re-issues the same keyword query from each
+// stop; the top places change with the location.
+//
+// The dataset is a miniature Provence knowledge graph loaded from inline
+// N-Triples (the same format the DBpedia/YAGO dumps use), demonstrating
+// the ksp.Open loader, WKT geometry literals and re-querying.
+//
+// Run with: go run ./examples/tourism
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"ksp"
+)
+
+const provenceNT = `
+# Roman monuments around Arles and Nîmes.
+<ex:Arles_Amphitheatre> <geo:hasGeometry> "POINT(43.677 4.631)"^^<http://www.opengis.net/ont/geosparql#wktLiteral> .
+<ex:Arles_Amphitheatre> <ex:description> "roman amphitheatre arena gladiator" .
+<ex:Arles_Amphitheatre> <ex:era> <ex:Roman_Gaul> .
+<ex:Maison_Carree> <geo:hasGeometry> "POINT(43.838 4.356)"^^<http://www.opengis.net/ont/geosparql#wktLiteral> .
+<ex:Maison_Carree> <ex:description> "roman temple facade" .
+<ex:Maison_Carree> <ex:era> <ex:Roman_Gaul> .
+<ex:Pont_du_Gard> <geo:hasGeometry> "POINT(43.947 4.535)"^^<http://www.opengis.net/ont/geosparql#wktLiteral> .
+<ex:Pont_du_Gard> <ex:description> "roman aqueduct bridge unesco" .
+<ex:Pont_du_Gard> <ex:era> <ex:Roman_Gaul> .
+<ex:Roman_Gaul> <ex:description> "ancient roman province gaul" .
+
+# Medieval religious sites.
+<ex:Montmajour_Abbey> <geo:hasGeometry> "POINT(43.706 4.664)"^^<http://www.opengis.net/ont/geosparql#wktLiteral> .
+<ex:Montmajour_Abbey> <ex:description> "abbey romanesque benedictine" .
+<ex:Montmajour_Abbey> <ex:dedication> <ex:Saint_Peter> .
+<ex:Saint_Peter> <ex:description> "saint catholic apostle" .
+<ex:Avignon_Palace> <geo:hasGeometry> "POINT(43.951 4.808)"^^<http://www.opengis.net/ont/geosparql#wktLiteral> .
+<ex:Avignon_Palace> <ex:description> "palace popes gothic catholic" .
+<ex:Avignon_Palace> <ex:history> <ex:Papal_Schism> .
+<ex:Papal_Schism> <ex:description> "medieval history papacy schism" .
+
+# Natural and artistic sites.
+<ex:Calanques> <geo:hasGeometry> "POINT(43.210 5.450)"^^<http://www.opengis.net/ont/geosparql#wktLiteral> .
+<ex:Calanques> <ex:description> "limestone cliffs hiking mediterranean" .
+<ex:Van_Gogh_Route> <geo:hasGeometry> "POINT(43.676 4.628)"^^<http://www.opengis.net/ont/geosparql#wktLiteral> .
+<ex:Van_Gogh_Route> <ex:description> "painting art van gogh starry" .
+<ex:Van_Gogh_Route> <ex:about> <ex:Vincent_van_Gogh> .
+<ex:Vincent_van_Gogh> <ex:description> "painter impressionism history art" .
+`
+
+func main() {
+	ds, err := ksp.Open(strings.NewReader(provenceNT), ksp.DefaultConfig())
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := ds.Stats()
+	fmt.Printf("Provence graph: %d vertices, %d edges, %d places\n\n", st.Vertices, st.Edges, st.Places)
+
+	itinerary := []struct {
+		stop string
+		loc  ksp.Point
+	}{
+		{"Arles old town", ksp.Point{X: 43.676, Y: 4.630}},
+		{"Avignon station", ksp.Point{X: 43.942, Y: 4.806}},
+		{"Marseille harbour", ksp.Point{X: 43.295, Y: 5.375}},
+	}
+	research := [][]string{
+		{"roman", "ancient"},
+		{"catholic", "history"},
+		{"art", "history"},
+	}
+
+	for _, stop := range itinerary {
+		fmt.Printf("— at %s (%.3f, %.3f)\n", stop.stop, stop.loc.X, stop.loc.Y)
+		for _, kws := range research {
+			res, err := ds.Search(ksp.Query{Loc: stop.loc, Keywords: kws, K: 1})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if len(res) == 0 {
+				fmt.Printf("   %-22v -> nothing relevant\n", kws)
+				continue
+			}
+			r := res[0]
+			fmt.Printf("   %-22v -> %-22s (%.2f away, looseness %.0f)\n",
+				kws, strings.TrimPrefix(ds.URI(r.Place), "ex:"), r.Dist, r.Looseness)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,3 @@
+module ksp
+
+go 1.22

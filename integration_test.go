@@ -1,0 +1,166 @@
+package ksp_test
+
+// Integration tests spanning the full stack: synthetic generation ->
+// N-Triples export -> load through the public API -> snapshot -> HTTP
+// server, with algorithm agreement checked at every stage.
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"ksp"
+	"ksp/internal/gen"
+	"ksp/internal/nt"
+	"ksp/internal/rdf"
+	"ksp/internal/server"
+)
+
+func TestEndToEndPipeline(t *testing.T) {
+	// 1. Generate a synthetic dataset and export it as N-Triples.
+	g := gen.Generate(gen.YagoConfig(1500, 777))
+	var buf bytes.Buffer
+	if err := nt.WriteGraph(g, &buf); err != nil {
+		t.Fatal(err)
+	}
+	ntPath := filepath.Join(t.TempDir(), "data.nt")
+	if err := os.WriteFile(ntPath, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// 2. Load through the public API.
+	ds, err := ksp.OpenFile(ntPath, ksp.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := ds.Stats()
+	if st.Places != len(g.Places()) {
+		t.Fatalf("places changed across export/import: %d vs %d", st.Places, len(g.Places()))
+	}
+	if st.Vertices != g.NumVertices() {
+		t.Fatalf("vertices changed: %d vs %d", st.Vertices, g.NumVertices())
+	}
+
+	// 3. Build a query from the original generator; keyword terms carry
+	// over because the exporter writes them into label literals.
+	qg := gen.NewQueryGen(g, rdf.Outgoing, 778)
+	loc, kws := qg.Original(4)
+	q := ksp.Query{Loc: ksp.Point{X: loc.X, Y: loc.Y}, Keywords: kws, K: 5}
+
+	// 4. All four algorithms agree on the loaded data.
+	var base []ksp.Result
+	for _, algo := range []ksp.Algorithm{ksp.AlgoBSP, ksp.AlgoSPP, ksp.AlgoSP, ksp.AlgoTA} {
+		res, _, err := ds.SearchWith(algo, q, ksp.Options{})
+		if err != nil {
+			t.Fatalf("%v: %v", algo, err)
+		}
+		if base == nil {
+			base = res
+			continue
+		}
+		if len(res) != len(base) {
+			t.Fatalf("%v: %d vs %d results", algo, len(res), len(base))
+		}
+		for i := range res {
+			if res[i].Place != base[i].Place || math.Abs(res[i].Score-base[i].Score) > 1e-9 {
+				t.Fatalf("%v result %d differs", algo, i)
+			}
+		}
+	}
+
+	// 5. Snapshot round trip preserves answers.
+	snapPath := filepath.Join(t.TempDir(), "data.snap")
+	if err := ds.Save(snapPath); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := ksp.LoadSnapshot(snapPath, ksp.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := restored.Search(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != len(base) {
+		t.Fatalf("snapshot changed result count: %d vs %d", len(res), len(base))
+	}
+	for i := range res {
+		if restored.URI(res[i].Place) != ds.URI(base[i].Place) {
+			t.Fatalf("snapshot result %d differs", i)
+		}
+	}
+
+	// 6. The same query through the HTTP server.
+	srv := httptest.NewServer(server.New(restored))
+	defer srv.Close()
+	u := srv.URL + "/search?x=" + trim(q.Loc.X) + "&y=" + trim(q.Loc.Y) + "&k=5&kw=" + joinComma(kws)
+	resp, err := http.Get(u)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("HTTP status %d", resp.StatusCode)
+	}
+	var sr server.SearchResponse
+	if err := json.NewDecoder(resp.Body).Decode(&sr); err != nil {
+		t.Fatal(err)
+	}
+	if len(sr.Results) != len(base) {
+		t.Fatalf("HTTP returned %d results, want %d", len(sr.Results), len(base))
+	}
+	for i := range sr.Results {
+		if sr.Results[i].URI != ds.URI(base[i].Place) {
+			t.Fatalf("HTTP result %d = %s, want %s", i, sr.Results[i].URI, ds.URI(base[i].Place))
+		}
+	}
+}
+
+func trim(f float64) string {
+	b, _ := json.Marshal(f)
+	return string(b)
+}
+
+func joinComma(ss []string) string {
+	out := ""
+	for i, s := range ss {
+		if i > 0 {
+			out += ","
+		}
+		out += s
+	}
+	return out
+}
+
+// Radius-restricted search through the public API.
+func TestMaxDistPublic(t *testing.T) {
+	b := ksp.NewBuilder()
+	b.AddPlace("near", ksp.Point{X: 1, Y: 0})
+	b.AddLabel("near", "d", "coffee")
+	b.AddPlace("far", ksp.Point{X: 50, Y: 0})
+	b.AddLabel("far", "d", "coffee")
+	ds, err := b.Build(ksp.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := ksp.Query{Loc: ksp.Point{}, Keywords: []string{"coffee"}, K: 10}
+	res, _, err := ds.SearchWith(ksp.AlgoSP, q, ksp.Options{MaxDist: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || ds.URI(res[0].Place) != "near" {
+		t.Fatalf("MaxDist filter failed: %+v", res)
+	}
+	res, _, err = ds.SearchWith(ksp.AlgoSP, q, ksp.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("unrestricted search: %+v", res)
+	}
+}

@@ -1,0 +1,221 @@
+// Package alpha implements the α-radius word neighbourhoods of Section 5
+// of the paper and the bounds derived from them (Lemmas 2-5).
+//
+// WN(p) of a place p holds, for every term reachable within graph distance
+// α from p, the shortest such distance. WN(N) of an R-tree node N is the
+// term-wise minimum over the places below N. Both are stored as inverted
+// files keyed by term, so that a query only loads the posting lists of its
+// keywords (the paper's Section 5 "Storage" paragraph); a QueryView then
+// evaluates the α-bounds on looseness for places (Lemma 2) and nodes
+// (Lemma 4) in O(|q.ψ|) map lookups.
+package alpha
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"ksp/internal/invindex"
+	"ksp/internal/rdf"
+	"ksp/internal/rtree"
+)
+
+// placeWN computes the α-radius word neighbourhood of one place
+// (Definition 5): term -> min graph distance within radius α.
+func placeWN(g *rdf.Graph, bfs *rdf.BFSState, p uint32, dir rdf.Direction, alphaRadius int) map[uint32]uint8 {
+	wn := make(map[uint32]uint8)
+	bfs.Run(p, dir, alphaRadius, func(v uint32, dist int) bool {
+		for _, t := range g.Doc(v) {
+			if old, ok := wn[t]; !ok || uint8(dist) < old {
+				wn[t] = uint8(dist)
+			}
+		}
+		return true
+	})
+	return wn
+}
+
+// Index holds the α-radius word neighbourhoods of all places and R-tree
+// nodes, stored as inverted files.
+type Index struct {
+	Alpha int
+	Dir   rdf.Direction
+
+	// PlaceIdx: term -> postings of (place vertex ID, dg(p,t)).
+	PlaceIdx invindex.Index
+	// NodeIdx: term -> postings of (R-tree node ID, dg(N,t)).
+	NodeIdx invindex.Index
+}
+
+// Build computes the neighbourhoods by a depth-α BFS per place, then
+// aggregates them bottom-up over the R-tree (Definition 6). The per-place
+// searches are independent and run on all CPUs — construction dominates
+// preprocessing (Table 5 of the paper: ≈20 hours for DBpedia at α=3), so
+// this is the one build step worth parallelizing. The result is
+// deterministic: posting lists are sorted during index finalization.
+func Build(g *rdf.Graph, tree *rtree.RTree, alphaRadius int, dir rdf.Direction) *Index {
+	placeB := invindex.NewBuilder()
+	nodeB := invindex.NewBuilder()
+	placeB.Reserve(g.Vocab.Len())
+	nodeB.Reserve(g.Vocab.Len())
+
+	// Per-place neighbourhoods, one worker per CPU, each with its own
+	// BFS scratch.
+	places := g.Places()
+	wns := make([]map[uint32]uint8, len(places))
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(places) {
+		workers = len(places)
+	}
+	if workers > 1 {
+		var next int64 = -1
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				bfs := rdf.NewBFSState(g)
+				for {
+					i := int(atomic.AddInt64(&next, 1))
+					if i >= len(places) {
+						return
+					}
+					wns[i] = placeWN(g, bfs, places[i], dir, alphaRadius)
+				}
+			}()
+		}
+		wg.Wait()
+	} else if len(places) > 0 {
+		bfs := rdf.NewBFSState(g)
+		for i, p := range places {
+			wns[i] = placeWN(g, bfs, p, dir, alphaRadius)
+		}
+	}
+	placeWNByID := make(map[uint32]map[uint32]uint8, len(places))
+	for i, p := range places {
+		placeWNByID[p] = wns[i]
+		for t, d := range wns[i] {
+			placeB.Add(t, p, d)
+		}
+	}
+
+	// Bottom-up aggregation over the R-tree.
+	var walk func(n *rtree.Node) map[uint32]uint8
+	walk = func(n *rtree.Node) map[uint32]uint8 {
+		wn := make(map[uint32]uint8)
+		merge := func(src map[uint32]uint8) {
+			for t, d := range src {
+				if old, ok := wn[t]; !ok || d < old {
+					wn[t] = d
+				}
+			}
+		}
+		if n.Leaf {
+			for _, it := range n.Items {
+				merge(placeWNByID[it.ID])
+			}
+		} else {
+			for _, ch := range n.Children {
+				merge(walk(ch))
+			}
+		}
+		for t, d := range wn {
+			nodeB.Add(t, n.ID, d)
+		}
+		return wn
+	}
+	if tree.Len() > 0 {
+		walk(tree.Root())
+	}
+
+	return &Index{
+		Alpha:    alphaRadius,
+		Dir:      dir,
+		PlaceIdx: placeB.Build(),
+		NodeIdx:  nodeB.Build(),
+	}
+}
+
+// NumPostings returns the total posting counts (places, nodes) — the
+// Table 6 size statistic.
+func (ix *Index) NumPostings() (places, nodes int64) {
+	return ix.PlaceIdx.NumPostings(), ix.NodeIdx.NumPostings()
+}
+
+// ApproxBytes estimates storage for Table 6: five bytes per posting (4-byte
+// ID + distance byte) for both inverted files.
+func (ix *Index) ApproxBytes() int64 {
+	p, n := ix.NumPostings()
+	return (p + n) * 5
+}
+
+// QueryView holds the keyword-relevant slice of the neighbourhoods for one
+// query: per query keyword, entry-ID -> distance maps for places and nodes.
+type QueryView struct {
+	alpha     int
+	m         int
+	placeDist []map[uint32]uint8
+	nodeDist  []map[uint32]uint8
+}
+
+// LoadQuery fetches the posting lists of the query keywords. The order of
+// terms fixes the keyword positions in the view.
+func (ix *Index) LoadQuery(terms []uint32) (*QueryView, error) {
+	qv := &QueryView{
+		alpha:     ix.Alpha,
+		m:         len(terms),
+		placeDist: make([]map[uint32]uint8, len(terms)),
+		nodeDist:  make([]map[uint32]uint8, len(terms)),
+	}
+	var buf []invindex.Posting
+	var err error
+	for i, t := range terms {
+		buf, err = ix.PlaceIdx.Postings(t, buf[:0])
+		if err != nil {
+			return nil, err
+		}
+		mp := make(map[uint32]uint8, len(buf))
+		for _, p := range buf {
+			mp[p.ID] = p.Weight
+		}
+		qv.placeDist[i] = mp
+
+		buf, err = ix.NodeIdx.Postings(t, buf[:0])
+		if err != nil {
+			return nil, err
+		}
+		mn := make(map[uint32]uint8, len(buf))
+		for _, p := range buf {
+			mn[p.ID] = p.Weight
+		}
+		qv.nodeDist[i] = mn
+	}
+	return qv, nil
+}
+
+// PlaceBound returns LαB(Tp) (Lemma 2): 1 + Σ dg over keywords found in
+// WN(p) + (α+1) for each keyword absent from it.
+func (qv *QueryView) PlaceBound(p uint32) float64 {
+	lb := 1.0
+	for i := 0; i < qv.m; i++ {
+		if d, ok := qv.placeDist[i][p]; ok {
+			lb += float64(d)
+		} else {
+			lb += float64(qv.alpha + 1)
+		}
+	}
+	return lb
+}
+
+// NodeBound returns LαB(TN) (Lemma 4) for R-tree node nodeID.
+func (qv *QueryView) NodeBound(nodeID uint32) float64 {
+	lb := 1.0
+	for i := 0; i < qv.m; i++ {
+		if d, ok := qv.nodeDist[i][nodeID]; ok {
+			lb += float64(d)
+		} else {
+			lb += float64(qv.alpha + 1)
+		}
+	}
+	return lb
+}

@@ -1,0 +1,198 @@
+// Package bench reproduces the paper's evaluation (Section 6): one
+// experiment per table and figure, each regenerating the rows or series
+// the paper reports. The absolute numbers differ — the substrate is a
+// synthetic laptop-scale dataset, not the authors' 8M-vertex dumps on
+// their testbed — but the shapes (who wins, by what factor, where the
+// crossovers fall) are the reproduction target; EXPERIMENTS.md records
+// paper-vs-measured for each experiment.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"ksp/internal/core"
+	"ksp/internal/gen"
+	"ksp/internal/geo"
+	"ksp/internal/rdf"
+)
+
+// Suite runs the experiments over lazily built datasets.
+type Suite struct {
+	// Scale is the vertex count of each synthetic dataset.
+	Scale int
+	// Queries per setting (the paper uses 100).
+	Queries int
+	// Seed drives all generation.
+	Seed int64
+	// BSPDeadline caps each BSP (and TA) query, mirroring the paper's
+	// 120-second abort at full scale.
+	BSPDeadline time.Duration
+	// Out receives the reports.
+	Out io.Writer
+
+	data map[string]*benchData
+}
+
+// NewSuite returns a Suite with the given scale and workload size.
+func NewSuite(scale, queries int, seed int64, out io.Writer) *Suite {
+	return &Suite{
+		Scale:       scale,
+		Queries:     queries,
+		Seed:        seed,
+		BSPDeadline: 5 * time.Second,
+		Out:         out,
+		data:        make(map[string]*benchData),
+	}
+}
+
+// benchData is one dataset with its engines (cached per α).
+type benchData struct {
+	name    string
+	g       *rdf.Graph
+	qg      *gen.QueryGen
+	base    *core.Engine // α = 3, reach enabled
+	byAlpha map[int]*core.Engine
+}
+
+// Dataset names.
+const (
+	DBpediaLike = "DBpedia-like"
+	YagoLike    = "Yago-like"
+)
+
+// Data returns (building on first use) the named dataset.
+func (s *Suite) Data(name string) *benchData {
+	if d, ok := s.data[name]; ok {
+		return d
+	}
+	var cfg gen.Config
+	switch name {
+	case DBpediaLike:
+		cfg = gen.DBpediaConfig(s.Scale, s.Seed)
+	case YagoLike:
+		cfg = gen.YagoConfig(s.Scale, s.Seed+1)
+	default:
+		panic("bench: unknown dataset " + name)
+	}
+	g := gen.Generate(cfg)
+	e := core.NewEngine(g, rdf.Outgoing)
+	e.EnableReach()
+	e.EnableAlpha(3)
+	d := &benchData{
+		name:    name,
+		g:       g,
+		qg:      gen.NewQueryGen(g, rdf.Outgoing, s.Seed+17),
+		base:    e,
+		byAlpha: map[int]*core.Engine{3: e},
+	}
+	s.data[name] = d
+	return d
+}
+
+func (d *benchData) engine(alphaRadius int) *core.Engine {
+	if e, ok := d.byAlpha[alphaRadius]; ok {
+		return e
+	}
+	e := d.base.WithAlpha(alphaRadius)
+	d.byAlpha[alphaRadius] = e
+	return e
+}
+
+// queryClass selects a workload generator.
+type queryClass int
+
+const (
+	classO queryClass = iota
+	classSDLL
+	classLDLL
+)
+
+// workload generates n queries of m keywords in the given class.
+func (d *benchData) workload(class queryClass, n, m, k int) []core.Query {
+	qs := make([]core.Query, n)
+	for i := range qs {
+		var loc geo.Point
+		var kws []string
+		switch class {
+		case classSDLL:
+			loc, kws = d.qg.SDLL(m)
+		case classLDLL:
+			loc, kws = d.qg.LDLL(m)
+		default:
+			loc, kws = d.qg.Original(m)
+		}
+		qs[i] = core.Query{Loc: loc, Keywords: kws, K: k}
+	}
+	return qs
+}
+
+// withK rewrites the K of a workload (the paper reuses one workload per
+// setting while varying k).
+func withK(qs []core.Query, k int) []core.Query {
+	out := make([]core.Query, len(qs))
+	for i, q := range qs {
+		q.K = k
+		out[i] = q
+	}
+	return out
+}
+
+// algoRunner pairs a name with an engine method.
+type algoRunner struct {
+	name string
+	run  func(*core.Engine, core.Query, core.Options) ([]core.Result, *core.Stats, error)
+}
+
+var (
+	runBSP = algoRunner{"BSP", (*core.Engine).BSP}
+	runSPP = algoRunner{"SPP", (*core.Engine).SPP}
+	runSP  = algoRunner{"SP", (*core.Engine).SP}
+	runTA  = algoRunner{"TA", (*core.Engine).TA}
+)
+
+// measured aggregates a workload run.
+type measured struct {
+	Semantic   time.Duration // mean per query
+	Other      time.Duration // mean per query
+	TQSP       float64       // mean per query
+	NodeAccess float64
+	Results    []core.Result // concatenated results (for figure 8)
+	TimedOut   int
+}
+
+func (m measured) total() time.Duration { return m.Semantic + m.Other }
+
+// runWorkload executes every query and averages the statistics.
+func (s *Suite) runWorkload(e *core.Engine, a algoRunner, qs []core.Query, opts core.Options) (measured, error) {
+	if (a.name == "BSP" || a.name == "TA") && opts.Deadline == 0 {
+		opts.Deadline = s.BSPDeadline
+	}
+	var agg core.Stats
+	var out measured
+	for _, q := range qs {
+		res, stats, err := a.run(e, q, opts)
+		if err != nil {
+			return out, fmt.Errorf("%s: %w", a.name, err)
+		}
+		agg.Add(stats)
+		out.Results = append(out.Results, res...)
+		if stats.TimedOut {
+			out.TimedOut++
+		}
+	}
+	n := len(qs)
+	if n == 0 {
+		return out, nil
+	}
+	out.Semantic = agg.SemanticTime / time.Duration(n)
+	out.Other = agg.OtherTime / time.Duration(n)
+	out.TQSP = float64(agg.TQSPComputations) / float64(n)
+	out.NodeAccess = float64(agg.RTreeNodeAccesses) / float64(n)
+	return out, nil
+}
+
+func ms(d time.Duration) string {
+	return fmt.Sprintf("%.3f", float64(d.Nanoseconds())/1e6)
+}

@@ -1,0 +1,105 @@
+package bench
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"text/tabwriter"
+)
+
+// Report is one printable experiment table.
+type Report struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	// Notes carry the paper-shape expectation the numbers should match.
+	Notes []string
+}
+
+// AddRow appends a formatted row.
+func (r *Report) AddRow(cells ...string) {
+	r.Rows = append(r.Rows, cells)
+}
+
+// Print renders the report.
+func (r *Report) Print(w io.Writer) {
+	fmt.Fprintf(w, "\n=== %s — %s ===\n", r.ID, r.Title)
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, strings.Join(r.Header, "\t"))
+	sep := make([]string, len(r.Header))
+	for i, h := range r.Header {
+		sep[i] = strings.Repeat("-", len(h))
+	}
+	fmt.Fprintln(tw, strings.Join(sep, "\t"))
+	for _, row := range r.Rows {
+		fmt.Fprintln(tw, strings.Join(row, "\t"))
+	}
+	tw.Flush()
+	for _, n := range r.Notes {
+		fmt.Fprintf(w, "  note: %s\n", n)
+	}
+}
+
+// Cell renders a float compactly.
+func Cell(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// WriteCSV emits the report as CSV (header row first).
+func (r *Report) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(r.Header); err != nil {
+		return err
+	}
+	if err := cw.WriteAll(r.Rows); err != nil {
+		return err
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// SaveCSVs writes each report to dir as <id>_<n>_<slug>.csv and returns
+// the file names, for feeding the numbers into plotting scripts.
+func SaveCSVs(dir string, reports []*Report) ([]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	var names []string
+	for i, r := range reports {
+		name := fmt.Sprintf("%s_%d_%s.csv", r.ID, i, slug(r.Title))
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return names, err
+		}
+		if err := r.WriteCSV(f); err != nil {
+			f.Close()
+			return names, err
+		}
+		if err := f.Close(); err != nil {
+			return names, err
+		}
+		names = append(names, name)
+	}
+	return names, nil
+}
+
+// slug compresses a title into a file-name fragment.
+func slug(title string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(title) {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			b.WriteRune(r)
+		case r == ' ' || r == '-' || r == '_':
+			if n := b.Len(); n > 0 && b.String()[n-1] != '-' {
+				b.WriteByte('-')
+			}
+		}
+		if b.Len() >= 40 {
+			break
+		}
+	}
+	return strings.Trim(b.String(), "-")
+}

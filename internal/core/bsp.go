@@ -1,0 +1,72 @@
+package core
+
+import (
+	"math"
+	"time"
+)
+
+// BSP evaluates q with the Basic Semantic Place algorithm (Algorithm 1):
+// places are consumed in ascending spatial distance via incremental
+// nearest-neighbour search on the R-tree, the TQSP of every retrieved
+// place is fully constructed, and search stops when the next entry's
+// minimal possible score reaches the kth candidate's score.
+func (e *Engine) BSP(q Query, opts Options) ([]Result, *Stats, error) {
+	start := time.Now()
+	stats := &Stats{}
+	pq, err := e.prepare(q)
+	if err != nil {
+		return nil, stats, err
+	}
+	hk := newTopK(q.K)
+	if pq.answerable && q.K > 0 {
+		if err := e.bspLoop(pq, opts, hk, stats); err != nil {
+			return nil, stats, err
+		}
+	}
+	results := hk.sorted()
+	stats.OtherTime = time.Since(start) - stats.SemanticTime
+	return results, stats, nil
+}
+
+func (e *Engine) bspLoop(pq *prepQuery, opts Options, hk *topK, stats *Stats) error {
+	s := newSearcher(e, pq, stats, opts.CollectTrees)
+	deadline := deadlineFor(opts)
+	br, err := e.source(pq.loc.Loc, opts)
+	if err != nil {
+		return err
+	}
+	defer func() { stats.RTreeNodeAccesses += br.Accesses() }()
+
+	for i := 0; ; i++ {
+		it, dist, ok := br.Next()
+		if !ok {
+			return nil
+		}
+		// The stream is distance-ordered, so the radius cap is a
+		// termination condition.
+		if opts.MaxDist > 0 && dist > opts.MaxDist {
+			return nil
+		}
+		// Termination (Algorithm 1 line 7): no remaining place can beat
+		// the kth candidate, since f(L, S) >= f(1, S) and S only grows.
+		if e.Rank.MinScore(dist) >= hk.theta() {
+			return nil
+		}
+		stats.PlacesRetrieved++
+		if i%64 == 0 && expired(deadline) {
+			stats.TimedOut = true
+			return nil
+		}
+
+		semStart := time.Now()
+		loose, tree := s.getSemanticPlace(it.ID, math.Inf(1))
+		stats.SemanticTime += time.Since(semStart)
+		if math.IsInf(loose, 1) {
+			continue
+		}
+		f := e.Rank.Score(loose, dist)
+		if f < hk.theta() {
+			hk.add(Result{Place: it.ID, Looseness: loose, Dist: dist, Score: f, Tree: tree})
+		}
+	}
+}

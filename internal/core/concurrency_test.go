@@ -1,0 +1,74 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"ksp/internal/gen"
+	"ksp/internal/rdf"
+)
+
+// Engines are read-only after construction; concurrent queries (all four
+// algorithms at once, from many goroutines) must race-free produce the
+// same answers as a serial run. Run with -race to verify.
+func TestConcurrentQueries(t *testing.T) {
+	g := gen.Generate(gen.DBpediaConfig(1200, 303))
+	qg := gen.NewQueryGen(g, rdf.Outgoing, 304)
+	e := NewEngine(g, rdf.Outgoing)
+	e.EnableReach()
+	e.EnableAlpha(3)
+
+	type job struct {
+		q    Query
+		want []Result
+	}
+	jobs := make([]job, 6)
+	for i := range jobs {
+		loc, kws := qg.Original(3)
+		q := Query{Loc: loc, Keywords: kws, K: 4}
+		want, _, err := e.SP(q, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs[i] = job{q: q, want: want}
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, len(jobs)*4*4)
+	for rep := 0; rep < 4; rep++ {
+		for _, j := range jobs {
+			for _, a := range allAlgos {
+				wg.Add(1)
+				go func(j job, a algo) {
+					defer wg.Done()
+					got, _, err := a.run(e, j.q, Options{})
+					if err != nil {
+						errs <- err
+						return
+					}
+					if len(got) != len(j.want) {
+						errs <- errMismatch
+						return
+					}
+					for i := range got {
+						if got[i].Place != j.want[i].Place {
+							errs <- errMismatch
+							return
+						}
+					}
+				}(j, a)
+			}
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+var errMismatch = &mismatchError{}
+
+type mismatchError struct{}
+
+func (*mismatchError) Error() string { return "concurrent result mismatch" }

@@ -1,0 +1,290 @@
+package core
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"math/bits"
+	"sort"
+	"time"
+
+	"ksp/internal/alpha"
+	"ksp/internal/geo"
+	"ksp/internal/grid"
+	"ksp/internal/invindex"
+	"ksp/internal/rdf"
+	"ksp/internal/reach"
+	"ksp/internal/rtree"
+)
+
+// MaxKeywords bounds |q.ψ|; keyword coverage is tracked in a 64-bit mask.
+const MaxKeywords = 64
+
+// Engine evaluates kSP queries over one dataset. All fields are read-only
+// after construction, so an Engine is safe for concurrent queries.
+type Engine struct {
+	G    *rdf.Graph
+	Tree *rtree.RTree
+	Doc  invindex.Index
+	// Reach enables Pruning Rule 1 (required by SPP and used by SP).
+	Reach *reach.KeywordIndex
+	// Alpha enables the α-radius bounds (required by SP).
+	Alpha *alpha.Index
+	// Grid is an optional alternative spatial source for BSP/SPP
+	// (Options.UseGrid); kSP evaluation is orthogonal to the spatial
+	// index (Section 7 of the paper), and this makes the claim testable.
+	Grid *grid.Grid
+	Dir  rdf.Direction
+	Rank Ranking
+}
+
+// spatialSource abstracts GETNEXT: an incremental nearest-place stream.
+// Both the R-tree browser and the grid browser satisfy it.
+type spatialSource interface {
+	Next() (rtree.Item, float64, bool)
+	Accesses() int64
+}
+
+// source opens the spatial stream chosen by opts.
+func (e *Engine) source(q geo.Point, opts Options) (spatialSource, error) {
+	if opts.UseGrid {
+		if e.Grid == nil {
+			return nil, fmt.Errorf("core: Options.UseGrid requires EnableGrid")
+		}
+		return e.Grid.NewBrowser(q), nil
+	}
+	return e.Tree.NewBrowser(q), nil
+}
+
+// EnableGrid builds the uniform-grid spatial source over the places.
+func (e *Engine) EnableGrid(cellsPerAxis int) {
+	places := e.G.Places()
+	items := make([]grid.Item, len(places))
+	for i, p := range places {
+		items[i] = grid.Item{ID: p, Loc: e.G.Loc(p)}
+	}
+	e.Grid = grid.New(items, cellsPerAxis)
+}
+
+// NewEngine assembles an engine with the mandatory structures of
+// Section 3: the STR-bulk-loaded R-tree over the place vertices and the
+// document inverted index. Reachability and α-radius indexes are added
+// with EnableReach / EnableAlpha.
+func NewEngine(g *rdf.Graph, dir rdf.Direction) *Engine {
+	places := g.Places()
+	items := make([]rtree.Item, len(places))
+	for i, p := range places {
+		items[i] = rtree.Item{ID: p, Loc: g.Loc(p)}
+	}
+	return &Engine{
+		G:    g,
+		Tree: rtree.Bulk(items, rtree.DefaultMaxEntries),
+		Doc:  invindex.FromGraph(g),
+		Dir:  dir,
+		Rank: ProductRanking{},
+	}
+}
+
+// EnableReach builds the keyword reachability index (Section 4.1).
+func (e *Engine) EnableReach() {
+	e.Reach = reach.NewKeywordIndex(e.G, e.Dir)
+}
+
+// UseDiskDocIndex spills the document inverted index to path and serves
+// posting lists from disk per query — the paper's production setting
+// ("we choose to follow the setting of commercial search engines, where
+// the inverted index is disk-resident"). The caller owns the file's
+// lifetime; Close the returned index when the engine is discarded.
+func (e *Engine) UseDiskDocIndex(path string) (*invindex.DiskIndex, error) {
+	mem, ok := e.Doc.(*invindex.MemIndex)
+	if !ok {
+		return nil, fmt.Errorf("core: document index already replaced")
+	}
+	if err := mem.WriteFile(path); err != nil {
+		return nil, err
+	}
+	disk, err := invindex.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	e.Doc = disk
+	return disk, nil
+}
+
+// EnableAlpha builds the α-radius word neighbourhoods (Section 5).
+func (e *Engine) EnableAlpha(alphaRadius int) {
+	e.Alpha = alpha.Build(e.G, e.Tree, alphaRadius, e.Dir)
+}
+
+// SetAlpha installs a prebuilt α-radius index, e.g. one restored from a
+// snapshot. The index's node postings must have been built against an
+// R-tree identical to this engine's (same places, same STR bulk loading,
+// same fanout) so that node IDs line up; internal/store guarantees this.
+func (e *Engine) SetAlpha(ix *alpha.Index) { e.Alpha = ix }
+
+// WithAlpha returns a shallow copy of the engine using a freshly built
+// α-radius index with a different radius. All other (immutable) indexes
+// are shared — this is how the α-sweep experiment (Figure 6) avoids
+// rebuilding the R-tree, document index and reachability labels per α.
+func (e *Engine) WithAlpha(alphaRadius int) *Engine {
+	clone := *e
+	clone.Alpha = alpha.Build(e.G, e.Tree, alphaRadius, e.Dir)
+	return &clone
+}
+
+// prepQuery is a resolved query: deduped keyword term IDs ordered by
+// ascending document frequency (the paper prioritizes infrequent keywords
+// in Rule 1), the map Mq.ψ from vertices to keyword masks, and the raw
+// posting lists.
+type prepQuery struct {
+	loc      Query
+	terms    []uint32
+	postings [][]invindex.Posting
+	mq       map[uint32]uint64
+	full     uint64
+	// answerable is false when some keyword is absent from every document;
+	// no qualified semantic place can exist then.
+	answerable bool
+}
+
+var errTooManyKeywords = fmt.Errorf("core: more than %d query keywords", MaxKeywords)
+
+// prepare resolves keywords and builds Mq.ψ (Table 2 of the paper).
+// Keywords pass through the graph's text analyzer, so they normalize
+// exactly like the indexed documents (lower-casing, optional stopword
+// removal and stemming); a keyword producing several tokens contributes
+// each as a query keyword, and a keyword consisting only of stopwords is
+// vacuously covered.
+func (e *Engine) prepare(q Query) (*prepQuery, error) {
+	pq := &prepQuery{loc: q, mq: make(map[uint32]uint64), answerable: true}
+	seen := make(map[uint32]bool)
+	for _, kw := range q.Keywords {
+		for _, tok := range e.G.Analyze(kw) {
+			id, ok := e.G.Vocab.Lookup(tok)
+			if !ok {
+				pq.answerable = false
+				continue
+			}
+			if seen[id] {
+				continue
+			}
+			seen[id] = true
+			pq.terms = append(pq.terms, id)
+		}
+	}
+	if len(pq.terms) > MaxKeywords {
+		return nil, errTooManyKeywords
+	}
+	if !pq.answerable {
+		return pq, nil
+	}
+	pq.postings = make([][]invindex.Posting, len(pq.terms))
+	for i, t := range pq.terms {
+		pl, err := e.Doc.Postings(t, nil)
+		if err != nil {
+			return nil, err
+		}
+		if len(pl) == 0 {
+			pq.answerable = false
+		}
+		pq.postings[i] = pl
+	}
+	if !pq.answerable {
+		return pq, nil
+	}
+	// Infrequent keywords first: cheapest Rule 1 rejections come first.
+	order := make([]int, len(pq.terms))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool { return len(pq.postings[order[a]]) < len(pq.postings[order[b]]) })
+	terms := make([]uint32, len(order))
+	posts := make([][]invindex.Posting, len(order))
+	for i, o := range order {
+		terms[i] = pq.terms[o]
+		posts[i] = pq.postings[o]
+	}
+	pq.terms, pq.postings = terms, posts
+
+	pq.full = (uint64(1) << uint(len(pq.terms))) - 1
+	for i, pl := range pq.postings {
+		bit := uint64(1) << uint(i)
+		for _, p := range pl {
+			pq.mq[p.ID] |= bit
+		}
+	}
+	return pq, nil
+}
+
+// numKeywords returns m = |q.ψ| after dedup/resolution.
+func (pq *prepQuery) numKeywords() int { return len(pq.terms) }
+
+// topK maintains the result queue Hk: a worst-first heap capped at k.
+type topK struct {
+	k     int
+	items resultHeap
+}
+
+type resultHeap []Result
+
+func (h resultHeap) Len() int { return len(h) }
+func (h resultHeap) Less(i, j int) bool { // worst (to evict) at the top
+	if h[i].Score != h[j].Score {
+		return h[i].Score > h[j].Score
+	}
+	return h[i].Place > h[j].Place
+}
+func (h resultHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *resultHeap) Push(x interface{}) { *h = append(*h, x.(Result)) }
+func (h *resultHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	r := old[n-1]
+	*h = old[:n-1]
+	return r
+}
+
+func newTopK(k int) *topK { return &topK{k: k} }
+
+// theta returns the ranking score of the kth candidate, +Inf while fewer
+// than k candidates exist.
+func (t *topK) theta() float64 {
+	if len(t.items) < t.k {
+		return math.Inf(1)
+	}
+	return t.items[0].Score
+}
+
+// add inserts r, evicting the worst candidate beyond k.
+func (t *topK) add(r Result) {
+	heap.Push(&t.items, r)
+	if len(t.items) > t.k {
+		heap.Pop(&t.items)
+	}
+}
+
+// sorted returns the candidates by ascending score (ties by place ID).
+func (t *topK) sorted() []Result {
+	out := append([]Result(nil), t.items...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score < out[j].Score
+		}
+		return out[i].Place < out[j].Place
+	})
+	return out
+}
+
+// deadlineFor converts Options.Deadline to an absolute time (zero = none).
+func deadlineFor(opts Options) time.Time {
+	if opts.Deadline <= 0 {
+		return time.Time{}
+	}
+	return time.Now().Add(opts.Deadline)
+}
+
+func expired(deadline time.Time) bool {
+	return !deadline.IsZero() && time.Now().After(deadline)
+}
+
+func popcount(x uint64) int { return bits.OnesCount64(x) }

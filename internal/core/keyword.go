@@ -1,0 +1,40 @@
+package core
+
+import (
+	"time"
+)
+
+// KeywordTopK answers a pure (location-free) RDF keyword query: the top-k
+// places whose TQSPs have the smallest looseness, ties broken by place
+// ID. This is the bottom-up keyword-search model the paper builds on
+// ([43], BLINKS [31]) restricted to place roots — useful on its own, and
+// the looseness-ordered stream inside it is the same machinery TA
+// consumes.
+func (e *Engine) KeywordTopK(keywords []string, k int, opts Options) ([]Result, *Stats, error) {
+	start := time.Now()
+	stats := &Stats{}
+	pq, err := e.prepare(Query{Keywords: keywords, K: k})
+	if err != nil {
+		return nil, stats, err
+	}
+	var out []Result
+	if pq.answerable && k > 0 {
+		deadline := deadlineFor(opts)
+		semStart := time.Now()
+		ls := newLooseStream(e, pq, stats)
+		for len(out) < k {
+			p, loose, ok := ls.next()
+			if !ok {
+				break
+			}
+			out = append(out, Result{Place: p, Looseness: loose, Score: loose})
+			if expired(deadline) {
+				stats.TimedOut = true
+				break
+			}
+		}
+		stats.SemanticTime = time.Since(semStart)
+	}
+	stats.OtherTime = time.Since(start) - stats.SemanticTime
+	return out, stats, nil
+}

@@ -1,0 +1,87 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"ksp/internal/gen"
+	"ksp/internal/rdf"
+)
+
+// The looseness stream behind TA and KeywordTopK must enumerate exactly
+// the qualified places, each once, in non-decreasing looseness, with the
+// same looseness Algorithm 2 computes.
+func TestLooseStreamCompleteAndOrdered(t *testing.T) {
+	g := gen.Generate(gen.YagoConfig(1200, 901))
+	qg := gen.NewQueryGen(g, rdf.Outgoing, 902)
+	e := NewEngine(g, rdf.Outgoing)
+	for trial := 0; trial < 6; trial++ {
+		_, kws := qg.Original(1 + trial%4)
+		pq, err := e.prepare(Query{Keywords: kws})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !pq.answerable {
+			continue
+		}
+		stats := &Stats{}
+		ls := newLooseStream(e, pq, stats)
+		got := map[uint32]float64{}
+		prev := math.Inf(-1)
+		for {
+			p, loose, ok := ls.next()
+			if !ok {
+				break
+			}
+			if loose < prev {
+				t.Fatalf("trial %d: stream not ordered: %v after %v", trial, loose, prev)
+			}
+			prev = loose
+			if _, dup := got[p]; dup {
+				t.Fatalf("trial %d: place %d emitted twice", trial, p)
+			}
+			got[p] = loose
+		}
+
+		// Reference: Algorithm 2 looseness per place.
+		s := newSearcher(e, pq, &Stats{}, false)
+		for _, p := range g.Places() {
+			want, _ := s.getSemanticPlace(p, math.Inf(1))
+			if math.IsInf(want, 1) {
+				if _, ok := got[p]; ok {
+					t.Fatalf("trial %d: unqualified place %d emitted", trial, p)
+				}
+				continue
+			}
+			loose, ok := got[p]
+			if !ok {
+				t.Fatalf("trial %d: qualified place %d missing from stream", trial, p)
+			}
+			if loose != want {
+				t.Fatalf("trial %d: place %d stream L=%v, Algorithm 2 L=%v", trial, p, loose, want)
+			}
+		}
+	}
+}
+
+// A keyword occurring at the place itself yields the stream's minimum
+// possible looseness of 1 and is emitted in round zero.
+func TestLooseStreamSelfCover(t *testing.T) {
+	b := rdf.NewBuilder()
+	p := b.AddBareVertex("p")
+	b.AddTermID(p, b.Vocab.ID("here"))
+	b.SetLocation(p, rdfPoint())
+	e := NewEngine(b.Build(), rdf.Outgoing)
+	pq, err := e.prepare(Query{Keywords: []string{"here"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls := newLooseStream(e, pq, &Stats{})
+	got, loose, ok := ls.next()
+	if !ok || got != p || loose != 1 {
+		t.Fatalf("next = %d, %v, %v", got, loose, ok)
+	}
+	if _, _, ok := ls.next(); ok {
+		t.Fatal("stream should be exhausted")
+	}
+}

@@ -1,0 +1,70 @@
+// Package core implements the kSP query processing algorithms of the
+// paper: the basic method BSP (Section 3), SPP with unqualified-place and
+// dynamic-bound pruning (Section 4), SP with α-radius bounds over places
+// and R-tree nodes (Section 5), and the TA hybrid baseline the evaluation
+// compares against (Section 6.2.6).
+package core
+
+import "math"
+
+// Ranking is the monotone aggregate f(L(Tp), S(q,p)) of Definition 3. The
+// paper's algorithms are independent of the choice of f as long as the
+// termination and threshold computations are adjusted; this interface
+// carries exactly those two adjustments.
+type Ranking interface {
+	// Score evaluates f(L, S).
+	Score(loose, dist float64) float64
+	// MinScore returns the best possible score of any tree rooted at
+	// spatial distance dist, using L >= 1 (the looseness floor guaranteed
+	// by Definition 2). BSP's termination test (Algorithm 1 line 7) breaks
+	// when MinScore(dist) >= theta.
+	MinScore(dist float64) float64
+	// LoosenessThreshold inverts f for a fixed distance: the largest Lw
+	// such that any tree with L >= Lw at distance dist scores >= theta
+	// (Definition 4). Pruning Rule 2 aborts TQSP construction when the
+	// dynamic bound reaches this value.
+	LoosenessThreshold(theta, dist float64) float64
+}
+
+// ProductRanking is Equation 2, f = L × S: parameterless, the paper's
+// default throughout the evaluation.
+type ProductRanking struct{}
+
+// Score implements Ranking.
+func (ProductRanking) Score(loose, dist float64) float64 { return loose * dist }
+
+// MinScore implements Ranking: with L >= 1, f >= S.
+func (ProductRanking) MinScore(dist float64) float64 { return dist }
+
+// LoosenessThreshold implements Ranking: Lw = θ / S (Definition 4). For
+// S = 0 the place is at the query location and can never be pruned by
+// looseness alone (its score is 0 regardless), so the threshold is +Inf.
+func (ProductRanking) LoosenessThreshold(theta, dist float64) float64 {
+	if dist == 0 {
+		return math.Inf(1)
+	}
+	return theta / dist
+}
+
+// WeightedSumRanking is Equation 1, f = β·L + (1-β)·S.
+type WeightedSumRanking struct {
+	Beta float64
+}
+
+// Score implements Ranking.
+func (r WeightedSumRanking) Score(loose, dist float64) float64 {
+	return r.Beta*loose + (1-r.Beta)*dist
+}
+
+// MinScore implements Ranking.
+func (r WeightedSumRanking) MinScore(dist float64) float64 {
+	return r.Beta*1 + (1-r.Beta)*dist
+}
+
+// LoosenessThreshold implements Ranking: Lw = (θ - (1-β)·S) / β.
+func (r WeightedSumRanking) LoosenessThreshold(theta, dist float64) float64 {
+	if r.Beta == 0 {
+		return math.Inf(1)
+	}
+	return (theta - (1-r.Beta)*dist) / r.Beta
+}

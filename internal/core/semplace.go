@@ -1,0 +1,187 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"ksp/internal/rdf"
+)
+
+// searcher carries the per-query scratch of the TQSP constructions: the
+// epoch-stamped visited array lets thousands of BFS runs share one
+// allocation, and parent links are tracked only when trees are collected.
+type searcher struct {
+	e       *Engine
+	pq      *prepQuery
+	stats   *Stats
+	collect bool
+
+	visited []uint32
+	epoch   uint32
+	queue   []bfsEnt
+	parent  []uint32
+}
+
+type bfsEnt struct {
+	v    uint32
+	dist int32
+}
+
+func newSearcher(e *Engine, pq *prepQuery, stats *Stats, collect bool) *searcher {
+	s := &searcher{
+		e:       e,
+		pq:      pq,
+		stats:   stats,
+		collect: collect,
+		visited: make([]uint32, e.G.NumVertices()),
+	}
+	if collect {
+		s.parent = make([]uint32, e.G.NumVertices())
+	}
+	return s
+}
+
+// getSemanticPlace constructs the TQSP rooted at p (Algorithm 2) and, when
+// lw is finite, applies the dynamic-bound abort of Pruning Rule 2
+// (Algorithm 3): as soon as LB(Tp) = 1 + Σfound + d(p,v)·|B| reaches the
+// looseness threshold lw, construction stops.
+//
+// It returns the looseness (or +Inf when no qualified semantic place is
+// rooted at p, or when Rule 2 fired) and, if requested, the materialized
+// tree.
+func (s *searcher) getSemanticPlace(p uint32, lw float64) (float64, *Tree) {
+	s.stats.TQSPComputations++
+	g := s.e.G
+	dir := s.e.Dir
+
+	s.epoch++
+	if s.epoch == 0 {
+		for i := range s.visited {
+			s.visited[i] = 0
+		}
+		s.epoch = 1
+	}
+
+	b := s.pq.full // undiscovered keywords
+	foundSum := 0.0
+	var matched []matchRec
+
+	q := s.queue[:0]
+	q = append(q, bfsEnt{v: p, dist: 0})
+	s.visited[p] = s.epoch
+	if s.collect {
+		s.parent[p] = p
+	}
+
+	for head := 0; head < len(q) && b != 0; head++ {
+		cur := q[head]
+		s.stats.BFSVertexVisits++
+
+		// Pruning Rule 2 (Lemma 1): every undiscovered keyword lies at
+		// distance >= d(p, cur).
+		lb := 1 + foundSum + float64(cur.dist)*float64(popcount(b))
+		if lb >= lw {
+			s.stats.PrunedDynamicBound++
+			s.queue = q
+			return math.Inf(1), nil
+		}
+
+		if mask := s.pq.mq[cur.v] & b; mask != 0 {
+			foundSum += float64(popcount(mask)) * float64(cur.dist)
+			b &^= mask
+			if s.collect {
+				matched = append(matched, matchRec{v: cur.v, mask: mask})
+			}
+			if b == 0 {
+				break
+			}
+		}
+
+		push := func(w uint32) {
+			if s.visited[w] != s.epoch {
+				s.visited[w] = s.epoch
+				if s.collect {
+					s.parent[w] = cur.v
+				}
+				q = append(q, bfsEnt{v: w, dist: cur.dist + 1})
+			}
+		}
+		if dir == rdf.Outgoing || dir == rdf.Undirected {
+			for _, w := range g.Out(cur.v) {
+				push(w)
+			}
+		}
+		if dir == rdf.Incoming || dir == rdf.Undirected {
+			for _, w := range g.In(cur.v) {
+				push(w)
+			}
+		}
+	}
+	s.queue = q
+
+	if b != 0 {
+		return math.Inf(1), nil
+	}
+	loose := 1 + foundSum
+	if !s.collect {
+		return loose, nil
+	}
+	return loose, s.buildTree(p, matched)
+}
+
+type matchRec struct {
+	v    uint32
+	mask uint64
+}
+
+// buildTree materializes the TQSP as the union of root-to-match paths.
+func (s *searcher) buildTree(root uint32, matched []matchRec) *Tree {
+	type info struct {
+		depth   int
+		matched []int
+	}
+	nodes := make(map[uint32]*info)
+	var addPath func(v uint32) int
+	addPath = func(v uint32) int {
+		if ni, ok := nodes[v]; ok {
+			return ni.depth
+		}
+		if v == root {
+			nodes[v] = &info{depth: 0}
+			return 0
+		}
+		d := addPath(s.parent[v]) + 1
+		nodes[v] = &info{depth: d}
+		return d
+	}
+	addPath(root)
+	for _, m := range matched {
+		addPath(m.v)
+		for i := 0; i < s.pq.numKeywords(); i++ {
+			if m.mask&(1<<uint(i)) != 0 {
+				nodes[m.v].matched = append(nodes[m.v].matched, i)
+			}
+		}
+	}
+	t := &Tree{Root: root}
+	// Emit in BFS order: depth, then vertex ID for determinism.
+	order := make([]uint32, 0, len(nodes))
+	for v := range nodes {
+		order = append(order, v)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		a, b := order[i], order[j]
+		if nodes[a].depth != nodes[b].depth {
+			return nodes[a].depth < nodes[b].depth
+		}
+		return a < b
+	})
+	for _, v := range order {
+		parent := s.parent[v]
+		if v == root {
+			parent = root
+		}
+		t.Nodes = append(t.Nodes, TreeNode{V: v, Parent: parent, Depth: nodes[v].depth, Matched: nodes[v].matched})
+	}
+	return t
+}

@@ -1,0 +1,160 @@
+package core
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+
+	"ksp/internal/rtree"
+)
+
+// SP evaluates q with the full Semantic Place retrieval algorithm
+// (Algorithm 4): R-tree entries — places and nodes alike — are processed
+// in ascending order of their α-bounds on the ranking score (Lemmas 3 and
+// 5) instead of pure spatial distance; entries whose bound reaches θ are
+// pruned (Pruning Rules 3 and 4); surviving places still pass through
+// Pruning Rules 1 and 2. Requires EnableAlpha (and EnableReach for
+// Rule 1).
+func (e *Engine) SP(q Query, opts Options) ([]Result, *Stats, error) {
+	start := time.Now()
+	stats := &Stats{}
+	if e.Alpha == nil {
+		return nil, stats, fmt.Errorf("core: SP requires the α-radius index (EnableAlpha)")
+	}
+	pq, err := e.prepare(q)
+	if err != nil {
+		return nil, stats, err
+	}
+	hk := newTopK(q.K)
+	if pq.answerable && q.K > 0 {
+		if err := e.spLoop(pq, opts, hk, stats); err != nil {
+			return nil, stats, err
+		}
+	}
+	results := hk.sorted()
+	stats.OtherTime = time.Since(start) - stats.SemanticTime
+	return results, stats, nil
+}
+
+// spEntry is a queue element: an R-tree node or a place, keyed by its
+// α-bound on the ranking score.
+type spEntry struct {
+	bound float64
+	dist  float64
+	node  *rtree.Node // nil for places
+	place uint32
+}
+
+type spHeap []spEntry
+
+func (h spHeap) Len() int { return len(h) }
+func (h spHeap) Less(i, j int) bool {
+	if h[i].bound != h[j].bound {
+		return h[i].bound < h[j].bound
+	}
+	// Deterministic tie-break: places before nodes, then by ID.
+	ni, nj := h[i].node, h[j].node
+	if (ni == nil) != (nj == nil) {
+		return ni == nil
+	}
+	if ni == nil {
+		return h[i].place < h[j].place
+	}
+	return ni.ID < nj.ID
+}
+func (h spHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *spHeap) Push(x interface{}) { *h = append(*h, x.(spEntry)) }
+func (h *spHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+func (e *Engine) spLoop(pq *prepQuery, opts Options, hk *topK, stats *Stats) error {
+	qv, err := e.Alpha.LoadQuery(pq.terms)
+	if err != nil {
+		return err
+	}
+	s := newSearcher(e, pq, stats, opts.CollectTrees)
+	deadline := deadlineFor(opts)
+	qloc := pq.loc.Loc
+
+	var pqueue spHeap
+	if e.Tree.Len() > 0 {
+		root := e.Tree.Root()
+		d := root.Rect.MinDist(qloc)
+		pqueue = append(pqueue, spEntry{bound: e.Rank.Score(qv.NodeBound(root.ID), d), dist: d, node: root})
+	}
+	heap.Init(&pqueue)
+
+	for i := 0; pqueue.Len() > 0; i++ {
+		ent := heap.Pop(&pqueue).(spEntry)
+		// Termination (Algorithm 4 line 9): every remaining entry's bound
+		// is at least ent.bound.
+		if ent.bound >= hk.theta() {
+			return nil
+		}
+		if i%64 == 0 && expired(deadline) {
+			stats.TimedOut = true
+			return nil
+		}
+
+		if ent.node == nil {
+			stats.PlacesRetrieved++
+			if e.Reach != nil && !opts.NoRule1 && e.unqualified(ent.place, pq, stats) {
+				continue
+			}
+			lw := math.Inf(1)
+			if !opts.NoRule2 {
+				lw = e.Rank.LoosenessThreshold(hk.theta(), ent.dist)
+			}
+			semStart := time.Now()
+			loose, tree := s.getSemanticPlace(ent.place, lw)
+			stats.SemanticTime += time.Since(semStart)
+			if math.IsInf(loose, 1) {
+				continue
+			}
+			f := e.Rank.Score(loose, ent.dist)
+			if f < hk.theta() {
+				hk.add(Result{Place: ent.place, Looseness: loose, Dist: ent.dist, Score: f, Tree: tree})
+			}
+			continue
+		}
+
+		// Node: expand children under Pruning Rules 3 and 4.
+		stats.RTreeNodeAccesses++
+		n := ent.node
+		theta := hk.theta()
+		if n.Leaf {
+			for _, it := range n.Items {
+				d := qloc.Dist(it.Loc)
+				if opts.MaxDist > 0 && d > opts.MaxDist {
+					continue // outside the query radius
+				}
+				fb := e.Rank.Score(qv.PlaceBound(it.ID), d)
+				if fb < theta {
+					heap.Push(&pqueue, spEntry{bound: fb, dist: d, place: it.ID})
+				} else {
+					stats.PrunedAlphaPlaces++ // Pruning Rule 3
+				}
+			}
+		} else {
+			for _, ch := range n.Children {
+				d := ch.Rect.MinDist(qloc)
+				if opts.MaxDist > 0 && d > opts.MaxDist {
+					continue // whole subtree outside the radius
+				}
+				fb := e.Rank.Score(qv.NodeBound(ch.ID), d)
+				if fb < theta {
+					heap.Push(&pqueue, spEntry{bound: fb, dist: d, node: ch})
+				} else {
+					stats.PrunedAlphaNodes++ // Pruning Rule 4
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// SPP evaluates q with Semantic Place retrieval with Pruning (Section 4):
+// BSP plus Pruning Rule 1 (unqualified places are rejected by reachability
+// queries before any TQSP construction) and Pruning Rule 2 (TQSP
+// construction aborts once its dynamic looseness lower bound reaches the
+// threshold Lw = f⁻¹(θ; S)). Requires EnableReach.
+func (e *Engine) SPP(q Query, opts Options) ([]Result, *Stats, error) {
+	start := time.Now()
+	stats := &Stats{}
+	if e.Reach == nil {
+		return nil, stats, fmt.Errorf("core: SPP requires the reachability index (EnableReach)")
+	}
+	pq, err := e.prepare(q)
+	if err != nil {
+		return nil, stats, err
+	}
+	hk := newTopK(q.K)
+	if pq.answerable && q.K > 0 {
+		if err := e.sppLoop(pq, opts, hk, stats); err != nil {
+			return nil, stats, err
+		}
+	}
+	results := hk.sorted()
+	stats.OtherTime = time.Since(start) - stats.SemanticTime
+	return results, stats, nil
+}
+
+func (e *Engine) sppLoop(pq *prepQuery, opts Options, hk *topK, stats *Stats) error {
+	s := newSearcher(e, pq, stats, opts.CollectTrees)
+	deadline := deadlineFor(opts)
+	br, err := e.source(pq.loc.Loc, opts)
+	if err != nil {
+		return err
+	}
+	defer func() { stats.RTreeNodeAccesses += br.Accesses() }()
+
+	for i := 0; ; i++ {
+		it, dist, ok := br.Next()
+		if !ok {
+			return nil
+		}
+		if opts.MaxDist > 0 && dist > opts.MaxDist {
+			return nil
+		}
+		if e.Rank.MinScore(dist) >= hk.theta() {
+			return nil
+		}
+		stats.PlacesRetrieved++
+		if i%64 == 0 && expired(deadline) {
+			stats.TimedOut = true
+			return nil
+		}
+
+		if !opts.NoRule1 && e.unqualified(it.ID, pq, stats) { // Pruning Rule 1
+			continue
+		}
+
+		// Pruning Rule 2 via the looseness threshold of Definition 4.
+		lw := math.Inf(1)
+		if !opts.NoRule2 {
+			lw = e.Rank.LoosenessThreshold(hk.theta(), dist)
+		}
+		semStart := time.Now()
+		loose, tree := s.getSemanticPlace(it.ID, lw)
+		stats.SemanticTime += time.Since(semStart)
+		if math.IsInf(loose, 1) {
+			continue
+		}
+		// With Rule 2 active any surviving place beats the current kth
+		// candidate (its looseness is below Lw) — the guard below only
+		// matters for the NoRule2 ablation.
+		if f := e.Rank.Score(loose, dist); f < hk.theta() {
+			hk.add(Result{Place: it.ID, Looseness: loose, Dist: dist, Score: f, Tree: tree})
+		}
+	}
+}
+
+// unqualified applies Pruning Rule 1: the place is discarded when some
+// query keyword is unreachable from it. Keywords are probed in ascending
+// document frequency — infrequent keywords reject fastest.
+func (e *Engine) unqualified(p uint32, pq *prepQuery, stats *Stats) bool {
+	for _, t := range pq.terms {
+		stats.ReachQueries++
+		if !e.Reach.CanReach(p, t) {
+			stats.PrunedUnqualified++
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,204 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"ksp/internal/rdf"
+)
+
+// TQSPSet implements option (2) of the paper's footnote 2: instead of
+// breaking ties arbitrarily, return the set of ALL tightest qualified
+// semantic places rooted at p — every tree achieving the minimum
+// looseness. Trees are distinct when their vertex sets differ; at most
+// limit trees are produced (the combination space can be exponential).
+//
+// The minimum looseness is returned alongside; it is +Inf (with no trees)
+// when p is unqualified for the keywords.
+func (e *Engine) TQSPSet(p uint32, keywords []string, limit int) ([]*Tree, float64, error) {
+	if int(p) >= e.G.NumVertices() {
+		return nil, 0, fmt.Errorf("core: vertex %d out of range", p)
+	}
+	pq, err := e.prepare(Query{Keywords: keywords})
+	if err != nil {
+		return nil, 0, err
+	}
+	if !pq.answerable {
+		return nil, math.Inf(1), nil
+	}
+	if limit <= 0 {
+		limit = 1
+	}
+	m := pq.numKeywords()
+	if m == 0 {
+		return []*Tree{{Root: p, Nodes: []TreeNode{{V: p, Parent: p}}}}, 1, nil
+	}
+
+	// BFS recording, per vertex, its distance and ALL shortest-path
+	// parents. Unlike Algorithm 2 the search runs each level to
+	// completion so that every minimum-distance match is collected.
+	g := e.G
+	dist := map[uint32]int32{p: 0}
+	parents := map[uint32][]uint32{}
+	frontier := []uint32{p}
+	minDist := make([]int32, m)
+	matches := make([][]uint32, m)
+	for i := range minDist {
+		minDist[i] = -1
+	}
+	remaining := m
+	level := int32(0)
+	scan := func(v uint32) {
+		mask := pq.mq[v]
+		for i := 0; i < m; i++ {
+			if mask&(1<<uint(i)) == 0 {
+				continue
+			}
+			switch {
+			case minDist[i] == -1:
+				minDist[i] = level
+				matches[i] = append(matches[i], v)
+				remaining--
+			case minDist[i] == level:
+				matches[i] = append(matches[i], v)
+			}
+		}
+	}
+	scan(p)
+	for remaining > 0 && len(frontier) > 0 {
+		level++
+		var next []uint32
+		for _, v := range frontier {
+			expand := func(w uint32) {
+				if d, seen := dist[w]; seen {
+					if d == level {
+						parents[w] = append(parents[w], v)
+					}
+					return
+				}
+				dist[w] = level
+				parents[w] = append(parents[w], v)
+				next = append(next, w)
+			}
+			if e.Dir == rdf.Outgoing || e.Dir == rdf.Undirected {
+				for _, w := range g.Out(v) {
+					expand(w)
+				}
+			}
+			if e.Dir == rdf.Incoming || e.Dir == rdf.Undirected {
+				for _, w := range g.In(v) {
+					expand(w)
+				}
+			}
+		}
+		for _, w := range next {
+			scan(w)
+		}
+		frontier = next
+	}
+	if remaining > 0 {
+		return nil, math.Inf(1), nil
+	}
+	loose := 1.0
+	for i := 0; i < m; i++ {
+		loose += float64(minDist[i])
+	}
+
+	// Enumerate trees: per keyword choose a match vertex and one of its
+	// shortest paths; the union of chosen paths is the tree. Distinct
+	// vertex sets are kept, up to limit.
+	en := &treeEnum{
+		root:    p,
+		m:       m,
+		matches: matches,
+		parents: parents,
+		dist:    dist,
+		limit:   limit,
+		seen:    map[string]bool{},
+	}
+	en.enumerate(0, map[uint32]uint32{p: p})
+	trees := en.out
+	sort.Slice(trees, func(i, j int) bool { return len(trees[i].Nodes) < len(trees[j].Nodes) })
+	return trees, loose, nil
+}
+
+// treeEnum carries the recursive enumeration state.
+type treeEnum struct {
+	root    uint32
+	m       int
+	matches [][]uint32
+	parents map[uint32][]uint32
+	dist    map[uint32]int32
+	limit   int
+	seen    map[string]bool
+	out     []*Tree
+}
+
+// enumerate assigns keyword kw a match vertex and path, accumulating the
+// chosen tree edges in chosen (vertex -> its parent in the tree).
+func (en *treeEnum) enumerate(kw int, chosen map[uint32]uint32) {
+	if len(en.out) >= en.limit {
+		return
+	}
+	if kw == en.m {
+		en.emit(chosen)
+		return
+	}
+	for _, v := range en.matches[kw] {
+		en.paths(v, chosen, func(withPath map[uint32]uint32) {
+			en.enumerate(kw+1, withPath)
+		})
+		if len(en.out) >= en.limit {
+			return
+		}
+	}
+}
+
+// paths extends chosen with every shortest path from the root to v,
+// invoking then for each extension. If v is already in the tree the
+// single no-op extension is used.
+func (en *treeEnum) paths(v uint32, chosen map[uint32]uint32, then func(map[uint32]uint32)) {
+	if _, ok := chosen[v]; ok {
+		then(chosen)
+		return
+	}
+	for _, parent := range en.parents[v] {
+		en.paths(parent, chosen, func(withParent map[uint32]uint32) {
+			ext := make(map[uint32]uint32, len(withParent)+1)
+			for k, val := range withParent {
+				ext[k] = val
+			}
+			ext[v] = parent
+			then(ext)
+		})
+		if len(en.out) >= en.limit {
+			return
+		}
+	}
+}
+
+// emit deduplicates by vertex set and materializes the tree.
+func (en *treeEnum) emit(chosen map[uint32]uint32) {
+	verts := make([]uint32, 0, len(chosen))
+	for v := range chosen {
+		verts = append(verts, v)
+	}
+	sort.Slice(verts, func(i, j int) bool { return verts[i] < verts[j] })
+	sig := fmt.Sprint(verts)
+	if en.seen[sig] {
+		return
+	}
+	en.seen[sig] = true
+	t := &Tree{Root: en.root}
+	sort.Slice(verts, func(i, j int) bool {
+		if en.dist[verts[i]] != en.dist[verts[j]] {
+			return en.dist[verts[i]] < en.dist[verts[j]]
+		}
+		return verts[i] < verts[j]
+	})
+	for _, v := range verts {
+		t.Nodes = append(t.Nodes, TreeNode{V: v, Parent: chosen[v], Depth: int(en.dist[v])})
+	}
+	en.out = append(en.out, t)
+}

@@ -1,0 +1,186 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"ksp/internal/gen"
+	"ksp/internal/geo"
+	"ksp/internal/rdf"
+)
+
+// Example 4 of the paper: two qualified semantic places root at p2 —
+// ⟨p2,(v6,v8)⟩ with looseness 5 and ⟨p2,(v6,v7,v8)⟩ with looseness 4 —
+// and only the latter is tight. TQSPSet must return exactly the tight one.
+func TestTQSPSetFigure1P2(t *testing.T) {
+	f, e := fixtureEngine(t, 3)
+	trees, loose, err := e.TQSPSet(f.P2, f.Keywords, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loose != 4 {
+		t.Fatalf("looseness = %v, want 4", loose)
+	}
+	if len(trees) != 1 {
+		t.Fatalf("got %d trees, want exactly 1 (no ties at p2): %+v", len(trees), trees)
+	}
+	verts := map[uint32]bool{}
+	for _, n := range trees[0].Nodes {
+		verts[n.V] = true
+	}
+	for _, v := range []uint32{f.P2, f.V6, f.V7, f.V8} {
+		if !verts[v] {
+			t.Errorf("tree missing %d", v)
+		}
+	}
+}
+
+func TestTQSPSetUnqualified(t *testing.T) {
+	f, e := fixtureEngine(t, 3)
+	trees, loose, err := e.TQSPSet(f.P2, []string{"architecture"}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trees) != 0 || !math.IsInf(loose, 1) {
+		t.Fatalf("expected no trees, got %v (L=%v)", trees, loose)
+	}
+}
+
+// A diamond: the root reaches the keyword through two equally short
+// paths, so two tied TQSPs exist.
+func TestTQSPSetTiedPaths(t *testing.T) {
+	b := rdf.NewBuilder()
+	root := b.AddBareVertex("root")
+	left := b.AddBareVertex("left")
+	right := b.AddBareVertex("right")
+	leaf := b.AddBareVertex("leaf")
+	b.AddTermID(leaf, b.Vocab.ID("target"))
+	b.AddEdge(root, left, "p")
+	b.AddEdge(root, right, "p")
+	b.AddEdge(left, leaf, "p")
+	b.AddEdge(right, leaf, "p")
+	b.SetLocation(root, rdfPoint())
+	g := b.Build()
+	e := NewEngine(g, rdf.Outgoing)
+
+	trees, loose, err := e.TQSPSet(root, []string{"target"}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loose != 3 { // 1 + dg(root, target)=2
+		t.Fatalf("looseness = %v, want 3", loose)
+	}
+	if len(trees) != 2 {
+		t.Fatalf("got %d trees, want 2 (left path, right path): %+v", len(trees), trees)
+	}
+	// Both trees contain root and leaf; one goes via left, one via right.
+	via := map[uint32]bool{}
+	for _, tr := range trees {
+		if len(tr.Nodes) != 3 {
+			t.Fatalf("tree size %d, want 3", len(tr.Nodes))
+		}
+		for _, n := range tr.Nodes {
+			if n.V == left || n.V == right {
+				via[n.V] = true
+			}
+		}
+	}
+	if !via[left] || !via[right] {
+		t.Errorf("expected one tree via left and one via right: %v", via)
+	}
+}
+
+// Two tied match vertices for the same keyword also produce two trees.
+func TestTQSPSetTiedMatches(t *testing.T) {
+	b := rdf.NewBuilder()
+	root := b.AddBareVertex("root")
+	a := b.AddBareVertex("a")
+	c := b.AddBareVertex("c")
+	term := b.Vocab.ID("target")
+	b.AddTermID(a, term)
+	b.AddTermID(c, term)
+	b.AddEdge(root, a, "p")
+	b.AddEdge(root, c, "p")
+	b.SetLocation(root, rdfPoint())
+	g := b.Build()
+	e := NewEngine(g, rdf.Outgoing)
+
+	trees, loose, err := e.TQSPSet(root, []string{"target"}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loose != 2 || len(trees) != 2 {
+		t.Fatalf("L=%v trees=%d, want 2 and 2", loose, len(trees))
+	}
+}
+
+func TestTQSPSetLimit(t *testing.T) {
+	// A wide diamond with many tied paths: the limit must bound output.
+	b := rdf.NewBuilder()
+	root := b.AddBareVertex("root")
+	leaf := b.AddBareVertex("leaf")
+	b.AddTermID(leaf, b.Vocab.ID("target"))
+	for i := 0; i < 8; i++ {
+		mid := b.AddBareVertex(string(rune('a' + i)))
+		b.AddEdge(root, mid, "p")
+		b.AddEdge(mid, leaf, "p")
+	}
+	b.SetLocation(root, rdfPoint())
+	e := NewEngine(b.Build(), rdf.Outgoing)
+	trees, _, err := e.TQSPSet(root, []string{"target"}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(trees) != 3 {
+		t.Fatalf("limit ignored: got %d trees", len(trees))
+	}
+}
+
+// The minimum looseness reported by TQSPSet must equal what
+// getSemanticPlace computes, on random data.
+func TestTQSPSetLoosenessMatchesAlgorithm2(t *testing.T) {
+	g := gen.Generate(gen.DBpediaConfig(800, 501))
+	qg := gen.NewQueryGen(g, rdf.Outgoing, 502)
+	e := NewEngine(g, rdf.Outgoing)
+	for trial := 0; trial < 10; trial++ {
+		_, kws := qg.Original(3)
+		q := Query{Keywords: kws, K: 1}
+		pq, err := e.prepare(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := newSearcher(e, pq, &Stats{}, false)
+		for _, p := range g.Places()[:20] {
+			want, _ := s.getSemanticPlace(p, math.Inf(1))
+			trees, got, err := e.TQSPSet(p, kws, 2)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want && !(math.IsInf(got, 1) && math.IsInf(want, 1)) {
+				t.Fatalf("place %d: TQSPSet L=%v, Algorithm 2 L=%v", p, got, want)
+			}
+			if !math.IsInf(got, 1) && len(trees) == 0 {
+				t.Fatalf("qualified place %d returned no trees", p)
+			}
+		}
+	}
+}
+
+func TestTQSPSetErrors(t *testing.T) {
+	f, e := fixtureEngine(t, 3)
+	if _, _, err := e.TQSPSet(1<<30, f.Keywords, 1); err == nil {
+		t.Error("out-of-range vertex should error")
+	}
+	// Unknown keyword: unanswerable.
+	trees, loose, err := e.TQSPSet(f.P1, []string{"zzzunknown"}, 1)
+	if err != nil || len(trees) != 0 || !math.IsInf(loose, 1) {
+		t.Errorf("unanswerable: %v %v %v", trees, loose, err)
+	}
+	// No keywords: the trivial tree.
+	trees, loose, err = e.TQSPSet(f.P1, nil, 1)
+	if err != nil || loose != 1 || len(trees) != 1 {
+		t.Errorf("empty keywords: %v %v %v", trees, loose, err)
+	}
+}
+
+func rdfPoint() geo.Point { return geo.Point{} }

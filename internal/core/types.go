@@ -1,0 +1,125 @@
+package core
+
+import (
+	"time"
+
+	"ksp/internal/geo"
+)
+
+// Query is a kSP query: a location, a set of keywords, and the number of
+// requested semantic places (Section 2).
+type Query struct {
+	Loc      geo.Point
+	Keywords []string
+	K        int
+}
+
+// Options tune a single query execution.
+type Options struct {
+	// Deadline aborts the algorithm after the given duration (the paper
+	// caps BSP at 120 seconds and reports partial statistics). Zero means
+	// no deadline.
+	Deadline time.Duration
+	// CollectTrees materializes the TQSP of each result (root-to-keyword
+	// shortest paths) instead of reporting scores only.
+	CollectTrees bool
+	// NoRule1 / NoRule2 disable the corresponding pruning rules in SPP
+	// and SP — used by the ablation benchmarks, never in normal operation.
+	NoRule1 bool
+	NoRule2 bool
+	// UseGrid makes BSP/SPP consume places from the uniform grid instead
+	// of the R-tree (requires Engine.EnableGrid). Results are identical;
+	// only access counts change. SP always uses the R-tree, whose node
+	// structure its pruning rules depend on.
+	UseGrid bool
+	// MaxDist, when positive, restricts results to places within that
+	// Euclidean distance of the query location ("nearby hospitals" really
+	// means nearby). All algorithms honour it and use it as an extra
+	// termination bound.
+	MaxDist float64
+}
+
+// Result is one TQSP in a kSP answer.
+type Result struct {
+	// Place is the root place vertex.
+	Place uint32
+	// Looseness is L(Tp) per Definition 2.
+	Looseness float64
+	// Dist is the Euclidean distance S(q, p).
+	Dist float64
+	// Score is f(L(Tp), S(q, p)).
+	Score float64
+	// Tree is the materialized TQSP when Options.CollectTrees is set.
+	Tree *Tree
+}
+
+// Tree is a materialized TQSP: the union of the shortest paths from the
+// root to the first-encountered vertex of every query keyword.
+type Tree struct {
+	Root uint32
+	// Nodes lists the tree's vertices (root first) with their BFS parent
+	// (the root's parent is the root itself) and depth.
+	Nodes []TreeNode
+}
+
+// TreeNode is one vertex of a TQSP.
+type TreeNode struct {
+	V      uint32
+	Parent uint32
+	Depth  int
+	// Matched holds the query-keyword positions (indexes into the deduped
+	// query keyword list) first covered at this vertex.
+	Matched []int
+}
+
+// Stats aggregates the cost counters the paper reports per experiment.
+type Stats struct {
+	// TQSPComputations counts GETSEMANTICPLACE invocations
+	// (Figures 3(b), 4(b)).
+	TQSPComputations int64
+	// RTreeNodeAccesses counts expanded R-tree nodes
+	// (Figures 3(c), 4(c), 7(b)).
+	RTreeNodeAccesses int64
+	// PlacesRetrieved counts places popped from the spatial source.
+	PlacesRetrieved int64
+	// ReachQueries counts reachability-index probes (Pruning Rule 1).
+	ReachQueries int64
+	// PrunedUnqualified counts places discarded by Pruning Rule 1.
+	PrunedUnqualified int64
+	// PrunedDynamicBound counts TQSP constructions aborted by Rule 2.
+	PrunedDynamicBound int64
+	// PrunedAlphaPlaces / PrunedAlphaNodes count Rules 3 and 4 prunings.
+	PrunedAlphaPlaces int64
+	PrunedAlphaNodes  int64
+	// BFSVertexVisits counts vertices touched during TQSP construction.
+	BFSVertexVisits int64
+	// SemanticTime is the time spent constructing TQSPs; OtherTime is the
+	// remaining runtime (spatial search, reachability queries, bounds) —
+	// the two bar segments of the paper's runtime figures.
+	SemanticTime time.Duration
+	OtherTime    time.Duration
+	// TimedOut reports that Options.Deadline fired before completion.
+	TimedOut bool
+}
+
+// TotalTime returns SemanticTime + OtherTime.
+func (s *Stats) TotalTime() time.Duration { return s.SemanticTime + s.OtherTime }
+
+// Add accumulates other into s (used by the bench harness to average over
+// query workloads).
+func (s *Stats) Add(o *Stats) {
+	s.TQSPComputations += o.TQSPComputations
+	s.RTreeNodeAccesses += o.RTreeNodeAccesses
+	s.PlacesRetrieved += o.PlacesRetrieved
+	s.ReachQueries += o.ReachQueries
+	s.PrunedUnqualified += o.PrunedUnqualified
+	s.PrunedDynamicBound += o.PrunedDynamicBound
+	s.PrunedAlphaPlaces += o.PrunedAlphaPlaces
+	s.PrunedAlphaNodes += o.PrunedAlphaNodes
+	s.BFSVertexVisits += o.BFSVertexVisits
+	s.SemanticTime += o.SemanticTime
+	s.OtherTime += o.OtherTime
+	if o.TimedOut {
+		s.TimedOut = true
+	}
+}

@@ -1,0 +1,278 @@
+package gen
+
+import (
+	"math/rand"
+	"sort"
+
+	"ksp/internal/geo"
+	"ksp/internal/rdf"
+)
+
+// QueryGen produces kSP query workloads following the methodology of
+// Section 6.1 (the O generator) and Section 6.2.5 (the SDLL and LDLL
+// hard-query generators). It returns locations and keyword lists; the
+// caller assembles the final query.
+type QueryGen struct {
+	g      *rdf.Graph
+	rng    *rand.Rand
+	dir    rdf.Direction
+	bfs    *rdf.BFSState
+	freq   []int    // term -> document frequency
+	byFreq []uint32 // terms with freq > 0, ascending frequency (lazy)
+
+	// Factor is the paper's `factor` parameter (default 2).
+	Factor int
+	// Range is the side of the square around the seed place from which
+	// the O-generator draws query locations ("a large range around this
+	// place").
+	Range float64
+	// InfreqCap is the maximum document frequency of an SDLL/LDLL keyword
+	// (the paper uses term frequency < 100 at 8M-vertex scale; the cap
+	// scales with the data here).
+	InfreqCap int
+	// FarHops is the minimum hop distance of SDLL/LDLL keywords from the
+	// seed place (the paper uses "beyond 4 hops").
+	FarHops int
+	// FarOffset is the coordinate shift of an LDLL query location away
+	// from the seed place (the paper adds 90 degrees of longitude).
+	FarOffset float64
+}
+
+// NewQueryGen builds a generator over g. dir must match the engine's
+// traversal direction.
+func NewQueryGen(g *rdf.Graph, dir rdf.Direction, seed int64) *QueryGen {
+	freq := make([]int, g.Vocab.Len())
+	for v := uint32(0); int(v) < g.NumVertices(); v++ {
+		for _, t := range g.Doc(v) {
+			freq[t]++
+		}
+	}
+	return &QueryGen{
+		g:         g,
+		rng:       rand.New(rand.NewSource(seed)),
+		dir:       dir,
+		bfs:       rdf.NewBFSState(g),
+		freq:      freq,
+		Factor:    2,
+		Range:     20,
+		InfreqCap: infreqCap(freq),
+		FarHops:   4,
+		FarOffset: 90,
+	}
+}
+
+// infreqCap picks the "infrequent" threshold adaptively: the 25th
+// percentile of the positive term frequencies, so a healthy pool of rare
+// keywords always exists regardless of the vocabulary shape. (The paper's
+// absolute cutoff of 100 assumes 8M-vertex dumps.)
+func infreqCap(freq []int) int {
+	var pos []int
+	for _, f := range freq {
+		if f > 0 {
+			pos = append(pos, f)
+		}
+	}
+	if len(pos) == 0 {
+		return 1
+	}
+	sort.Ints(pos)
+	c := pos[len(pos)/4] + 1
+	if c < 2 {
+		c = 2
+	}
+	return c
+}
+
+// maxExplore caps the per-seed BFS so query generation stays cheap on
+// large graphs.
+const maxExplore = 20000
+
+// Original generates one query of the paper's standard workload: a seed
+// place p, a location drawn from a large range around p, and m keywords
+// extracted from vertices reachable from p.
+func (qg *QueryGen) Original(m int) (geo.Point, []string) {
+	for attempt := 0; ; attempt++ {
+		p := qg.randomPlace()
+		loc := geo.Point{
+			X: qg.g.Loc(p).X + (qg.rng.Float64()-0.5)*qg.Range,
+			Y: qg.g.Loc(p).Y + (qg.rng.Float64()-0.5)*qg.Range,
+		}
+		// Collect reachable vertices (excluding p itself mirrors the
+		// paper's "vertices reachable from p").
+		var reachable []uint32
+		qg.bfs.Run(p, qg.dir, -1, func(v uint32, dist int) bool {
+			if v != p {
+				reachable = append(reachable, v)
+			}
+			return len(reachable) < maxExplore
+		})
+		if len(reachable) < (m+1)/2 {
+			continue // paper: discard p when the subgraph is too limited
+		}
+		// Select between m/2 and m*Factor of them, then at most m.
+		hi := m * qg.Factor
+		if hi > len(reachable) {
+			hi = len(reachable)
+		}
+		lo := (m + 1) / 2
+		count := lo
+		if hi > lo {
+			count = lo + qg.rng.Intn(hi-lo+1)
+		}
+		qg.rng.Shuffle(len(reachable), func(i, j int) {
+			reachable[i], reachable[j] = reachable[j], reachable[i]
+		})
+		chosen := reachable[:count]
+		if len(chosen) > m {
+			chosen = chosen[:m]
+		}
+		if kws := qg.extractKeywords(chosen, m); kws != nil {
+			return loc, kws
+		}
+	}
+}
+
+// SDLL generates a small-distance/large-looseness query: location near the
+// seed place, infrequent keywords far (in hops) from it.
+func (qg *QueryGen) SDLL(m int) (geo.Point, []string) {
+	return qg.hardQuery(m, false)
+}
+
+// LDLL generates a large-distance/large-looseness query: location shifted
+// by FarOffset, same hard keywords.
+func (qg *QueryGen) LDLL(m int) (geo.Point, []string) {
+	return qg.hardQuery(m, true)
+}
+
+func (qg *QueryGen) hardQuery(m int, far bool) (geo.Point, []string) {
+	for attempt := 0; ; attempt++ {
+		p := qg.randomPlace()
+		loc := qg.g.Loc(p)
+		if far {
+			loc.Y += qg.FarOffset
+		} else {
+			loc = geo.Point{
+				X: loc.X + (qg.rng.Float64()-0.5)*0.5,
+				Y: loc.Y + (qg.rng.Float64()-0.5)*0.5,
+			}
+		}
+		// Relax constraints on stubborn data: shrink the hop requirement,
+		// then widen the frequency cap, so generation always terminates.
+		minHops := qg.FarHops
+		if attempt > 20 {
+			minHops = 2
+		}
+		cap := qg.InfreqCap << uint(attempt/40)
+		// Infrequent words first seen beyond minHops from p.
+		seen := make(map[uint32]bool)
+		var candidates []uint32
+		visited := 0
+		qg.bfs.Run(p, qg.dir, -1, func(v uint32, dist int) bool {
+			visited++
+			if dist > minHops {
+				for _, t := range qg.g.Doc(v) {
+					if !seen[t] && qg.freq[t] < cap && qg.freq[t] > 0 {
+						seen[t] = true
+						candidates = append(candidates, t)
+					}
+				}
+			}
+			return visited < maxExplore && len(candidates) < 8*m
+		})
+		if len(candidates) < m {
+			continue
+		}
+		qg.rng.Shuffle(len(candidates), func(i, j int) {
+			candidates[i], candidates[j] = candidates[j], candidates[i]
+		})
+		kws := make([]string, m)
+		for i := 0; i < m; i++ {
+			kws[i] = qg.g.Vocab.Term(candidates[i])
+		}
+		return loc, kws
+	}
+}
+
+// FrequencyBand generates a query whose keywords all fall in a document-
+// frequency band: [loPct, hiPct) percentiles of the positive-frequency
+// terms. It supports the supplementary keyword-frequency experiment — the
+// paper repeatedly attributes DBpedia/Yago cost differences to keyword
+// frequency (average posting length 56.46 vs 7.83), and this isolates
+// that variable on one dataset.
+func (qg *QueryGen) FrequencyBand(m int, loPct, hiPct float64) (geo.Point, []string) {
+	if qg.byFreq == nil {
+		for t, f := range qg.freq {
+			if f > 0 {
+				qg.byFreq = append(qg.byFreq, uint32(t))
+			}
+		}
+		sort.Slice(qg.byFreq, func(i, j int) bool {
+			fi, fj := qg.freq[qg.byFreq[i]], qg.freq[qg.byFreq[j]]
+			if fi != fj {
+				return fi < fj
+			}
+			return qg.byFreq[i] < qg.byFreq[j]
+		})
+	}
+	lo := int(loPct * float64(len(qg.byFreq)))
+	hi := int(hiPct * float64(len(qg.byFreq)))
+	if hi > len(qg.byFreq) {
+		hi = len(qg.byFreq)
+	}
+	if hi-lo < m { // widen a too-narrow band
+		lo = maxInt(0, hi-m)
+	}
+	band := qg.byFreq[lo:hi]
+	p := qg.randomPlace()
+	loc := geo.Point{
+		X: qg.g.Loc(p).X + (qg.rng.Float64()-0.5)*qg.Range,
+		Y: qg.g.Loc(p).Y + (qg.rng.Float64()-0.5)*qg.Range,
+	}
+	seen := map[uint32]bool{}
+	kws := make([]string, 0, m)
+	for len(kws) < m {
+		t := band[qg.rng.Intn(len(band))]
+		if seen[t] {
+			continue
+		}
+		seen[t] = true
+		kws = append(kws, qg.g.Vocab.Term(t))
+	}
+	return loc, kws
+}
+
+func (qg *QueryGen) randomPlace() uint32 {
+	places := qg.g.Places()
+	return places[qg.rng.Intn(len(places))]
+}
+
+// extractKeywords draws m distinct keywords from the documents of the
+// chosen vertices (round-robin so every vertex contributes).
+func (qg *QueryGen) extractKeywords(chosen []uint32, m int) []string {
+	seen := make(map[uint32]bool)
+	var terms []uint32
+	for round := 0; len(terms) < m && round < 8; round++ {
+		for _, v := range chosen {
+			doc := qg.g.Doc(v)
+			if len(doc) == 0 {
+				continue
+			}
+			t := doc[qg.rng.Intn(len(doc))]
+			if !seen[t] {
+				seen[t] = true
+				terms = append(terms, t)
+				if len(terms) == m {
+					break
+				}
+			}
+		}
+	}
+	if len(terms) < m {
+		return nil
+	}
+	kws := make([]string, m)
+	for i, t := range terms {
+		kws[i] = qg.g.Vocab.Term(t)
+	}
+	return kws
+}

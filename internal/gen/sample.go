@@ -1,0 +1,71 @@
+package gen
+
+import (
+	"math/rand"
+
+	"ksp/internal/rdf"
+)
+
+// RandomJump samples a subgraph of target vertices using the random-jump
+// sampling of Leskovec & Faloutsos [KDD 2006], the method the paper uses
+// to derive its scalability datasets (Table 7): a random walk over
+// out-edges that jumps to a uniformly random vertex with probability c
+// (0.15 in the paper), collecting vertices until the target size is
+// reached. The induced subgraph — with documents and coordinates of the
+// sampled vertices — is returned as a fresh graph.
+func RandomJump(g *rdf.Graph, target int, c float64, seed int64) *rdf.Graph {
+	rng := rand.New(rand.NewSource(seed))
+	n := g.NumVertices()
+	if target >= n {
+		target = n
+	}
+	sampled := make(map[uint32]bool, target)
+	cur := uint32(rng.Intn(n))
+	sampled[cur] = true
+	stuck := 0
+	for len(sampled) < target {
+		jump := rng.Float64() < c
+		out := g.Out(cur)
+		if jump || len(out) == 0 {
+			cur = uint32(rng.Intn(n))
+		} else {
+			cur = out[rng.Intn(len(out))]
+		}
+		if sampled[cur] {
+			stuck++
+			if stuck > 50 { // walk trapped: force a jump
+				cur = uint32(rng.Intn(n))
+				stuck = 0
+			}
+			continue
+		}
+		stuck = 0
+		sampled[cur] = true
+	}
+	return induced(g, sampled)
+}
+
+// induced builds the subgraph of g on the given vertex set, carrying over
+// URIs, documents, coordinates and edge predicates.
+func induced(g *rdf.Graph, keep map[uint32]bool) *rdf.Graph {
+	b := rdf.NewBuilder()
+	idMap := make(map[uint32]uint32, len(keep))
+	for v := range keep {
+		idMap[v] = b.AddBareVertex(g.URI(v))
+	}
+	for old, nv := range idMap {
+		for _, t := range g.Doc(old) {
+			b.AddTermID(nv, b.Vocab.ID(g.Vocab.Term(t)))
+		}
+		if g.IsPlace(old) {
+			b.SetLocation(nv, g.Loc(old))
+		}
+		preds := g.OutPreds(old)
+		for i, w := range g.Out(old) {
+			if nw, ok := idMap[w]; ok {
+				b.AddEdge(nv, nw, g.PredName(preds[i]))
+			}
+		}
+	}
+	return b.Build()
+}

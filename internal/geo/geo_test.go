@@ -1,0 +1,225 @@
+package geo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPointDist(t *testing.T) {
+	tests := []struct {
+		p, q Point
+		want float64
+	}{
+		{Point{0, 0}, Point{3, 4}, 5},
+		{Point{1, 1}, Point{1, 1}, 0},
+		{Point{-2, 0}, Point{2, 0}, 4},
+		{Point{43.51, 4.75}, Point{43.71, 4.66}, math.Sqrt(0.2*0.2 + 0.09*0.09)},
+	}
+	for _, tt := range tests {
+		if got := tt.p.Dist(tt.q); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("Dist(%v,%v) = %v, want %v", tt.p, tt.q, got, tt.want)
+		}
+		if got := tt.p.DistSq(tt.q); math.Abs(got-tt.want*tt.want) > 1e-9 {
+			t.Errorf("DistSq(%v,%v) = %v, want %v", tt.p, tt.q, got, tt.want*tt.want)
+		}
+	}
+}
+
+func TestDistSymmetric(t *testing.T) {
+	f := func(ax, ay, bx, by float64) bool {
+		a, b := Point{ax, ay}, Point{bx, by}
+		return a.Dist(b) == b.Dist(a)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEmptyRect(t *testing.T) {
+	e := EmptyRect()
+	if !e.IsEmpty() {
+		t.Fatal("EmptyRect should be empty")
+	}
+	if e.Area() != 0 {
+		t.Errorf("empty rect area = %v, want 0", e.Area())
+	}
+	r := Rect{0, 0, 2, 3}
+	if got := e.Union(r); got != r {
+		t.Errorf("EmptyRect.Union(%v) = %v, want identity", r, got)
+	}
+	if got := r.Union(e); got != r {
+		t.Errorf("r.Union(empty) = %v, want identity", got)
+	}
+}
+
+func TestRectUnionContains(t *testing.T) {
+	a := Rect{0, 0, 1, 1}
+	b := Rect{2, 2, 3, 3}
+	u := a.Union(b)
+	if !u.ContainsRect(a) || !u.ContainsRect(b) {
+		t.Errorf("union %v must contain both operands", u)
+	}
+	if u != (Rect{0, 0, 3, 3}) {
+		t.Errorf("union = %v, want [0,3]x[0,3]", u)
+	}
+}
+
+func TestRectArea(t *testing.T) {
+	r := Rect{1, 2, 4, 6}
+	if got := r.Area(); got != 12 {
+		t.Errorf("Area = %v, want 12", got)
+	}
+	if got := r.Margin(); got != 7 {
+		t.Errorf("Margin = %v, want 7", got)
+	}
+}
+
+func TestEnlargement(t *testing.T) {
+	r := Rect{0, 0, 2, 2}
+	s := Rect{1, 1, 3, 3}
+	// union is [0,3]x[0,3] area 9, r area 4 -> enlargement 5
+	if got := r.Enlargement(s); got != 5 {
+		t.Errorf("Enlargement = %v, want 5", got)
+	}
+	if got := r.Enlargement(Rect{0.5, 0.5, 1, 1}); got != 0 {
+		t.Errorf("Enlargement of contained rect = %v, want 0", got)
+	}
+}
+
+func TestContainsPoint(t *testing.T) {
+	r := Rect{0, 0, 2, 2}
+	for _, p := range []Point{{0, 0}, {2, 2}, {1, 1}, {0, 2}} {
+		if !r.ContainsPoint(p) {
+			t.Errorf("%v should contain %v", r, p)
+		}
+	}
+	for _, p := range []Point{{-0.1, 0}, {2.1, 1}, {1, 3}} {
+		if r.ContainsPoint(p) {
+			t.Errorf("%v should not contain %v", r, p)
+		}
+	}
+}
+
+func TestIntersects(t *testing.T) {
+	a := Rect{0, 0, 2, 2}
+	cases := []struct {
+		b    Rect
+		want bool
+	}{
+		{Rect{1, 1, 3, 3}, true},
+		{Rect{2, 2, 3, 3}, true}, // touching corner counts
+		{Rect{3, 3, 4, 4}, false},
+		{Rect{0.5, 0.5, 1.5, 1.5}, true}, // contained
+		{Rect{-1, 0, -0.5, 2}, false},
+	}
+	for _, c := range cases {
+		if got := a.Intersects(c.b); got != c.want {
+			t.Errorf("Intersects(%v,%v) = %v, want %v", a, c.b, got, c.want)
+		}
+		if got := c.b.Intersects(a); got != c.want {
+			t.Errorf("Intersects not symmetric for %v,%v", a, c.b)
+		}
+	}
+	if a.Intersects(EmptyRect()) || EmptyRect().Intersects(a) {
+		t.Error("empty rect must not intersect anything")
+	}
+}
+
+func TestMinDist(t *testing.T) {
+	r := Rect{0, 0, 2, 2}
+	tests := []struct {
+		p    Point
+		want float64
+	}{
+		{Point{1, 1}, 0},   // inside
+		{Point{2, 2}, 0},   // on boundary
+		{Point{3, 1}, 1},   // right of
+		{Point{1, -2}, 2},  // below
+		{Point{5, 6}, 5},   // corner (3,4) away
+		{Point{-3, -4}, 5}, // opposite corner
+	}
+	for _, tt := range tests {
+		if got := r.MinDist(tt.p); math.Abs(got-tt.want) > 1e-12 {
+			t.Errorf("MinDist(%v) = %v, want %v", tt.p, got, tt.want)
+		}
+	}
+}
+
+// MinDist must lower-bound the distance from the query point to every point
+// contained in the rectangle.
+func TestMinDistLowerBound(t *testing.T) {
+	f := func(qx, qy, ax, ay, bx, by float64) bool {
+		r := RectFromPoint(Point{ax, ay}).ExpandPoint(Point{bx, by})
+		q := Point{qx, qy}
+		// Sample the corners and center; all must be >= MinDist.
+		md := r.MinDist(q)
+		samples := []Point{
+			{r.MinX, r.MinY}, {r.MinX, r.MaxY}, {r.MaxX, r.MinY}, {r.MaxX, r.MaxY}, r.Center(),
+		}
+		for _, s := range samples {
+			if q.Dist(s) < md-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnionCommutativeAssociativeProperty(t *testing.T) {
+	f := func(ax, ay, bx, by, cx, cy float64) bool {
+		a := RectFromPoint(Point{ax, ay})
+		b := RectFromPoint(Point{bx, by})
+		c := RectFromPoint(Point{cx, cy})
+		if a.Union(b) != b.Union(a) {
+			return false
+		}
+		return a.Union(b).Union(c) == a.Union(b.Union(c))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestContainsRect(t *testing.T) {
+	outer := Rect{0, 0, 10, 10}
+	cases := []struct {
+		inner Rect
+		want  bool
+	}{
+		{Rect{1, 1, 9, 9}, true},
+		{Rect{0, 0, 10, 10}, true}, // itself
+		{Rect{-1, 1, 9, 9}, false}, // sticks out left
+		{Rect{1, 1, 9, 11}, false}, // sticks out top
+		{EmptyRect(), true},        // empty is contained everywhere
+	}
+	for _, c := range cases {
+		if got := outer.ContainsRect(c.inner); got != c.want {
+			t.Errorf("ContainsRect(%v) = %v, want %v", c.inner, got, c.want)
+		}
+	}
+	if EmptyRect().ContainsRect(outer) {
+		t.Error("empty rect contains nothing non-empty")
+	}
+}
+
+func TestExpandPoint(t *testing.T) {
+	r := EmptyRect().ExpandPoint(Point{1, 2}).ExpandPoint(Point{-1, 5})
+	if r != (Rect{-1, 2, 1, 5}) {
+		t.Errorf("ExpandPoint chain = %v", r)
+	}
+}
+
+func TestRectFromPoint(t *testing.T) {
+	p := Point{1.5, -2}
+	r := RectFromPoint(p)
+	if r.IsEmpty() || !r.ContainsPoint(p) || r.Area() != 0 {
+		t.Errorf("RectFromPoint(%v) = %v", p, r)
+	}
+	if r.Center() != p {
+		t.Errorf("Center = %v, want %v", r.Center(), p)
+	}
+}

@@ -1,0 +1,147 @@
+package grid
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"ksp/internal/geo"
+)
+
+func randomItems(rng *rand.Rand, n int) []Item {
+	items := make([]Item, n)
+	for i := range items {
+		items[i] = Item{ID: uint32(i), Loc: geo.Point{X: rng.Float64() * 100, Y: rng.Float64() * 100}}
+	}
+	return items
+}
+
+func TestBrowserOrderMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range []int{1, 10, 300} {
+		items := randomItems(rng, n)
+		g := New(items, 10)
+		if g.Len() != n {
+			t.Fatalf("Len = %d", g.Len())
+		}
+		q := geo.Point{X: rng.Float64() * 120, Y: rng.Float64() * 120}
+		b := g.NewBrowser(q)
+		var got []float64
+		seen := map[uint32]bool{}
+		prev := -1.0
+		for {
+			it, d, ok := b.Next()
+			if !ok {
+				break
+			}
+			if d < prev-1e-12 {
+				t.Fatalf("out of order: %v after %v", d, prev)
+			}
+			if math.Abs(d-q.Dist(it.Loc)) > 1e-12 {
+				t.Fatalf("distance wrong")
+			}
+			if seen[it.ID] {
+				t.Fatalf("duplicate %d", it.ID)
+			}
+			seen[it.ID] = true
+			prev = d
+			got = append(got, d)
+		}
+		if len(got) != n {
+			t.Fatalf("browser saw %d of %d", len(got), n)
+		}
+		want := make([]float64, n)
+		for i, it := range items {
+			want[i] = q.Dist(it.Loc)
+		}
+		sort.Float64s(want)
+		for i := range want {
+			if math.Abs(want[i]-got[i]) > 1e-9 {
+				t.Fatalf("n=%d: sequence diverges at %d", n, i)
+			}
+		}
+		if b.CellAccesses == 0 {
+			t.Error("expected cell accesses")
+		}
+	}
+}
+
+func TestEmptyGrid(t *testing.T) {
+	g := New(nil, 8)
+	b := g.NewBrowser(geo.Point{})
+	if _, _, ok := b.Next(); ok {
+		t.Error("empty grid should be exhausted")
+	}
+	if _, ok := b.PeekDist(); ok {
+		t.Error("PeekDist should report exhaustion")
+	}
+	if g.NumCells() != 0 || g.MemSize() < 0 {
+		t.Error("stats wrong for empty grid")
+	}
+}
+
+func TestIdenticalPoints(t *testing.T) {
+	items := make([]Item, 20)
+	for i := range items {
+		items[i] = Item{ID: uint32(i), Loc: geo.Point{X: 5, Y: 5}}
+	}
+	g := New(items, 4)
+	if g.NumCells() != 1 {
+		t.Errorf("NumCells = %d, want 1", g.NumCells())
+	}
+	b := g.NewBrowser(geo.Point{X: 5, Y: 5})
+	count := 0
+	for {
+		_, d, ok := b.Next()
+		if !ok {
+			break
+		}
+		if d != 0 {
+			t.Fatalf("dist = %v", d)
+		}
+		count++
+	}
+	if count != 20 {
+		t.Fatalf("saw %d items", count)
+	}
+}
+
+func TestPeekDistLowerBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	items := randomItems(rng, 100)
+	g := New(items, 8)
+	b := g.NewBrowser(geo.Point{X: 50, Y: 50})
+	for {
+		peek, ok := b.PeekDist()
+		if !ok {
+			break
+		}
+		_, d, ok := b.Next()
+		if !ok {
+			break
+		}
+		if peek > d+1e-9 {
+			t.Fatalf("PeekDist %v exceeds actual next %v", peek, d)
+		}
+	}
+}
+
+func TestDegenerateResolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	items := randomItems(rng, 50)
+	for _, cells := range []int{0, 1, 1000} {
+		g := New(append([]Item(nil), items...), cells)
+		b := g.NewBrowser(geo.Point{X: 10, Y: 10})
+		n := 0
+		for {
+			if _, _, ok := b.Next(); !ok {
+				break
+			}
+			n++
+		}
+		if n != 50 {
+			t.Fatalf("cells=%d: saw %d items", cells, n)
+		}
+	}
+}

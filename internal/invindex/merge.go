@@ -1,0 +1,46 @@
+package invindex
+
+import (
+	"ksp/internal/rdf"
+)
+
+// FromGraph builds the document inverted index of the paper's Table 1:
+// for every vertex, each term of its document is posted under weight 0.
+func FromGraph(g *rdf.Graph) *MemIndex {
+	b := NewBuilder()
+	b.Reserve(g.Vocab.Len())
+	for v := uint32(0); int(v) < g.NumVertices(); v++ {
+		for _, t := range g.Doc(v) {
+			b.Add(t, v, 0)
+		}
+	}
+	return b.Build()
+}
+
+// Merge combines several indexes over the same term-ID space into one,
+// keeping for duplicate (term, ID) postings the smallest weight. This is
+// the merge step the paper uses to build the DBpedia α-radius inverted
+// index out of memory-sized parts.
+func Merge(parts ...Index) (*MemIndex, error) {
+	numTerms := 0
+	for _, p := range parts {
+		if p.NumTerms() > numTerms {
+			numTerms = p.NumTerms()
+		}
+	}
+	b := NewBuilder()
+	var buf []Posting
+	for t := 0; t < numTerms; t++ {
+		for _, p := range parts {
+			var err error
+			buf, err = p.Postings(uint32(t), buf[:0])
+			if err != nil {
+				return nil, err
+			}
+			for _, post := range buf {
+				b.Add(uint32(t), post.ID, post.Weight)
+			}
+		}
+	}
+	return b.Build(), nil
+}

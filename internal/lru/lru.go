@@ -1,0 +1,104 @@
+// Package lru provides a small generic LRU cache, used by the
+// disk-resident document store (rdf.Graph.SpillDocs) to keep hot vertex
+// documents in memory while the bulk lives on disk — the direction the
+// paper points to for larger-than-memory data (footnote 1 and Section 8).
+package lru
+
+// Cache is a fixed-capacity least-recently-used cache. Not safe for
+// concurrent use; callers wrap it in a mutex.
+type Cache[K comparable, V any] struct {
+	capacity int
+	entries  map[K]*node[K, V]
+	head     *node[K, V] // most recent
+	tail     *node[K, V] // least recent
+	hits     int64
+	misses   int64
+}
+
+type node[K comparable, V any] struct {
+	key        K
+	value      V
+	prev, next *node[K, V]
+}
+
+// New returns a cache holding at most capacity entries (minimum 1).
+func New[K comparable, V any](capacity int) *Cache[K, V] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Cache[K, V]{
+		capacity: capacity,
+		entries:  make(map[K]*node[K, V], capacity),
+	}
+}
+
+// Get returns the cached value and marks it most recently used.
+func (c *Cache[K, V]) Get(key K) (V, bool) {
+	n, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		var zero V
+		return zero, false
+	}
+	c.hits++
+	c.moveToFront(n)
+	return n.value, true
+}
+
+// Put inserts or refreshes a value, evicting the least recently used
+// entry when over capacity.
+func (c *Cache[K, V]) Put(key K, value V) {
+	if n, ok := c.entries[key]; ok {
+		n.value = value
+		c.moveToFront(n)
+		return
+	}
+	n := &node[K, V]{key: key, value: value}
+	c.entries[key] = n
+	c.pushFront(n)
+	if len(c.entries) > c.capacity {
+		lru := c.tail
+		c.unlink(lru)
+		delete(c.entries, lru.key)
+	}
+}
+
+// Len returns the number of cached entries.
+func (c *Cache[K, V]) Len() int { return len(c.entries) }
+
+// Stats returns hit and miss counts.
+func (c *Cache[K, V]) Stats() (hits, misses int64) { return c.hits, c.misses }
+
+func (c *Cache[K, V]) pushFront(n *node[K, V]) {
+	n.prev = nil
+	n.next = c.head
+	if c.head != nil {
+		c.head.prev = n
+	}
+	c.head = n
+	if c.tail == nil {
+		c.tail = n
+	}
+}
+
+func (c *Cache[K, V]) unlink(n *node[K, V]) {
+	if n.prev != nil {
+		n.prev.next = n.next
+	} else {
+		c.head = n.next
+	}
+	if n.next != nil {
+		n.next.prev = n.prev
+	} else {
+		c.tail = n.prev
+	}
+	n.prev, n.next = nil, nil
+}
+
+func (c *Cache[K, V]) moveToFront(n *node[K, V]) {
+	if c.head == n {
+		return
+	}
+	c.unlink(n)
+	c.pushFront(n)
+}

@@ -1,0 +1,48 @@
+package nt
+
+import (
+	"fmt"
+	"io"
+
+	"ksp/internal/rdf"
+)
+
+// WriteGraph serializes a graph back to N-Triples: one label triple
+// carrying each vertex's document terms, one WKT geometry triple per
+// place, and one triple per edge. Reloading the output reproduces the
+// same searchable dataset (modulo the URI and predicate tokens the
+// document-construction scheme folds in on import).
+func WriteGraph(g *rdf.Graph, w io.Writer) error {
+	nw := NewWriter(w)
+	for v := uint32(0); int(v) < g.NumVertices(); v++ {
+		subj := rdf.NewIRI(g.URI(v))
+		if doc := g.Doc(v); len(doc) > 0 {
+			text := ""
+			for i, t := range doc {
+				if i > 0 {
+					text += " "
+				}
+				text += g.Vocab.Term(t)
+			}
+			if err := nw.Write(rdf.Triple{S: subj, P: rdf.NewIRI("label"), O: rdf.NewLiteral(text)}); err != nil {
+				return err
+			}
+		}
+		if g.IsPlace(v) {
+			loc := g.Loc(v)
+			wkt := fmt.Sprintf("POINT(%g %g)", loc.X, loc.Y)
+			t := rdf.Triple{S: subj, P: rdf.NewIRI("hasGeometry"), O: rdf.NewTypedLiteral(wkt, rdf.WKTLiteral)}
+			if err := nw.Write(t); err != nil {
+				return err
+			}
+		}
+		preds := g.OutPreds(v)
+		for i, o := range g.Out(v) {
+			t := rdf.Triple{S: subj, P: rdf.NewIRI(g.PredName(preds[i])), O: rdf.NewIRI(g.URI(o))}
+			if err := nw.Write(t); err != nil {
+				return err
+			}
+		}
+	}
+	return nw.Flush()
+}

@@ -1,0 +1,211 @@
+package nt
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"ksp/internal/rdf"
+)
+
+func parseAll(t *testing.T, src string) []rdf.Triple {
+	t.Helper()
+	r := NewReader(strings.NewReader(src))
+	var out []rdf.Triple
+	for {
+		tr, err := r.Next()
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			t.Fatalf("parse: %v", err)
+		}
+		out = append(out, tr)
+	}
+}
+
+func TestParseBasic(t *testing.T) {
+	src := `
+# a comment
+<http://ex/s> <http://ex/p> <http://ex/o> .
+<http://ex/s> <http://ex/label> "hello world" .
+_:b0 <http://ex/p> "42"^^<http://www.w3.org/2001/XMLSchema#integer> .
+<http://ex/s> <http://ex/name> "bonjour"@fr .
+`
+	got := parseAll(t, src)
+	want := []rdf.Triple{
+		{S: rdf.NewIRI("http://ex/s"), P: rdf.NewIRI("http://ex/p"), O: rdf.NewIRI("http://ex/o")},
+		{S: rdf.NewIRI("http://ex/s"), P: rdf.NewIRI("http://ex/label"), O: rdf.NewLiteral("hello world")},
+		{S: rdf.NewBlank("b0"), P: rdf.NewIRI("http://ex/p"), O: rdf.NewTypedLiteral("42", "http://www.w3.org/2001/XMLSchema#integer")},
+		{S: rdf.NewIRI("http://ex/s"), P: rdf.NewIRI("http://ex/name"), O: rdf.NewLiteral("bonjour")},
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("got %v\nwant %v", got, want)
+	}
+}
+
+func TestParseEscapes(t *testing.T) {
+	src := `<http://s> <http://p> "a\tb\nc\"d\\eé\U0001F600" .`
+	got := parseAll(t, src)
+	want := "a\tb\nc\"d\\eé😀"
+	if len(got) != 1 || got[0].O.Value != want {
+		t.Fatalf("got %q, want %q", got[0].O.Value, want)
+	}
+}
+
+func TestParseWKT(t *testing.T) {
+	src := `<http://ex/abbey> <http://www.opengis.net/ont/geosparql#asWKT> "POINT(4.66 43.71)"^^<` + rdf.WKTLiteral + `> .`
+	got := parseAll(t, src)
+	if len(got) != 1 || got[0].O.Datatype != rdf.WKTLiteral {
+		t.Fatalf("WKT literal not parsed: %v", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		`<http://s> <http://p> .`,                  // missing object
+		`<http://s> <http://p> <http://o>`,         // missing dot
+		`"lit" <http://p> <http://o> .`,            // literal subject
+		`<http://s> "p" <http://o> .`,              // literal predicate
+		`<http://s> <http://p> "unterminated .`,    // unterminated literal
+		`<http://s> <http://p> <http://o> . extra`, // trailing garbage
+		`<http://s <http://p> <http://o> .`,        // unterminated IRI (eats rest)
+		`<http://s> <http://p> "x\q" .`,            // bad escape
+		`<http://s> <http://p> "x\u12" .`,          // truncated \u
+		`_: <http://p> <http://o> .`,               // empty blank label
+		`<http://s> <http://p> "x"@ .`,             // empty language tag
+		`<http://s> <http://p> "x"^^"notaniri" .`,  // malformed datatype
+	}
+	for _, src := range bad {
+		r := NewReader(strings.NewReader(src))
+		_, err := r.Next()
+		if err == nil || err == io.EOF {
+			t.Errorf("expected parse error for %q, got %v", src, err)
+			continue
+		}
+		var pe *ParseError
+		if !errorsAs(err, &pe) {
+			t.Errorf("error for %q is not a *ParseError: %v", src, err)
+		} else if pe.Line != 1 {
+			t.Errorf("error line = %d, want 1", pe.Line)
+		}
+	}
+}
+
+func errorsAs(err error, target **ParseError) bool {
+	pe, ok := err.(*ParseError)
+	if ok {
+		*target = pe
+	}
+	return ok
+}
+
+func TestCommentAtLineEnd(t *testing.T) {
+	got := parseAll(t, `<http://s> <http://p> <http://o> . # trailing comment`)
+	if len(got) != 1 {
+		t.Fatalf("got %d triples", len(got))
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	triples := []rdf.Triple{
+		{S: rdf.NewIRI("http://ex/s"), P: rdf.NewIRI("http://ex/p"), O: rdf.NewIRI("http://ex/o")},
+		{S: rdf.NewBlank("n1"), P: rdf.NewIRI("http://ex/p"), O: rdf.NewLiteral("with \"quotes\" and \\slash\\ and\nnewline\ttab")},
+		{S: rdf.NewIRI("http://ex/s"), P: rdf.NewIRI("http://ex/geo"), O: rdf.NewTypedLiteral("POINT(1 2)", rdf.WKTLiteral)},
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, tr := range triples {
+		if err := w.Write(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	got := parseAll(t, buf.String())
+	if !reflect.DeepEqual(got, triples) {
+		t.Errorf("round trip mismatch:\ngot  %v\nwant %v", got, triples)
+	}
+}
+
+// Property: any literal string round-trips through write+parse.
+func TestLiteralRoundTripProperty(t *testing.T) {
+	f := func(s string) bool {
+		if !isValidUTF8NoControl(s) {
+			return true // writer contract covers text, not arbitrary bytes
+		}
+		tr := rdf.Triple{S: rdf.NewIRI("http://s"), P: rdf.NewIRI("http://p"), O: rdf.NewLiteral(s)}
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		if err := w.Write(tr); err != nil {
+			return false
+		}
+		w.Flush()
+		r := NewReader(&buf)
+		got, err := r.Next()
+		if err != nil {
+			return false
+		}
+		return got.O.Value == s
+	}
+	cfg := &quick.Config{MaxCount: 300, Rand: rand.New(rand.NewSource(11))}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func isValidUTF8NoControl(s string) bool {
+	for _, r := range s {
+		if r == 0xFFFD || (r < 0x20 && r != '\n' && r != '\t' && r != '\r') {
+			return false
+		}
+	}
+	return true
+}
+
+func TestLoadIntoBuilder(t *testing.T) {
+	src := `
+<http://ex/Abbey> <http://ex/dedication> <http://ex/SaintPeter> .
+<http://ex/Abbey> <http://ex/hasGeometry> "POINT(4.66 43.71)"^^<` + rdf.WKTLiteral + `> .
+<http://ex/Abbey> <http://ex/sameAs> <http://ex/Copy> .
+`
+	b := rdf.NewBuilder()
+	n, err := Load(strings.NewReader(src), b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 { // sameAs skipped
+		t.Errorf("accepted = %d, want 2", n)
+	}
+	g := b.Build()
+	if g.NumVertices() != 2 || len(g.Places()) != 1 {
+		t.Errorf("graph has %d vertices, %d places", g.NumVertices(), len(g.Places()))
+	}
+}
+
+func TestLoadPropagatesParseError(t *testing.T) {
+	b := rdf.NewBuilder()
+	if _, err := Load(strings.NewReader("garbage here\n"), b); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func BenchmarkParse(b *testing.B) {
+	line := `<http://dbpedia.org/resource/Montmajour_Abbey> <http://dbpedia.org/ontology/dedication> <http://dbpedia.org/resource/Saint_Peter> .` + "\n"
+	src := strings.Repeat(line, 1000)
+	b.SetBytes(int64(len(src)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := NewReader(strings.NewReader(src))
+		for {
+			if _, err := r.Next(); err != nil {
+				break
+			}
+		}
+	}
+}

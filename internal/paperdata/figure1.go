@@ -1,0 +1,63 @@
+// Package paperdata reconstructs the running example of the paper
+// (Figure 1, Figure 2, Table 1): a small DBpedia excerpt around
+// Montmajour Abbey (p1) and the Roman Catholic Diocese of Fréjus-Toulon
+// (p2). Tests across the module verify the worked examples (Examples 4-8)
+// against this fixture.
+package paperdata
+
+import (
+	"ksp/internal/geo"
+	"ksp/internal/rdf"
+)
+
+// Fixture exposes the Figure 1 graph and the IDs of its named vertices.
+type Fixture struct {
+	G                      *rdf.Graph
+	P1, V1, V2, V3, V4, V5 uint32
+	P2, V6, V7, V8         uint32
+	Q1, Q2                 geo.Point
+	Keywords               []string // the running query {ancient, roman, catholic, history}
+}
+
+// Figure1 builds the example graph with the exact vertex documents of
+// Figure 1(b) and the coordinates of Figure 2.
+func Figure1() *Fixture {
+	b := rdf.NewBuilder()
+	add := func(uri string, terms ...string) uint32 {
+		v := b.AddBareVertex(uri)
+		for _, t := range terms {
+			b.AddTermID(v, b.Vocab.ID(t))
+		}
+		return v
+	}
+	f := &Fixture{
+		Q1:       geo.Point{X: 43.51, Y: 4.75},
+		Q2:       geo.Point{X: 43.17, Y: 5.90},
+		Keywords: []string{"ancient", "roman", "catholic", "history"},
+	}
+	f.P1 = add("Montmajour_Abbey", "abbey", "montmajour")
+	f.V1 = add("Category:Romanesque_architecture", "architecture", "romanesque", "subject")
+	f.V2 = add("Saint_Peter", "catholic", "dedication", "peter", "roman", "saint")
+	f.V3 = add("Ancient_Diocese_of_Arles", "ancient", "arles", "diocese")
+	f.V4 = add("Category:Architectural_history", "architectural", "history", "subject")
+	f.V5 = add("Roman_Empire", "ancient", "birthplace", "empire", "roman")
+	f.P2 = add("Roman_Catholic_Diocese_of_Fréjus-Toulon", "catholic", "diocese", "roman")
+	f.V6 = add("Mary_Magdalene", "mary", "magdalene", "patron")
+	f.V7 = add("Catholic_Church", "catholic", "church", "denomination", "history")
+	f.V8 = add("Anatolia", "anatolia", "ancient", "deathplace", "history")
+
+	b.AddEdge(f.P1, f.V1, "subject")
+	b.AddEdge(f.P1, f.V2, "dedication")
+	b.AddEdge(f.P1, f.V3, "diocese")
+	b.AddEdge(f.V3, f.V4, "subject")
+	b.AddEdge(f.V2, f.V5, "birthPlace")
+	b.AddEdge(f.P2, f.V6, "patron")
+	b.AddEdge(f.P2, f.V7, "denomination")
+	b.AddEdge(f.V6, f.V8, "deathPlace")
+
+	b.SetLocation(f.P1, geo.Point{X: 43.71, Y: 4.66})
+	b.SetLocation(f.P2, geo.Point{X: 43.13, Y: 5.97})
+
+	f.G = b.Build()
+	return f
+}

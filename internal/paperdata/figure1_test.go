@@ -1,0 +1,58 @@
+package paperdata
+
+import (
+	"testing"
+
+	"ksp/internal/geo"
+)
+
+func TestFixtureShape(t *testing.T) {
+	f := Figure1()
+	if f.G.NumVertices() != 10 {
+		t.Errorf("vertices = %d, want 10", f.G.NumVertices())
+	}
+	if f.G.NumEdges() != 8 {
+		t.Errorf("edges = %d, want 8", f.G.NumEdges())
+	}
+	if got := f.G.Places(); len(got) != 2 {
+		t.Fatalf("places = %v, want p1 and p2", got)
+	}
+	if !f.G.IsPlace(f.P1) || !f.G.IsPlace(f.P2) {
+		t.Error("p1 and p2 must be places")
+	}
+	if f.G.IsPlace(f.V1) {
+		t.Error("v1 must not be a place")
+	}
+	if f.G.Loc(f.P1) != (geo.Point{X: 43.71, Y: 4.66}) {
+		t.Errorf("p1 loc = %v", f.G.Loc(f.P1))
+	}
+	if f.G.Loc(f.P2) != (geo.Point{X: 43.13, Y: 5.97}) {
+		t.Errorf("p2 loc = %v", f.G.Loc(f.P2))
+	}
+	// Documents match Figure 1(b) (spot checks).
+	for word, vs := range map[string][]uint32{
+		"montmajour": {f.P1},
+		"history":    {f.V4, f.V7, f.V8},
+	} {
+		id, ok := f.G.Vocab.Lookup(word)
+		if !ok {
+			t.Fatalf("vocab missing %q", word)
+		}
+		for _, v := range vs {
+			if !f.G.HasTerm(v, id) {
+				t.Errorf("vertex %d missing term %q", v, word)
+			}
+		}
+	}
+	// Edge spot checks: p1 -> {v1, v2, v3}, v6 -> v8.
+	out := f.G.Out(f.P1)
+	if len(out) != 3 {
+		t.Errorf("p1 out-degree = %d, want 3", len(out))
+	}
+	if got := f.G.Out(f.V6); len(got) != 1 || got[0] != f.V8 {
+		t.Errorf("v6 out = %v, want [v8]", got)
+	}
+	if len(f.Keywords) != 4 {
+		t.Errorf("running-query keywords = %v", f.Keywords)
+	}
+}

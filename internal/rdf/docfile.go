@@ -1,0 +1,115 @@
+package rdf
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+
+	"ksp/internal/lru"
+)
+
+// docFile serves vertex documents from disk with an LRU cache in front —
+// the out-of-core representation the paper points to for data beyond main
+// memory (footnote 1 / Section 8). Only the offset table (4 bytes per
+// vertex) stays resident.
+type docFile struct {
+	f     *os.File
+	mu    sync.Mutex
+	cache *lru.Cache[uint32, []uint32]
+	reads int64
+}
+
+// DefaultDocCacheEntries is the default LRU capacity of SpillDocs.
+const DefaultDocCacheEntries = 1 << 16
+
+// SpillDocs moves the vertex documents to a file at path, keeping an LRU
+// cache of cacheEntries hot documents (<= 0 selects the default). Doc and
+// HasTerm keep working transparently; the in-memory term array is
+// released. Queries are unaffected — the engine matches keywords through
+// the inverted index — while Describe-style lookups page from disk.
+//
+// The caller owns the file's lifetime; it is removed with CloseDocFile or
+// by the process exiting.
+func (g *Graph) SpillDocs(path string, cacheEntries int) error {
+	if g.docTerms == nil && g.spill != nil {
+		return fmt.Errorf("rdf: documents already spilled")
+	}
+	if cacheEntries <= 0 {
+		cacheEntries = DefaultDocCacheEntries
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriterSize(f, 1<<20)
+	var buf [4]byte
+	for _, t := range g.docTerms {
+		binary.LittleEndian.PutUint32(buf[:], t)
+		if _, err := bw.Write(buf[:]); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		return err
+	}
+	g.spill = &docFile{f: f, cache: lru.New[uint32, []uint32](cacheEntries)}
+	g.docTerms = nil
+	return nil
+}
+
+// DocsOnDisk reports whether the documents live in a spill file.
+func (g *Graph) DocsOnDisk() bool { return g.spill != nil }
+
+// CloseDocFile closes and deletes the spill file. The graph must not be
+// queried afterwards.
+func (g *Graph) CloseDocFile() error {
+	if g.spill == nil {
+		return nil
+	}
+	name := g.spill.f.Name()
+	if err := g.spill.f.Close(); err != nil {
+		return err
+	}
+	return os.Remove(name)
+}
+
+// DocReads returns the number of disk reads served (cache misses).
+func (g *Graph) DocReads() int64 {
+	if g.spill == nil {
+		return 0
+	}
+	return atomic.LoadInt64(&g.spill.reads)
+}
+
+// doc fetches one document, from cache or disk.
+func (d *docFile) doc(v uint32, start, end uint32) []uint32 {
+	d.mu.Lock()
+	if doc, ok := d.cache.Get(v); ok {
+		d.mu.Unlock()
+		return doc
+	}
+	d.mu.Unlock()
+
+	n := int(end - start)
+	raw := make([]byte, 4*n)
+	if _, err := d.f.ReadAt(raw, int64(start)*4); err != nil {
+		// A read failure on the spill file is unrecoverable corruption of
+		// our own managed file; an empty doc would silently corrupt
+		// results, so fail loudly.
+		panic(fmt.Sprintf("rdf: doc spill read failed: %v", err))
+	}
+	atomic.AddInt64(&d.reads, 1)
+	doc := make([]uint32, n)
+	for i := range doc {
+		doc[i] = binary.LittleEndian.Uint32(raw[4*i:])
+	}
+	d.mu.Lock()
+	d.cache.Put(v, doc)
+	d.mu.Unlock()
+	return doc
+}

@@ -1,0 +1,147 @@
+package rdf
+
+import (
+	"path/filepath"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func spillFixture(t *testing.T, cacheEntries int) (*Graph, [][]uint32) {
+	t.Helper()
+	b := NewBuilder()
+	var want [][]uint32
+	for i := 0; i < 100; i++ {
+		v := b.AddBareVertex(string(rune('a'+i%26)) + string(rune('0'+i/26)))
+		var doc []uint32
+		for j := 0; j <= i%5; j++ {
+			term := b.Vocab.ID(string(rune('a' + (i+j)%26)))
+			b.AddTermID(v, term)
+			doc = append(doc, term)
+		}
+		want = append(want, dedupeSorted(doc))
+	}
+	g := b.Build()
+	path := filepath.Join(t.TempDir(), "docs.bin")
+	if err := g.SpillDocs(path, cacheEntries); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { g.CloseDocFile() })
+	return g, want
+}
+
+func dedupeSorted(d []uint32) []uint32 {
+	out := append([]uint32(nil), d...)
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j-1] > out[j]; j-- {
+			out[j-1], out[j] = out[j], out[j-1]
+		}
+	}
+	k := 0
+	for i, t := range out {
+		if i > 0 && t == out[i-1] {
+			continue
+		}
+		out[k] = t
+		k++
+	}
+	return out[:k]
+}
+
+func TestSpillDocsRoundTrip(t *testing.T) {
+	g, want := spillFixture(t, 8)
+	if !g.DocsOnDisk() {
+		t.Fatal("DocsOnDisk should be true")
+	}
+	// Read all docs twice (second pass exercises the cache).
+	for pass := 0; pass < 2; pass++ {
+		for v := uint32(0); int(v) < g.NumVertices(); v++ {
+			got := g.Doc(v)
+			if !reflect.DeepEqual(append([]uint32(nil), got...), want[v]) {
+				t.Fatalf("pass %d: Doc(%d) = %v, want %v", pass, v, got, want[v])
+			}
+		}
+	}
+	if g.DocReads() == 0 {
+		t.Error("expected disk reads")
+	}
+	// HasTerm still works through the spill.
+	for v := uint32(0); int(v) < g.NumVertices(); v++ {
+		for _, term := range want[v] {
+			if !g.HasTerm(v, term) {
+				t.Fatalf("HasTerm(%d, %d) = false", v, term)
+			}
+		}
+		if g.HasTerm(v, 1<<30) {
+			t.Fatal("HasTerm hit for absent term")
+		}
+	}
+}
+
+func TestSpillDocsCacheReducesReads(t *testing.T) {
+	g, _ := spillFixture(t, 200) // cache larger than vertex count
+	for pass := 0; pass < 3; pass++ {
+		for v := uint32(0); int(v) < g.NumVertices(); v++ {
+			g.Doc(v)
+		}
+	}
+	if reads := g.DocReads(); reads > 100 {
+		t.Errorf("reads = %d, want <= one per vertex with a big cache", reads)
+	}
+}
+
+func TestSpillDocsConcurrent(t *testing.T) {
+	g, want := spillFixture(t, 4) // tiny cache forces constant eviction
+	var wg sync.WaitGroup
+	errs := make(chan string, 16)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(seed int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				v := uint32((i*7 + seed*13) % g.NumVertices())
+				got := g.Doc(v)
+				if len(got) != len(want[v]) {
+					errs <- "length mismatch"
+					return
+				}
+				for j := range got {
+					if got[j] != want[v][j] {
+						errs <- "content mismatch"
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}
+
+func TestSpillDocsTwiceFails(t *testing.T) {
+	g, _ := spillFixture(t, 8)
+	if err := g.SpillDocs(filepath.Join(t.TempDir(), "again.bin"), 8); err == nil {
+		t.Fatal("second spill should fail")
+	}
+}
+
+func TestSpillEmptyDocs(t *testing.T) {
+	b := NewBuilder()
+	b.AddBareVertex("empty")
+	v2 := b.AddBareVertex("full")
+	b.AddTermID(v2, b.Vocab.ID("x"))
+	g := b.Build()
+	if err := g.SpillDocs(filepath.Join(t.TempDir(), "d.bin"), 2); err != nil {
+		t.Fatal(err)
+	}
+	defer g.CloseDocFile()
+	if len(g.Doc(0)) != 0 {
+		t.Error("empty doc should stay empty")
+	}
+	if len(g.Doc(1)) != 1 {
+		t.Error("doc lost")
+	}
+}

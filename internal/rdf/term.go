@@ -1,0 +1,69 @@
+// Package rdf models spatial RDF data as a directed graph in its native
+// adjacency-list form, as the paper prescribes for kSP processing
+// (Section 1, "Data Representation and Indexing"): vertices are entities,
+// edges are predicates, each vertex carries a textual document ψ extracted
+// from its URI and literals (plus the predicates of its incoming triples),
+// and place vertices additionally carry spatial coordinates.
+package rdf
+
+import "fmt"
+
+// TermKind discriminates RDF term types.
+type TermKind uint8
+
+const (
+	// IRI is a resource identifier (entity).
+	IRI TermKind = iota
+	// Literal is a (possibly typed) literal value.
+	Literal
+	// Blank is a blank node.
+	Blank
+)
+
+// Term is an RDF term. For literals, Datatype optionally holds the datatype
+// IRI (e.g. a WKT geometry type) and Value the lexical form.
+type Term struct {
+	Kind     TermKind
+	Value    string
+	Datatype string // literals only; "" when untyped
+}
+
+// NewIRI returns an IRI term.
+func NewIRI(v string) Term { return Term{Kind: IRI, Value: v} }
+
+// NewLiteral returns an untyped literal term.
+func NewLiteral(v string) Term { return Term{Kind: Literal, Value: v} }
+
+// NewTypedLiteral returns a literal term with a datatype IRI.
+func NewTypedLiteral(v, dt string) Term { return Term{Kind: Literal, Value: v, Datatype: dt} }
+
+// NewBlank returns a blank-node term with the given label.
+func NewBlank(label string) Term { return Term{Kind: Blank, Value: label} }
+
+// IsEntity reports whether the term can be a graph vertex (IRI or blank).
+func (t Term) IsEntity() bool { return t.Kind == IRI || t.Kind == Blank }
+
+// String renders the term in N-Triples syntax.
+func (t Term) String() string {
+	switch t.Kind {
+	case IRI:
+		return "<" + t.Value + ">"
+	case Blank:
+		return "_:" + t.Value
+	default:
+		if t.Datatype != "" {
+			return fmt.Sprintf("%q^^<%s>", t.Value, t.Datatype)
+		}
+		return fmt.Sprintf("%q", t.Value)
+	}
+}
+
+// Triple is a single RDF statement.
+type Triple struct {
+	S, P, O Term
+}
+
+// String renders the triple in N-Triples syntax (without trailing newline).
+func (t Triple) String() string {
+	return t.S.String() + " " + t.P.String() + " " + t.O.String() + " ."
+}

@@ -1,0 +1,74 @@
+package reach
+
+import (
+	"ksp/internal/rdf"
+)
+
+// KeywordIndex answers "can vertex v reach keyword t" with a single
+// reachability query, via the term-vertex augmentation of Section 4.1: one
+// extra vertex per term, with an edge from every vertex whose document
+// contains the term to that term vertex.
+type KeywordIndex struct {
+	idx      *Index
+	termVert []uint32 // term ID -> augmented vertex, NoVertex when unused
+	numBase  int
+}
+
+// NewKeywordIndex builds the augmented reachability index for g.
+// dir selects the traversal convention: for rdf.Outgoing the question is
+// "does a directed path v -> ... -> keyword vertex exist"; for
+// rdf.Undirected edges are doubled first.
+func NewKeywordIndex(g *rdf.Graph, dir rdf.Direction) *KeywordIndex {
+	n := g.NumVertices()
+	numTerms := g.Vocab.Len()
+	termVert := make([]uint32, numTerms)
+	for i := range termVert {
+		termVert[i] = rdf.NoVertex
+	}
+	// Assign augmented IDs to terms that occur somewhere.
+	next := uint32(n)
+	for v := uint32(0); int(v) < n; v++ {
+		for _, t := range g.Doc(v) {
+			if termVert[t] == rdf.NoVertex {
+				termVert[t] = next
+				next++
+			}
+		}
+	}
+	out := make([][]uint32, next)
+	for v := uint32(0); int(v) < n; v++ {
+		base := g.Out(v)
+		if dir == rdf.Undirected {
+			base = append(append([]uint32(nil), base...), g.In(v)...)
+		}
+		doc := g.Doc(v)
+		lst := make([]uint32, 0, len(base)+len(doc))
+		lst = append(lst, base...)
+		for _, t := range doc {
+			lst = append(lst, termVert[t])
+		}
+		out[v] = lst
+	}
+	return &KeywordIndex{idx: Build(out), termVert: termVert, numBase: n}
+}
+
+// CanReach reports whether v can reach any vertex whose document contains
+// term (including v itself).
+func (k *KeywordIndex) CanReach(v uint32, term uint32) bool {
+	if int(term) >= len(k.termVert) {
+		return false
+	}
+	tv := k.termVert[term]
+	if tv == rdf.NoVertex {
+		return false
+	}
+	return k.idx.Reachable(v, tv)
+}
+
+// MemSize estimates the index footprint in bytes.
+func (k *KeywordIndex) MemSize() int64 {
+	return k.idx.MemSize() + int64(len(k.termVert))*4
+}
+
+// LabelEntries exposes the underlying label size.
+func (k *KeywordIndex) LabelEntries() int64 { return k.idx.LabelEntries() }

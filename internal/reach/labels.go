@@ -1,0 +1,130 @@
+package reach
+
+import "sort"
+
+// Index answers Reachable(u, v) queries on a digraph via SCC condensation
+// plus pruned 2-hop landmark labels. Build with Build; queries are safe for
+// concurrent use.
+type Index struct {
+	comp []uint32
+	lin  [][]uint32 // per component: sorted ranks of landmarks reaching it
+	lout [][]uint32 // per component: sorted ranks of landmarks it reaches
+}
+
+// Build constructs the index from adjacency lists (out[v] are the
+// successors of v).
+func Build(out [][]uint32) *Index {
+	scc := tarjanSCC(out)
+	dagOut, dagIn := condense(out, scc)
+	n := scc.numComp
+
+	// Landmark order: degree-descending over the DAG — high-degree hubs
+	// cover many paths, keeping labels short.
+	order := make([]uint32, n)
+	for i := range order {
+		order[i] = uint32(i)
+	}
+	deg := make([]int, n)
+	for v := 0; v < n; v++ {
+		deg[v] = len(dagOut[v]) + len(dagIn[v])
+	}
+	sort.Slice(order, func(i, j int) bool { return deg[order[i]] > deg[order[j]] })
+	rank := make([]uint32, n)
+	for r, v := range order {
+		rank[v] = uint32(r)
+	}
+
+	ix := &Index{
+		comp: scc.comp,
+		lin:  make([][]uint32, n),
+		lout: make([][]uint32, n),
+	}
+
+	// Pruned BFS per landmark in rank order.
+	visited := make([]uint32, n)
+	epoch := uint32(0)
+	var queue []uint32
+	for _, lm := range order {
+		r := rank[lm]
+		// Forward: lm reaches w  =>  r joins lin[w].
+		epoch++
+		queue = append(queue[:0], lm)
+		visited[lm] = epoch
+		for head := 0; head < len(queue); head++ {
+			w := queue[head]
+			if ix.covered(lm, w) {
+				continue // already answerable; prune subtree
+			}
+			ix.lin[w] = append(ix.lin[w], r)
+			for _, x := range dagOut[w] {
+				if visited[x] != epoch {
+					visited[x] = epoch
+					queue = append(queue, x)
+				}
+			}
+		}
+		// Backward: w reaches lm  =>  r joins lout[w].
+		epoch++
+		queue = append(queue[:0], lm)
+		visited[lm] = epoch
+		for head := 0; head < len(queue); head++ {
+			w := queue[head]
+			if w != lm && ix.covered(w, lm) {
+				continue
+			}
+			ix.lout[w] = append(ix.lout[w], r)
+			for _, x := range dagIn[w] {
+				if visited[x] != epoch {
+					visited[x] = epoch
+					queue = append(queue, x)
+				}
+			}
+		}
+	}
+	return ix
+}
+
+// covered reports whether the current labels already answer "u reaches w".
+// Labels are appended in increasing rank order, so they stay sorted.
+func (ix *Index) covered(u, w uint32) bool {
+	a, b := ix.lout[u], ix.lin[w]
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			return true
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return false
+}
+
+// Reachable reports whether there is a directed path from u to v (paths of
+// length zero count: Reachable(u, u) is true).
+func (ix *Index) Reachable(u, v uint32) bool {
+	cu, cv := ix.comp[u], ix.comp[v]
+	if cu == cv {
+		return true
+	}
+	return ix.covered(cu, cv)
+}
+
+// NumComponents returns the number of SCCs.
+func (ix *Index) NumComponents() int { return len(ix.lin) }
+
+// LabelEntries returns the total label size (index-size statistic).
+func (ix *Index) LabelEntries() int64 {
+	var n int64
+	for i := range ix.lin {
+		n += int64(len(ix.lin[i]) + len(ix.lout[i]))
+	}
+	return n
+}
+
+// MemSize estimates the index footprint in bytes.
+func (ix *Index) MemSize() int64 {
+	return int64(len(ix.comp))*4 + ix.LabelEntries()*4 + int64(len(ix.lin)+len(ix.lout))*24
+}

@@ -1,0 +1,97 @@
+package rtree
+
+// Delete removes the item with the given ID at the given location
+// (Guttman's Delete with CondenseTree: underfull nodes are dissolved and
+// their remaining entries re-inserted). It reports whether the item was
+// found. The kSP engine itself never deletes — its graphs are immutable —
+// but a spatial index without deletion is not a library anyone adopts.
+func (t *RTree) Delete(it Item) bool {
+	leaf := t.findLeaf(t.root, it)
+	if leaf == nil {
+		return false
+	}
+	for i, cand := range leaf.Items {
+		if cand == it {
+			leaf.Items = append(leaf.Items[:i], leaf.Items[i+1:]...)
+			break
+		}
+	}
+	t.size--
+	t.condense(leaf)
+	// Shrink the root: an internal root with a single child is replaced
+	// by that child.
+	for !t.root.Leaf && len(t.root.Children) == 1 {
+		t.root = t.root.Children[0]
+		t.root.parent = nil
+		t.height--
+	}
+	return true
+}
+
+// findLeaf locates the leaf holding the exact item.
+func (t *RTree) findLeaf(n *Node, it Item) *Node {
+	if !n.Rect.ContainsPoint(it.Loc) {
+		return nil
+	}
+	if n.Leaf {
+		for _, cand := range n.Items {
+			if cand == it {
+				return n
+			}
+		}
+		return nil
+	}
+	for _, ch := range n.Children {
+		if found := t.findLeaf(ch, it); found != nil {
+			return found
+		}
+	}
+	return nil
+}
+
+// condense walks from a shrunken leaf to the root, dissolving underfull
+// nodes and re-inserting their orphaned entries.
+func (t *RTree) condense(n *Node) {
+	var orphanItems []Item
+	var orphanNodes []*Node
+	for n.parent != nil {
+		parent := n.parent
+		size := len(n.Items) + len(n.Children)
+		if size < t.minEntries {
+			// Remove n from its parent and stash its entries.
+			for i, ch := range parent.Children {
+				if ch == n {
+					parent.Children = append(parent.Children[:i], parent.Children[i+1:]...)
+					break
+				}
+			}
+			orphanItems = append(orphanItems, n.Items...)
+			orphanNodes = append(orphanNodes, n.Children...)
+		} else {
+			n.Rect = computeRect(n)
+		}
+		n = parent
+	}
+	n.Rect = computeRect(n) // root
+	// Re-insert orphans. Items go through normal insertion; orphaned
+	// subtrees are dissolved into their items (simple and correct; the
+	// engine's trees are bulk-loaded and static, so deletion volume is
+	// low).
+	for _, sub := range orphanNodes {
+		collectItems(sub, &orphanItems)
+	}
+	for _, it := range orphanItems {
+		t.size-- // Insert will re-increment
+		t.Insert(it)
+	}
+}
+
+func collectItems(n *Node, dst *[]Item) {
+	if n.Leaf {
+		*dst = append(*dst, n.Items...)
+		return
+	}
+	for _, ch := range n.Children {
+		collectItems(ch, dst)
+	}
+}

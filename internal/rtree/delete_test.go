@@ -1,0 +1,126 @@
+package rtree
+
+import (
+	"math/rand"
+	"testing"
+
+	"ksp/internal/geo"
+)
+
+func TestDeleteBasic(t *testing.T) {
+	tr := New(4)
+	items := []Item{
+		{ID: 1, Loc: geo.Point{X: 1, Y: 1}},
+		{ID: 2, Loc: geo.Point{X: 2, Y: 2}},
+		{ID: 3, Loc: geo.Point{X: 3, Y: 3}},
+	}
+	for _, it := range items {
+		tr.Insert(it)
+	}
+	if !tr.Delete(items[1]) {
+		t.Fatal("delete failed")
+	}
+	if tr.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", tr.Len())
+	}
+	if tr.Delete(items[1]) {
+		t.Fatal("double delete should fail")
+	}
+	if tr.Delete(Item{ID: 99, Loc: geo.Point{X: 9, Y: 9}}) {
+		t.Fatal("deleting absent item should fail")
+	}
+	got := tr.Search(geo.Rect{MinX: 0, MinY: 0, MaxX: 4, MaxY: 4}, nil)
+	if len(got) != 2 {
+		t.Fatalf("search after delete = %v", got)
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeleteAll(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	tr := New(4)
+	items := randomItems(rng, 200)
+	for _, it := range items {
+		tr.Insert(it)
+	}
+	rng.Shuffle(len(items), func(i, j int) { items[i], items[j] = items[j], items[i] })
+	for i, it := range items {
+		if !tr.Delete(it) {
+			t.Fatalf("delete %d failed", it.ID)
+		}
+		if tr.Len() != len(items)-i-1 {
+			t.Fatalf("Len = %d after %d deletions", tr.Len(), i+1)
+		}
+		if err := tr.Validate(); err != nil {
+			t.Fatalf("after deleting %d: %v", i+1, err)
+		}
+	}
+	if got := tr.Search(geo.Rect{MinX: -1e9, MinY: -1e9, MaxX: 1e9, MaxY: 1e9}, nil); len(got) != 0 {
+		t.Fatalf("tree not empty: %v", got)
+	}
+}
+
+func TestDeleteInterleavedWithQueries(t *testing.T) {
+	rng := rand.New(rand.NewSource(37))
+	tr := Bulk(randomItems(rng, 500), 8)
+	live := map[uint32]Item{}
+	br := tr.NewBrowser(geo.Point{X: 50, Y: 50})
+	for {
+		it, _, ok := br.Next()
+		if !ok {
+			break
+		}
+		live[it.ID] = it
+	}
+	// Delete every third item; verify NN stream over the remainder.
+	for id, it := range live {
+		if id%3 == 0 {
+			if !tr.Delete(it) {
+				t.Fatalf("delete %d failed", id)
+			}
+			delete(live, id)
+		}
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	count := 0
+	prev := -1.0
+	br = tr.NewBrowser(geo.Point{X: 50, Y: 50})
+	for {
+		it, d, ok := br.Next()
+		if !ok {
+			break
+		}
+		if _, stillLive := live[it.ID]; !stillLive {
+			t.Fatalf("deleted item %d still reported", it.ID)
+		}
+		if d < prev-1e-12 {
+			t.Fatal("ordering broken after deletes")
+		}
+		prev = d
+		count++
+	}
+	if count != len(live) {
+		t.Fatalf("browser saw %d items, want %d", count, len(live))
+	}
+}
+
+func TestDeleteFromBulkLoadedTree(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	items := randomItems(rng, 300)
+	tr := Bulk(append([]Item(nil), items...), 6)
+	for i := 0; i < 100; i++ {
+		if !tr.Delete(items[i]) {
+			t.Fatalf("delete %d failed", i)
+		}
+	}
+	if tr.Len() != 200 {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if err := tr.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

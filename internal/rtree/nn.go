@@ -1,0 +1,89 @@
+package rtree
+
+import (
+	"container/heap"
+	"math"
+
+	"ksp/internal/geo"
+)
+
+// Browser performs incremental best-first nearest-neighbour search
+// ("distance browsing", Hjaltason & Samet 1999): successive calls to Next
+// yield the stored items in non-decreasing Euclidean distance from the
+// query point. This is the GETNEXT primitive of the paper's BSP/SPP
+// algorithms (Algorithm 1 line 6).
+//
+// NodeAccesses counts the R-tree nodes expanded, which the paper reports as
+// "# of R-tree nodes accessed" (Figures 3(c), 4(c), 7(b)).
+type Browser struct {
+	q            geo.Point
+	h            nnHeap
+	NodeAccesses int64
+}
+
+type nnEntry struct {
+	distSq float64
+	node   *Node // nil when this entry is an item
+	item   Item
+}
+
+type nnHeap []nnEntry
+
+func (h nnHeap) Len() int            { return len(h) }
+func (h nnHeap) Less(i, j int) bool  { return h[i].distSq < h[j].distSq }
+func (h nnHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *nnHeap) Push(x interface{}) { *h = append(*h, x.(nnEntry)) }
+func (h *nnHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// NewBrowser starts an incremental nearest-neighbour scan from q.
+func (t *RTree) NewBrowser(q geo.Point) *Browser {
+	b := &Browser{q: q}
+	if t.size > 0 {
+		b.h = append(b.h, nnEntry{distSq: t.root.Rect.MinDistSq(q), node: t.root})
+	}
+	heap.Init(&b.h)
+	return b
+}
+
+// Next returns the next item in non-decreasing distance order along with
+// its exact Euclidean distance. ok is false when the tree is exhausted.
+func (b *Browser) Next() (it Item, dist float64, ok bool) {
+	for b.h.Len() > 0 {
+		e := heap.Pop(&b.h).(nnEntry)
+		if e.node == nil {
+			return e.item, math.Sqrt(e.distSq), true
+		}
+		b.NodeAccesses++
+		if e.node.Leaf {
+			for _, item := range e.node.Items {
+				heap.Push(&b.h, nnEntry{distSq: b.q.DistSq(item.Loc), item: item})
+			}
+		} else {
+			for _, ch := range e.node.Children {
+				heap.Push(&b.h, nnEntry{distSq: ch.Rect.MinDistSq(b.q), node: ch})
+			}
+		}
+	}
+	return Item{}, 0, false
+}
+
+// Accesses returns NodeAccesses; it lets the browser satisfy the engine's
+// spatial-source interface alongside alternative indexes.
+func (b *Browser) Accesses() int64 { return b.NodeAccesses }
+
+// PeekDist returns the lower bound on the distance of the next item without
+// consuming it, and ok=false when the scan is exhausted. BSP uses this for
+// its termination test on node entries (Algorithm 1 line 7 applies the
+// threshold to nodes as well as places).
+func (b *Browser) PeekDist() (dist float64, ok bool) {
+	if b.h.Len() == 0 {
+		return 0, false
+	}
+	return math.Sqrt(b.h[0].distSq), true
+}

@@ -1,0 +1,310 @@
+// Package server exposes a dataset over HTTP with a small JSON API — the
+// deployment shape a location-based RDF search service actually ships
+// with (cf. the paper's motivating applications: hospital finders, site
+// scouting, location-aware journalism).
+//
+// Endpoints:
+//
+//	GET /search?x=…&y=…&kw=a,b,c&k=5[&algo=SP][&trees=1]
+//	GET /describe?uri=…
+//	GET /stats
+//	GET /healthz
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"ksp"
+)
+
+// Server handles kSP queries over one dataset.
+type Server struct {
+	ds  *ksp.Dataset
+	mux *http.ServeMux
+	// MaxK caps the requested k to bound per-request work.
+	MaxK int
+	// Timeout bounds each query's evaluation.
+	Timeout time.Duration
+}
+
+// New returns a ready handler for the dataset.
+func New(ds *ksp.Dataset) *Server {
+	s := &Server{ds: ds, mux: http.NewServeMux(), MaxK: 100, Timeout: 10 * time.Second}
+	s.mux.HandleFunc("/search", s.handleSearch)
+	s.mux.HandleFunc("/keyword", s.handleKeyword)
+	s.mux.HandleFunc("/nearest", s.handleNearest)
+	s.mux.HandleFunc("/describe", s.handleDescribe)
+	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/healthz", s.handleHealth)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// SearchResponse is the /search payload.
+type SearchResponse struct {
+	Results []SearchResult `json:"results"`
+	Stats   QueryStats     `json:"stats"`
+}
+
+// SearchResult is one semantic place.
+type SearchResult struct {
+	URI       string     `json:"uri"`
+	Score     float64    `json:"score"`
+	Looseness float64    `json:"looseness"`
+	Distance  float64    `json:"distance"`
+	X         float64    `json:"x"`
+	Y         float64    `json:"y"`
+	Tree      []TreeNode `json:"tree,omitempty"`
+}
+
+// TreeNode is one vertex of a result tree.
+type TreeNode struct {
+	URI      string `json:"uri"`
+	Parent   string `json:"parent"`
+	Depth    int    `json:"depth"`
+	Keywords int    `json:"matchedKeywords"`
+}
+
+// QueryStats summarizes the evaluation cost.
+type QueryStats struct {
+	Algorithm         string `json:"algorithm"`
+	Millis            int64  `json:"millis"`
+	TQSPComputations  int64  `json:"tqspComputations"`
+	RTreeNodeAccesses int64  `json:"rtreeNodeAccesses"`
+	TimedOut          bool   `json:"timedOut"`
+}
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) fail(w http.ResponseWriter, code int, format string, args ...interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+func writeJSON(w http.ResponseWriter, v interface{}) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.fail(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	q := r.URL.Query()
+	x, errX := strconv.ParseFloat(q.Get("x"), 64)
+	y, errY := strconv.ParseFloat(q.Get("y"), 64)
+	if errX != nil || errY != nil {
+		s.fail(w, http.StatusBadRequest, "x and y must be numbers")
+		return
+	}
+	var kws []string
+	for _, part := range strings.Split(q.Get("kw"), ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			kws = append(kws, p)
+		}
+	}
+	if len(kws) == 0 {
+		s.fail(w, http.StatusBadRequest, "kw is required (comma-separated keywords)")
+		return
+	}
+	k := 5
+	if ks := q.Get("k"); ks != "" {
+		var err error
+		if k, err = strconv.Atoi(ks); err != nil || k < 1 {
+			s.fail(w, http.StatusBadRequest, "k must be a positive integer")
+			return
+		}
+	}
+	if k > s.MaxK {
+		k = s.MaxK
+	}
+	algo := ksp.AlgoSP
+	if a := q.Get("algo"); a != "" {
+		var ok bool
+		if algo, ok = parseAlgo(a); !ok {
+			s.fail(w, http.StatusBadRequest, "algo must be one of BSP, SPP, SP, TA")
+			return
+		}
+	}
+	trees := q.Get("trees") == "1" || q.Get("trees") == "true"
+
+	query := ksp.Query{Loc: ksp.Point{X: x, Y: y}, Keywords: kws, K: k}
+	res, stats, err := s.ds.SearchWith(algo, query, ksp.Options{CollectTrees: trees, Deadline: s.Timeout})
+	if err != nil {
+		s.fail(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	resp := SearchResponse{
+		Results: make([]SearchResult, 0, len(res)),
+		Stats: QueryStats{
+			Algorithm:         algo.String(),
+			Millis:            stats.TotalTime().Milliseconds(),
+			TQSPComputations:  stats.TQSPComputations,
+			RTreeNodeAccesses: stats.RTreeNodeAccesses,
+			TimedOut:          stats.TimedOut,
+		},
+	}
+	for _, item := range res {
+		loc, _ := s.ds.Location(item.Place)
+		sr := SearchResult{
+			URI:       s.ds.URI(item.Place),
+			Score:     item.Score,
+			Looseness: item.Looseness,
+			Distance:  item.Dist,
+			X:         loc.X,
+			Y:         loc.Y,
+		}
+		if item.Tree != nil {
+			for _, n := range item.Tree.Nodes {
+				sr.Tree = append(sr.Tree, TreeNode{
+					URI:      s.ds.URI(n.V),
+					Parent:   s.ds.URI(n.Parent),
+					Depth:    n.Depth,
+					Keywords: len(n.Matched),
+				})
+			}
+		}
+		resp.Results = append(resp.Results, sr)
+	}
+	writeJSON(w, resp)
+}
+
+func parseAlgo(s string) (ksp.Algorithm, bool) {
+	switch strings.ToUpper(s) {
+	case "BSP":
+		return ksp.AlgoBSP, true
+	case "SPP":
+		return ksp.AlgoSPP, true
+	case "SP":
+		return ksp.AlgoSP, true
+	case "TA":
+		return ksp.AlgoTA, true
+	}
+	return 0, false
+}
+
+// handleKeyword serves location-free keyword search: the places with the
+// tightest semantic trees regardless of where the client is.
+func (s *Server) handleKeyword(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	var kws []string
+	for _, part := range strings.Split(q.Get("kw"), ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			kws = append(kws, p)
+		}
+	}
+	if len(kws) == 0 {
+		s.fail(w, http.StatusBadRequest, "kw is required")
+		return
+	}
+	k := 5
+	if ks := q.Get("k"); ks != "" {
+		var err error
+		if k, err = strconv.Atoi(ks); err != nil || k < 1 {
+			s.fail(w, http.StatusBadRequest, "k must be a positive integer")
+			return
+		}
+	}
+	if k > s.MaxK {
+		k = s.MaxK
+	}
+	res, err := s.ds.KeywordSearch(kws, k)
+	if err != nil {
+		s.fail(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	out := make([]SearchResult, 0, len(res))
+	for _, item := range res {
+		loc, _ := s.ds.Location(item.Place)
+		out = append(out, SearchResult{
+			URI:       s.ds.URI(item.Place),
+			Score:     item.Score,
+			Looseness: item.Looseness,
+			X:         loc.X,
+			Y:         loc.Y,
+		})
+	}
+	writeJSON(w, SearchResponse{Results: out, Stats: QueryStats{Algorithm: "keyword"}})
+}
+
+// handleNearest serves plain nearest-place lookup.
+func (s *Server) handleNearest(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	x, errX := strconv.ParseFloat(q.Get("x"), 64)
+	y, errY := strconv.ParseFloat(q.Get("y"), 64)
+	if errX != nil || errY != nil {
+		s.fail(w, http.StatusBadRequest, "x and y must be numbers")
+		return
+	}
+	n := 5
+	if ns := q.Get("n"); ns != "" {
+		var err error
+		if n, err = strconv.Atoi(ns); err != nil || n < 1 {
+			s.fail(w, http.StatusBadRequest, "n must be a positive integer")
+			return
+		}
+	}
+	if n > s.MaxK {
+		n = s.MaxK
+	}
+	res := s.ds.NearestPlaces(ksp.Point{X: x, Y: y}, n)
+	out := make([]SearchResult, 0, len(res))
+	for _, item := range res {
+		loc, _ := s.ds.Location(item.Place)
+		out = append(out, SearchResult{
+			URI:      s.ds.URI(item.Place),
+			Distance: item.Dist,
+			X:        loc.X,
+			Y:        loc.Y,
+		})
+	}
+	writeJSON(w, SearchResponse{Results: out, Stats: QueryStats{Algorithm: "nearest"}})
+}
+
+// DescribeResponse is the /describe payload.
+type DescribeResponse struct {
+	URI     string   `json:"uri"`
+	Terms   []string `json:"terms"`
+	IsPlace bool     `json:"isPlace"`
+	X       float64  `json:"x,omitempty"`
+	Y       float64  `json:"y,omitempty"`
+}
+
+func (s *Server) handleDescribe(w http.ResponseWriter, r *http.Request) {
+	uri := r.URL.Query().Get("uri")
+	if uri == "" {
+		s.fail(w, http.StatusBadRequest, "uri is required")
+		return
+	}
+	v, ok := s.ds.VertexByURI(uri)
+	if !ok {
+		s.fail(w, http.StatusNotFound, "unknown entity %q", uri)
+		return
+	}
+	resp := DescribeResponse{URI: uri, Terms: s.ds.Describe(v)}
+	if loc, isPlace := s.ds.Location(v); isPlace {
+		resp.IsPlace = true
+		resp.X, resp.Y = loc.X, loc.Y
+	}
+	writeJSON(w, resp)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, s.ds.Stats())
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ok")
+}

@@ -1,0 +1,227 @@
+package store
+
+import (
+	"bytes"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"ksp/internal/core"
+	"ksp/internal/gen"
+	"ksp/internal/invindex"
+	"ksp/internal/paperdata"
+	"ksp/internal/rdf"
+	"ksp/internal/rtree"
+)
+
+func roundTrip(t *testing.T, s *Snapshot) *Snapshot {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Write(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func TestGraphRoundTrip(t *testing.T) {
+	f := paperdata.Figure1()
+	got := roundTrip(t, &Snapshot{Graph: f.G, Dir: rdf.Outgoing})
+	g2 := got.Graph
+
+	if g2.NumVertices() != f.G.NumVertices() || g2.NumEdges() != f.G.NumEdges() {
+		t.Fatalf("shape changed: %d/%d vs %d/%d", g2.NumVertices(), g2.NumEdges(), f.G.NumVertices(), f.G.NumEdges())
+	}
+	for v := uint32(0); int(v) < f.G.NumVertices(); v++ {
+		if g2.URI(v) != f.G.URI(v) {
+			t.Fatalf("URI %d changed", v)
+		}
+		if !reflect.DeepEqual(g2.Out(v), f.G.Out(v)) {
+			t.Fatalf("Out(%d) changed: %v vs %v", v, g2.Out(v), f.G.Out(v))
+		}
+		// Documents must hold the same words (term IDs may renumber).
+		a := docWords(f.G, v)
+		b := docWords(g2, v)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("Doc(%d) changed: %v vs %v", v, a, b)
+		}
+		if g2.IsPlace(v) != f.G.IsPlace(v) {
+			t.Fatalf("place flag %d changed", v)
+		}
+		if f.G.IsPlace(v) && g2.Loc(v) != f.G.Loc(v) {
+			t.Fatalf("loc %d changed", v)
+		}
+	}
+	// Predicate labels survive.
+	p1out := g2.OutPreds(f.P1)
+	names := map[string]bool{}
+	for _, p := range p1out {
+		names[g2.PredName(p)] = true
+	}
+	if !names["dedication"] || !names["subject"] || !names["diocese"] {
+		t.Errorf("p1 predicate labels lost: %v", names)
+	}
+}
+
+func docWords(g *rdf.Graph, v uint32) map[string]bool {
+	out := map[string]bool{}
+	for _, t := range g.Doc(v) {
+		out[g.Vocab.Term(t)] = true
+	}
+	return out
+}
+
+func TestSnapshotWithAlpha(t *testing.T) {
+	g := gen.Generate(gen.DBpediaConfig(800, 5))
+	e := core.NewEngine(g, rdf.Outgoing)
+	e.EnableAlpha(2)
+
+	snap := &Snapshot{
+		Graph:       g,
+		AlphaRadius: 2,
+		Dir:         rdf.Outgoing,
+		AlphaPlace:  e.Alpha.PlaceIdx.(*invindex.MemIndex),
+		AlphaNode:   e.Alpha.NodeIdx.(*invindex.MemIndex),
+	}
+	got := roundTrip(t, snap)
+	if got.AlphaRadius != 2 || got.Dir != rdf.Outgoing {
+		t.Fatalf("alpha metadata lost: %+v", got)
+	}
+	ix := got.AlphaIndex()
+	if ix == nil {
+		t.Fatal("AlphaIndex nil")
+	}
+	// Posting lists identical term-by-term (vocabulary order is preserved
+	// by the loader).
+	for term := 0; term < e.Alpha.PlaceIdx.NumTerms(); term++ {
+		a, _ := e.Alpha.PlaceIdx.Postings(uint32(term), nil)
+		b, _ := ix.PlaceIdx.Postings(uint32(term), nil)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("place postings for term %d differ", term)
+		}
+		a, _ = e.Alpha.NodeIdx.Postings(uint32(term), nil)
+		b, _ = ix.NodeIdx.Postings(uint32(term), nil)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("node postings for term %d differ", term)
+		}
+	}
+}
+
+// The α node postings reference R-tree node IDs; a rebuilt engine must
+// assign the same IDs (deterministic STR bulk loading over the same
+// places). This is the invariant LoadSnapshot relies on.
+func TestSnapshotAlphaNodeIDsStable(t *testing.T) {
+	g := gen.Generate(gen.YagoConfig(600, 9))
+	build := func() *rtree.RTree {
+		places := g.Places()
+		items := make([]rtree.Item, len(places))
+		for i, p := range places {
+			items[i] = rtree.Item{ID: p, Loc: g.Loc(p)}
+		}
+		return rtree.Bulk(items, rtree.DefaultMaxEntries)
+	}
+	t1, t2 := build(), build()
+	var walk func(a, b *rtree.Node) bool
+	walk = func(a, b *rtree.Node) bool {
+		if a.ID != b.ID || a.Leaf != b.Leaf || a.Rect != b.Rect ||
+			len(a.Children) != len(b.Children) || len(a.Items) != len(b.Items) {
+			return false
+		}
+		for i := range a.Items {
+			if a.Items[i] != b.Items[i] {
+				return false
+			}
+		}
+		for i := range a.Children {
+			if !walk(a.Children[i], b.Children[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if !walk(t1.Root(), t2.Root()) {
+		t.Fatal("STR bulk loading is not deterministic; snapshot node IDs would break")
+	}
+}
+
+// End-to-end: a query over an engine restored from a snapshot must match
+// the original engine exactly.
+func TestSnapshotQueryEquivalence(t *testing.T) {
+	g := gen.Generate(gen.DBpediaConfig(900, 13))
+	qg := gen.NewQueryGen(g, rdf.Outgoing, 14)
+	orig := core.NewEngine(g, rdf.Outgoing)
+	orig.EnableReach()
+	orig.EnableAlpha(3)
+
+	path := filepath.Join(t.TempDir(), "snap.bin")
+	err := SaveFile(path, &Snapshot{
+		Graph:       g,
+		AlphaRadius: 3,
+		Dir:         rdf.Outgoing,
+		AlphaPlace:  orig.Alpha.PlaceIdx.(*invindex.MemIndex),
+		AlphaNode:   orig.Alpha.NodeIdx.(*invindex.MemIndex),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restored := core.NewEngine(snap.Graph, snap.Dir)
+	restored.EnableReach()
+	restored.SetAlpha(snap.AlphaIndex())
+
+	for trial := 0; trial < 6; trial++ {
+		loc, kws := qg.Original(4)
+		q := core.Query{Loc: loc, Keywords: kws, K: 5}
+		want, _, err := orig.SP(q, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := restored.SP(q, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("trial %d: %d vs %d results", trial, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].Place != want[i].Place || got[i].Score != want[i].Score {
+				t.Fatalf("trial %d result %d: %+v vs %+v", trial, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("junk"))); err == nil {
+		t.Error("expected error on short input")
+	}
+	if _, err := Read(bytes.NewReader(make([]byte, 64))); err == nil {
+		t.Error("expected error on zero magic")
+	}
+	// Truncation mid-stream.
+	f := paperdata.Figure1()
+	var buf bytes.Buffer
+	if err := Write(&buf, &Snapshot{Graph: f.G}); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for _, cut := range []int{10, len(full) / 2, len(full) - 3} {
+		if _, err := Read(bytes.NewReader(full[:cut])); err == nil {
+			t.Errorf("expected error at cut %d", cut)
+		}
+	}
+}
+
+func TestAlphaIndexNilWithoutAlpha(t *testing.T) {
+	f := paperdata.Figure1()
+	got := roundTrip(t, &Snapshot{Graph: f.G})
+	if got.AlphaIndex() != nil {
+		t.Error("AlphaIndex should be nil when none persisted")
+	}
+}

@@ -1,0 +1,55 @@
+package text
+
+// Analyzer turns raw text (URIs, literals, query keywords) into the
+// normalized terms the indexes store. The zero value performs plain
+// tokenization — the paper's document-construction scheme; stopword
+// removal and Porter stemming are opt-in production niceties that must be
+// applied identically at indexing and query time (rdf.Graph therefore
+// carries its Analyzer).
+type Analyzer struct {
+	// RemoveStopwords drops very common English words.
+	RemoveStopwords bool
+	// Stemming reduces tokens to Porter stems so that morphological
+	// variants match ("architecture" ~ "architectural").
+	Stemming bool
+}
+
+// Analyze tokenizes s and applies the configured normalizations,
+// deduplicating the result (first-occurrence order).
+func (a Analyzer) Analyze(s string) []string {
+	toks := Tokenize(s)
+	seen := make(map[string]struct{}, len(toks))
+	out := toks[:0]
+	for _, t := range toks {
+		if a.RemoveStopwords {
+			if _, stop := stopwords[t]; stop {
+				continue
+			}
+		}
+		if a.Stemming {
+			t = Stem(t)
+		}
+		if _, dup := seen[t]; dup {
+			continue
+		}
+		seen[t] = struct{}{}
+		out = append(out, t)
+	}
+	return out
+}
+
+// stopwords is a compact English list; enough to drop glue words from
+// literals without eating content terms.
+var stopwords = map[string]struct{}{}
+
+func init() {
+	for _, w := range []string{
+		"a", "an", "and", "are", "as", "at", "be", "but", "by", "for",
+		"from", "has", "have", "he", "her", "his", "if", "in", "into",
+		"is", "it", "its", "no", "not", "of", "on", "or", "s", "she",
+		"such", "t", "that", "the", "their", "then", "there", "these",
+		"they", "this", "to", "was", "were", "will", "with",
+	} {
+		stopwords[w] = struct{}{}
+	}
+}

@@ -1,0 +1,266 @@
+package text
+
+// Porter stemming algorithm (M.F. Porter, "An algorithm for suffix
+// stripping", Program 14(3), 1980). Implemented from the original paper's
+// rule tables; the tests include the classic published vectors.
+//
+// RDF keyword search benefits from stemming because entity documents mix
+// morphological variants ("architecture" vs "architectural" in Figure 1
+// of the kSP paper); with stemming enabled, a query for one form matches
+// the other.
+
+// Stem returns the Porter stem of a lower-case word. Words of length <= 2
+// are returned unchanged, per the original algorithm.
+func Stem(word string) string {
+	if len(word) <= 2 {
+		return word
+	}
+	w := []byte(word)
+	w = step1a(w)
+	w = step1b(w)
+	w = step1c(w)
+	w = step2(w)
+	w = step3(w)
+	w = step4(w)
+	w = step5a(w)
+	w = step5b(w)
+	return string(w)
+}
+
+// isCons reports whether w[i] is a consonant in Porter's sense: a letter
+// other than a/e/i/o/u, with 'y' counting as a consonant only when it
+// follows a vowel-position... precisely: TYPE(y) = consonant if the
+// preceding letter is a vowel-type, else vowel.
+func isCons(w []byte, i int) bool {
+	switch w[i] {
+	case 'a', 'e', 'i', 'o', 'u':
+		return false
+	case 'y':
+		if i == 0 {
+			return true
+		}
+		return !isCons(w, i-1)
+	default:
+		return true
+	}
+}
+
+// measure computes m of the stem w[:k]: the number of VC sequences in the
+// form [C](VC)^m[V].
+func measure(w []byte) int {
+	n := len(w)
+	i := 0
+	// Skip initial consonants.
+	for i < n && isCons(w, i) {
+		i++
+	}
+	m := 0
+	for {
+		// Skip vowels.
+		for i < n && !isCons(w, i) {
+			i++
+		}
+		if i >= n {
+			return m
+		}
+		m++
+		// Skip consonants.
+		for i < n && isCons(w, i) {
+			i++
+		}
+		if i >= n {
+			return m
+		}
+	}
+}
+
+// hasVowel reports whether the stem contains a vowel.
+func hasVowel(w []byte) bool {
+	for i := range w {
+		if !isCons(w, i) {
+			return true
+		}
+	}
+	return false
+}
+
+// endsDoubleCons reports *d: the stem ends with a double consonant.
+func endsDoubleCons(w []byte) bool {
+	n := len(w)
+	return n >= 2 && w[n-1] == w[n-2] && isCons(w, n-1)
+}
+
+// endsCVC reports *o: the stem ends consonant-vowel-consonant where the
+// final consonant is not w, x or y.
+func endsCVC(w []byte) bool {
+	n := len(w)
+	if n < 3 {
+		return false
+	}
+	if !isCons(w, n-3) || isCons(w, n-2) || !isCons(w, n-1) {
+		return false
+	}
+	switch w[n-1] {
+	case 'w', 'x', 'y':
+		return false
+	}
+	return true
+}
+
+func hasSuffix(w []byte, s string) bool {
+	if len(w) < len(s) {
+		return false
+	}
+	return string(w[len(w)-len(s):]) == s
+}
+
+// replaceIf replaces suffix s with r when the remaining stem satisfies
+// cond; reports whether the suffix matched (regardless of cond).
+func replaceIf(w []byte, s, r string, cond func(stem []byte) bool) ([]byte, bool) {
+	if !hasSuffix(w, s) {
+		return w, false
+	}
+	stem := w[:len(w)-len(s)]
+	if cond == nil || cond(stem) {
+		return append(stem[:len(stem):len(stem)], r...), true
+	}
+	return w, true
+}
+
+func mGT(k int) func([]byte) bool {
+	return func(stem []byte) bool { return measure(stem) > k }
+}
+
+func step1a(w []byte) []byte {
+	switch {
+	case hasSuffix(w, "sses"):
+		return w[:len(w)-2] // sses -> ss
+	case hasSuffix(w, "ies"):
+		return w[:len(w)-2] // ies -> i
+	case hasSuffix(w, "ss"):
+		return w
+	case hasSuffix(w, "s"):
+		return w[:len(w)-1]
+	}
+	return w
+}
+
+func step1b(w []byte) []byte {
+	if w2, ok := replaceIf(w, "eed", "ee", mGT(0)); ok {
+		return w2
+	}
+	matched := false
+	var stem []byte
+	if hasSuffix(w, "ed") && hasVowel(w[:len(w)-2]) {
+		stem = w[:len(w)-2]
+		matched = true
+	} else if hasSuffix(w, "ing") && hasVowel(w[:len(w)-3]) {
+		stem = w[:len(w)-3]
+		matched = true
+	}
+	if !matched {
+		return w
+	}
+	// Tidy up after removal.
+	switch {
+	case hasSuffix(stem, "at"), hasSuffix(stem, "bl"), hasSuffix(stem, "iz"):
+		return append(stem[:len(stem):len(stem)], 'e')
+	case endsDoubleCons(stem):
+		last := stem[len(stem)-1]
+		if last != 'l' && last != 's' && last != 'z' {
+			return stem[:len(stem)-1]
+		}
+		return stem
+	case measure(stem) == 1 && endsCVC(stem):
+		return append(stem[:len(stem):len(stem)], 'e')
+	}
+	return stem
+}
+
+func step1c(w []byte) []byte {
+	if hasSuffix(w, "y") && hasVowel(w[:len(w)-1]) {
+		out := append([]byte(nil), w...)
+		out[len(out)-1] = 'i'
+		return out
+	}
+	return w
+}
+
+var step2Rules = []struct{ from, to string }{
+	{"ational", "ate"}, {"tional", "tion"}, {"enci", "ence"}, {"anci", "ance"},
+	{"izer", "ize"}, {"abli", "able"}, {"alli", "al"}, {"entli", "ent"},
+	{"eli", "e"}, {"ousli", "ous"}, {"ization", "ize"}, {"ation", "ate"},
+	{"ator", "ate"}, {"alism", "al"}, {"iveness", "ive"}, {"fulness", "ful"},
+	{"ousness", "ous"}, {"aliti", "al"}, {"iviti", "ive"}, {"biliti", "ble"},
+}
+
+func step2(w []byte) []byte {
+	for _, r := range step2Rules {
+		if w2, ok := replaceIf(w, r.from, r.to, mGT(0)); ok {
+			return w2
+		}
+	}
+	return w
+}
+
+var step3Rules = []struct{ from, to string }{
+	{"icate", "ic"}, {"ative", ""}, {"alize", "al"}, {"iciti", "ic"},
+	{"ical", "ic"}, {"ful", ""}, {"ness", ""},
+}
+
+func step3(w []byte) []byte {
+	for _, r := range step3Rules {
+		if w2, ok := replaceIf(w, r.from, r.to, mGT(0)); ok {
+			return w2
+		}
+	}
+	return w
+}
+
+var step4Suffixes = []string{
+	"al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement",
+	"ment", "ent", "ion", "ou", "ism", "ate", "iti", "ous", "ive", "ize",
+}
+
+func step4(w []byte) []byte {
+	for _, s := range step4Suffixes {
+		if !hasSuffix(w, s) {
+			continue
+		}
+		stem := w[:len(w)-len(s)]
+		if s == "ion" {
+			// (m>1 and (*S or *T)) ION ->
+			if measure(stem) > 1 && len(stem) > 0 && (stem[len(stem)-1] == 's' || stem[len(stem)-1] == 't') {
+				return stem
+			}
+			return w
+		}
+		if measure(stem) > 1 {
+			return stem
+		}
+		return w
+	}
+	return w
+}
+
+func step5a(w []byte) []byte {
+	if !hasSuffix(w, "e") {
+		return w
+	}
+	stem := w[:len(w)-1]
+	m := measure(stem)
+	if m > 1 {
+		return stem
+	}
+	if m == 1 && !endsCVC(stem) {
+		return stem
+	}
+	return w
+}
+
+func step5b(w []byte) []byte {
+	if measure(w) > 1 && endsDoubleCons(w) && w[len(w)-1] == 'l' {
+		return w[:len(w)-1]
+	}
+	return w
+}

@@ -1,0 +1,195 @@
+package text
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Vectors from Porter's paper and the canonical reference implementation.
+func TestStemVectors(t *testing.T) {
+	vectors := map[string]string{
+		// Step 1a.
+		"caresses": "caress",
+		"ponies":   "poni",
+		"ties":     "ti",
+		"caress":   "caress",
+		"cats":     "cat",
+		// Step 1b.
+		"feed":      "feed",
+		"agreed":    "agre",
+		"plastered": "plaster",
+		"bled":      "bled",
+		"motoring":  "motor",
+		"sing":      "sing",
+		"conflated": "conflat",
+		"troubled":  "troubl",
+		"sized":     "size",
+		"hopping":   "hop",
+		"tanned":    "tan",
+		"falling":   "fall",
+		"hissing":   "hiss",
+		"fizzed":    "fizz",
+		"failing":   "fail",
+		"filing":    "file",
+		// Step 1c.
+		"happy": "happi",
+		"sky":   "sky",
+		// Step 2.
+		"relational":     "relat",
+		"conditional":    "condit",
+		"rational":       "ration",
+		"valenci":        "valenc",
+		"hesitanci":      "hesit",
+		"digitizer":      "digit",
+		"conformabli":    "conform",
+		"radicalli":      "radic",
+		"differentli":    "differ",
+		"vileli":         "vile",
+		"analogousli":    "analog",
+		"vietnamization": "vietnam",
+		"predication":    "predic",
+		"operator":       "oper",
+		"feudalism":      "feudal",
+		"decisiveness":   "decis",
+		"hopefulness":    "hope",
+		"callousness":    "callous",
+		"formaliti":      "formal",
+		"sensitiviti":    "sensit",
+		"sensibiliti":    "sensibl",
+		// Step 3.
+		"triplicate":  "triplic",
+		"formative":   "form",
+		"formalize":   "formal",
+		"electriciti": "electr",
+		"electrical":  "electr",
+		"hopeful":     "hope",
+		"goodness":    "good",
+		// Step 4.
+		"revival":     "reviv",
+		"allowance":   "allow",
+		"inference":   "infer",
+		"airliner":    "airlin",
+		"gyroscopic":  "gyroscop",
+		"adjustable":  "adjust",
+		"defensible":  "defens",
+		"irritant":    "irrit",
+		"replacement": "replac",
+		"adjustment":  "adjust",
+		"dependent":   "depend",
+		"adoption":    "adopt",
+		"homologou":   "homolog",
+		"communism":   "commun",
+		"activate":    "activ",
+		"angulariti":  "angular",
+		"homologous":  "homolog",
+		"effective":   "effect",
+		"bowdlerize":  "bowdler",
+		// Step 5.
+		"probate":  "probat",
+		"rate":     "rate",
+		"cease":    "ceas",
+		"controll": "control",
+		"roll":     "roll",
+		// Domain words from the paper's example.
+		"architectural":  "architectur",
+		"architecture":   "architectur",
+		"generalization": "gener",
+		"dedication":     "dedic",
+	}
+	for in, want := range vectors {
+		if got := Stem(in); got != want {
+			t.Errorf("Stem(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestStemShortWords(t *testing.T) {
+	for _, w := range []string{"", "a", "is", "be"} {
+		if got := Stem(w); got != w {
+			t.Errorf("Stem(%q) = %q, want unchanged", w, got)
+		}
+	}
+}
+
+func TestStemIdempotentOnStems(t *testing.T) {
+	// Stemming a stem usually yields itself for common words; check a
+	// sample (full idempotence is not guaranteed by Porter, so this stays
+	// a curated list).
+	for _, w := range []string{"run", "cat", "architectur", "relat", "hope"} {
+		if got := Stem(w); got != w {
+			t.Errorf("Stem(%q) = %q, want fixpoint", w, got)
+		}
+	}
+}
+
+func TestStemNeverPanicsAndShrinks(t *testing.T) {
+	f := func(s string) bool {
+		// Feed arbitrary lower-cased tokens.
+		for _, tok := range Tokenize(s) {
+			st := Stem(tok)
+			if len(st) > len(tok)+1 { // step1b may append 'e'
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeasure(t *testing.T) {
+	cases := map[string]int{
+		"tr": 0, "ee": 0, "tree": 0, "y": 0, "by": 0,
+		"trouble": 1, "oats": 1, "trees": 1, "ivy": 1,
+		"troubles": 2, "private": 2, "oaten": 2, "orrery": 2,
+	}
+	for w, want := range cases {
+		if got := measure([]byte(w)); got != want {
+			t.Errorf("measure(%q) = %d, want %d", w, got, want)
+		}
+	}
+}
+
+func TestAnalyzer(t *testing.T) {
+	plain := Analyzer{}
+	got := plain.Analyze("The Ancient Roman architecture of the abbey")
+	want := []string{"the", "ancient", "roman", "architecture", "of", "abbey"}
+	if !equalStrings(got, want) {
+		t.Errorf("plain = %v, want %v", got, want)
+	}
+
+	stops := Analyzer{RemoveStopwords: true}
+	got = stops.Analyze("The Ancient Roman architecture of the abbey")
+	want = []string{"ancient", "roman", "architecture", "abbey"}
+	if !equalStrings(got, want) {
+		t.Errorf("stopwords = %v, want %v", got, want)
+	}
+
+	full := Analyzer{RemoveStopwords: true, Stemming: true}
+	a := full.Analyze("architectural")
+	b := full.Analyze("architecture")
+	if len(a) != 1 || len(b) != 1 || a[0] != b[0] {
+		t.Errorf("stemming should unify variants: %v vs %v", a, b)
+	}
+}
+
+func TestAnalyzerDedups(t *testing.T) {
+	full := Analyzer{Stemming: true}
+	got := full.Analyze("running runs run")
+	if len(got) != 1 || got[0] != "run" {
+		t.Errorf("Analyze = %v, want [run]", got)
+	}
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

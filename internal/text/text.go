@@ -1,0 +1,130 @@
+// Package text extracts keyword tokens from RDF identifiers and literals.
+//
+// Following the document-construction scheme of the paper (Section 2, after
+// Le et al., TKDE 2014), each entity's document ψ is built from the words in
+// its URI and literals, and the description of each predicate is added to
+// the document of the triple's object entity. This package provides the
+// tokenizer that turns URIs such as
+// "http://dbpedia.org/resource/Montmajour_Abbey" or camel-cased predicate
+// names such as "birthPlace" into lower-cased word sets.
+package text
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Tokenize splits s into lower-cased word tokens. It understands URI
+// structure (only the fragment/last path segment carries meaning),
+// underscores, hyphens, punctuation, and camelCase boundaries.
+func Tokenize(s string) []string {
+	s = localName(s)
+	var tokens []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() > 0 {
+			tokens = append(tokens, strings.ToLower(cur.String()))
+			cur.Reset()
+		}
+	}
+	prevLower := false
+	for _, r := range s {
+		switch {
+		case unicode.IsLetter(r):
+			if prevLower && unicode.IsUpper(r) {
+				flush() // camelCase boundary: birthPlace -> birth, place
+			}
+			cur.WriteRune(r)
+			prevLower = unicode.IsLower(r)
+		case unicode.IsDigit(r):
+			cur.WriteRune(r)
+			prevLower = false
+		default:
+			flush()
+			prevLower = false
+		}
+	}
+	flush()
+	return tokens
+}
+
+// TokenizeSet is Tokenize with duplicates removed, preserving first
+// occurrence order.
+func TokenizeSet(s string) []string {
+	toks := Tokenize(s)
+	seen := make(map[string]struct{}, len(toks))
+	out := toks[:0]
+	for _, t := range toks {
+		if _, ok := seen[t]; ok {
+			continue
+		}
+		seen[t] = struct{}{}
+		out = append(out, t)
+	}
+	return out
+}
+
+// localName strips URI scaffolding: for a URI it returns the fragment if
+// present, otherwise the last path segment. CURIE-style prefixes
+// ("rdf:type", "Category:Foo") are stripped as well — the paper's example
+// documents (Figure 1(b)) carry no namespace tokens.
+func localName(s string) string {
+	if strings.Contains(s, "://") {
+		if i := strings.LastIndexByte(s, '#'); i >= 0 && i+1 < len(s) {
+			s = s[i+1:]
+		} else if i := strings.LastIndexByte(s, '/'); i >= 0 && i+1 < len(s) {
+			s = s[i+1:]
+		}
+	}
+	if i := strings.LastIndexByte(s, ':'); i > 0 && i+1 < len(s) && isAlphaPrefix(s[:i]) {
+		s = s[i+1:]
+	}
+	return s
+}
+
+func isAlphaPrefix(s string) bool {
+	for _, r := range s {
+		if !unicode.IsLetter(r) {
+			return false
+		}
+	}
+	return len(s) > 0
+}
+
+// Vocabulary maps terms to dense uint32 IDs. It is the shared dictionary
+// used by the graph documents, the inverted index and the α-radius word
+// neighbourhoods, so the rest of the system works with integer term IDs.
+type Vocabulary struct {
+	ids   map[string]uint32
+	terms []string
+}
+
+// NewVocabulary returns an empty dictionary.
+func NewVocabulary() *Vocabulary {
+	return &Vocabulary{ids: make(map[string]uint32)}
+}
+
+// ID interns term and returns its dense ID.
+func (v *Vocabulary) ID(term string) uint32 {
+	if id, ok := v.ids[term]; ok {
+		return id
+	}
+	id := uint32(len(v.terms))
+	v.ids[term] = id
+	v.terms = append(v.terms, term)
+	return id
+}
+
+// Lookup returns the ID for term without interning; ok is false when the
+// term is unknown.
+func (v *Vocabulary) Lookup(term string) (uint32, bool) {
+	id, ok := v.ids[term]
+	return id, ok
+}
+
+// Term returns the string for a term ID. It panics on out-of-range IDs,
+// which always indicates a bug (IDs only come from this dictionary).
+func (v *Vocabulary) Term(id uint32) string { return v.terms[id] }
+
+// Len returns the number of distinct terms.
+func (v *Vocabulary) Len() int { return len(v.terms) }

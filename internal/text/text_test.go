@@ -1,0 +1,97 @@
+package text
+
+import (
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestTokenize(t *testing.T) {
+	tests := []struct {
+		in   string
+		want []string
+	}{
+		{"Montmajour_Abbey", []string{"montmajour", "abbey"}},
+		{"birthPlace", []string{"birth", "place"}},
+		{"deathPlace", []string{"death", "place"}},
+		{"http://dbpedia.org/resource/Montmajour_Abbey", []string{"montmajour", "abbey"}},
+		{"http://dbpedia.org/ontology/birthPlace", []string{"birth", "place"}},
+		{"http://example.org/x#Roman_Empire", []string{"roman", "empire"}},
+		{"Category:Romanesque_architecture", []string{"romanesque", "architecture"}},
+		{"rdf:type", []string{"type"}},
+		{"http://dbpedia.org/resource/Category:Architectural_history", []string{"architectural", "history"}},
+		{"12:30", []string{"12", "30"}}, // numeric prefix is not a CURIE
+		{"Saint Peter", []string{"saint", "peter"}},
+		{"", nil},
+		{"___", nil},
+		{"HTTPServer", []string{"httpserver"}}, // run of capitals stays one token
+		{"a1b2", []string{"a1b2"}},
+		{"Fréjus-Toulon", []string{"fréjus", "toulon"}},
+	}
+	for _, tt := range tests {
+		if got := Tokenize(tt.in); !reflect.DeepEqual(got, tt.want) {
+			t.Errorf("Tokenize(%q) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestTokenizeSet(t *testing.T) {
+	got := TokenizeSet("roman Roman ROMAN empire")
+	want := []string{"roman", "empire"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("TokenizeSet = %v, want %v", got, want)
+	}
+}
+
+func TestTokenizeAllLower(t *testing.T) {
+	f := func(s string) bool {
+		for _, tok := range Tokenize(s) {
+			if tok == "" {
+				return false
+			}
+			for _, r := range tok {
+				if r >= 'A' && r <= 'Z' {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVocabulary(t *testing.T) {
+	v := NewVocabulary()
+	a := v.ID("ancient")
+	r := v.ID("roman")
+	if a == r {
+		t.Fatal("distinct terms must get distinct IDs")
+	}
+	if v.ID("ancient") != a {
+		t.Error("ID must be stable")
+	}
+	if v.Len() != 2 {
+		t.Errorf("Len = %d, want 2", v.Len())
+	}
+	if v.Term(a) != "ancient" || v.Term(r) != "roman" {
+		t.Error("Term round-trip failed")
+	}
+	if id, ok := v.Lookup("roman"); !ok || id != r {
+		t.Error("Lookup failed for known term")
+	}
+	if _, ok := v.Lookup("nope"); ok {
+		t.Error("Lookup should fail for unknown term")
+	}
+}
+
+func TestVocabularyDenseIDs(t *testing.T) {
+	v := NewVocabulary()
+	terms := []string{"a", "b", "c", "d"}
+	for i, s := range terms {
+		if got := v.ID(s); got != uint32(i) {
+			t.Errorf("ID(%q) = %d, want %d", s, got, i)
+		}
+	}
+}

@@ -1,0 +1,473 @@
+// Package ksp implements top-k relevant semantic place retrieval on
+// spatial RDF data, after Shi, Wu and Mamoulis, SIGMOD 2016.
+//
+// A kSP query takes a location, a set of keywords and a count k, and
+// returns the k places (spatial entities of the RDF graph) whose semantic
+// neighbourhoods cover the keywords most tightly while lying close to the
+// query location. No SPARQL and no schema knowledge is required.
+//
+// Typical use:
+//
+//	ds, err := ksp.OpenFile("data.nt", ksp.DefaultConfig())
+//	...
+//	results, err := ds.Search(ksp.Query{
+//		Loc:      ksp.Point{X: 43.51, Y: 4.75},
+//		Keywords: []string{"ancient", "roman", "catholic", "history"},
+//		K:        5,
+//	})
+//
+// Search runs the paper's fastest algorithm (SP) when the α-radius index
+// is built; SearchWith exposes all four evaluation strategies (BSP, SPP,
+// SP, TA) together with their cost statistics for benchmarking.
+package ksp
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+
+	"ksp/internal/core"
+	"ksp/internal/geo"
+	"ksp/internal/invindex"
+	"ksp/internal/nt"
+	"ksp/internal/rdf"
+	"ksp/internal/store"
+	"ksp/internal/text"
+)
+
+// Point is a planar location (X/Y or lon/lat — the library is agnostic,
+// distances are Euclidean).
+type Point = geo.Point
+
+// Query is a kSP query: a location, keywords, and the number of places.
+type Query = core.Query
+
+// Result is one retrieved semantic place.
+type Result = core.Result
+
+// Tree is a materialized tightest qualified semantic place (TQSP).
+type Tree = core.Tree
+
+// TreeNode is one vertex of a Tree.
+type TreeNode = core.TreeNode
+
+// Stats carries the per-query cost counters of the underlying algorithm.
+type Stats = core.Stats
+
+// Options tunes one query execution (deadline, tree materialization).
+type Options = core.Options
+
+// Ranking is the aggregate scoring function f(looseness, distance).
+type Ranking = core.Ranking
+
+// ProductRanking is f = L × S (Equation 2 of the paper; the default).
+type ProductRanking = core.ProductRanking
+
+// WeightedSumRanking is f = β·L + (1−β)·S (Equation 1).
+type WeightedSumRanking = core.WeightedSumRanking
+
+// Triple is an RDF statement for programmatic ingestion.
+type Triple = rdf.Triple
+
+// Direction selects how semantic trees grow from their roots.
+type Direction = rdf.Direction
+
+// Traversal directions.
+const (
+	// Outgoing follows subject→object edges (the paper's definition).
+	Outgoing = rdf.Outgoing
+	// Undirected disregards edge direction (the paper's future-work
+	// variant).
+	Undirected = rdf.Undirected
+)
+
+// Algorithm selects the query evaluation strategy.
+type Algorithm int
+
+// The four strategies of the paper's evaluation.
+const (
+	// AlgoBSP is the basic method (Section 3).
+	AlgoBSP Algorithm = iota
+	// AlgoSPP adds unqualified-place and dynamic-bound pruning
+	// (Section 4).
+	AlgoSPP
+	// AlgoSP adds the α-radius bounds over places and R-tree nodes
+	// (Section 5) — the paper's fastest.
+	AlgoSP
+	// AlgoTA is the threshold-algorithm baseline (Section 6.2.6).
+	AlgoTA
+)
+
+// String implements fmt.Stringer.
+func (a Algorithm) String() string {
+	switch a {
+	case AlgoBSP:
+		return "BSP"
+	case AlgoSPP:
+		return "SPP"
+	case AlgoSP:
+		return "SP"
+	case AlgoTA:
+		return "TA"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// Config controls index construction.
+type Config struct {
+	// Direction of semantic-tree growth; Outgoing matches the paper.
+	Direction Direction
+	// AlphaRadius is the α of the word-neighbourhood index; 0 disables it
+	// (and with it AlgoSP). The paper recommends α = 3.
+	AlphaRadius int
+	// Reachability enables the keyword reachability index behind Pruning
+	// Rule 1 (required by AlgoSPP).
+	Reachability bool
+	// Ranking overrides the scoring function; nil means ProductRanking.
+	Ranking Ranking
+	// DiskIndexPath, when non-empty, spills the document inverted index
+	// to this file and serves posting lists from disk per query — the
+	// disk-resident setting the paper evaluates under. Empty keeps the
+	// index in memory.
+	DiskIndexPath string
+	// DocStorePath, when non-empty, spills the vertex documents to this
+	// file after index construction, serving them through an LRU cache —
+	// the out-of-core representation the paper points to for data beyond
+	// main memory (footnote 1). Search is unaffected (keyword matching
+	// goes through the inverted index); Describe pages from disk.
+	DocStorePath string
+	// RemoveStopwords drops common English glue words from documents and
+	// query keywords alike.
+	RemoveStopwords bool
+	// Stemming applies Porter stemming to documents and keywords, so
+	// morphological variants match ("architecture" ~ "architectural").
+	Stemming bool
+}
+
+func (c Config) analyzer() text.Analyzer {
+	return text.Analyzer{RemoveStopwords: c.RemoveStopwords, Stemming: c.Stemming}
+}
+
+// DefaultConfig returns the paper's recommended setup: outgoing edges,
+// α = 3, reachability on, product ranking.
+func DefaultConfig() Config {
+	return Config{Direction: Outgoing, AlphaRadius: 3, Reachability: true}
+}
+
+// Dataset is an immutable, fully indexed spatial RDF dataset. It is safe
+// for concurrent queries.
+type Dataset struct {
+	g      *rdf.Graph
+	engine *core.Engine
+	cfg    Config
+}
+
+// Open parses N-Triples from r and indexes the data.
+func Open(r io.Reader, cfg Config) (*Dataset, error) {
+	b := rdf.NewBuilder()
+	b.Analyzer = cfg.analyzer()
+	if _, err := nt.Load(r, b); err != nil {
+		return nil, err
+	}
+	return finish(b, cfg)
+}
+
+// OpenFile is Open over a file path.
+func OpenFile(path string, cfg Config) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Open(f, cfg)
+}
+
+func finish(b *rdf.Builder, cfg Config) (*Dataset, error) {
+	g := b.Build()
+	e := core.NewEngine(g, cfg.Direction)
+	if cfg.Ranking != nil {
+		e.Rank = cfg.Ranking
+	}
+	if cfg.Reachability {
+		e.EnableReach()
+	}
+	if cfg.AlphaRadius > 0 {
+		e.EnableAlpha(cfg.AlphaRadius)
+	}
+	if cfg.DiskIndexPath != "" {
+		if _, err := e.UseDiskDocIndex(cfg.DiskIndexPath); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.DocStorePath != "" {
+		if err := g.SpillDocs(cfg.DocStorePath, 0); err != nil {
+			return nil, err
+		}
+	}
+	return &Dataset{g: g, engine: e, cfg: cfg}, nil
+}
+
+// Search answers q with the strongest available algorithm: SP when the
+// α-radius index exists, otherwise SPP when reachability exists,
+// otherwise BSP.
+func (d *Dataset) Search(q Query) ([]Result, error) {
+	algo := AlgoBSP
+	switch {
+	case d.engine.Alpha != nil:
+		algo = AlgoSP
+	case d.engine.Reach != nil:
+		algo = AlgoSPP
+	}
+	res, _, err := d.SearchWith(algo, q, Options{})
+	return res, err
+}
+
+// SearchWith answers q with an explicit algorithm and returns its cost
+// statistics.
+func (d *Dataset) SearchWith(algo Algorithm, q Query, opts Options) ([]Result, *Stats, error) {
+	switch algo {
+	case AlgoBSP:
+		return d.engine.BSP(q, opts)
+	case AlgoSPP:
+		return d.engine.SPP(q, opts)
+	case AlgoSP:
+		return d.engine.SP(q, opts)
+	case AlgoTA:
+		return d.engine.TA(q, opts)
+	default:
+		return nil, nil, fmt.Errorf("ksp: unknown algorithm %v", algo)
+	}
+}
+
+// Save persists the dataset — the graph and, when present, the expensive
+// α-radius index — to a snapshot file. LoadSnapshot restores it without
+// re-running the α-neighbourhood construction, which dominates
+// preprocessing time (Table 5 of the paper).
+func (d *Dataset) Save(path string) error {
+	snap := &store.Snapshot{Graph: d.g, Dir: d.cfg.Direction}
+	if a := d.engine.Alpha; a != nil {
+		place, ok1 := a.PlaceIdx.(*invindex.MemIndex)
+		node, ok2 := a.NodeIdx.(*invindex.MemIndex)
+		if !ok1 || !ok2 {
+			return fmt.Errorf("ksp: α index is not memory-resident; cannot snapshot")
+		}
+		snap.AlphaRadius = a.Alpha
+		snap.AlphaPlace = place
+		snap.AlphaNode = node
+	}
+	return store.SaveFile(path, snap)
+}
+
+// LoadSnapshot restores a dataset saved with Save. The cheap indexes
+// (R-tree, document index, reachability when cfg.Reachability is set) are
+// rebuilt; the α-radius index comes from the snapshot, overriding
+// cfg.AlphaRadius. The traversal direction is taken from the snapshot.
+func LoadSnapshot(path string, cfg Config) (*Dataset, error) {
+	snap, err := store.LoadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Direction = snap.Dir
+	g := snap.Graph
+	e := core.NewEngine(g, cfg.Direction)
+	if cfg.Ranking != nil {
+		e.Rank = cfg.Ranking
+	}
+	if cfg.Reachability {
+		e.EnableReach()
+	}
+	if ix := snap.AlphaIndex(); ix != nil {
+		e.SetAlpha(ix)
+	} else if cfg.AlphaRadius > 0 {
+		e.EnableAlpha(cfg.AlphaRadius)
+	}
+	if cfg.DiskIndexPath != "" {
+		if _, err := e.UseDiskDocIndex(cfg.DiskIndexPath); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.DocStorePath != "" {
+		if err := g.SpillDocs(cfg.DocStorePath, 0); err != nil {
+			return nil, err
+		}
+	}
+	return &Dataset{g: g, engine: e, cfg: cfg}, nil
+}
+
+// URI returns the URI (or blank-node label) of a vertex from a Result or
+// Tree.
+func (d *Dataset) URI(v uint32) string { return d.g.URI(v) }
+
+// TightestTrees returns every tightest qualified semantic place rooted at
+// the given place vertex — all trees tied at the minimum looseness, up to
+// limit — together with that looseness (+Inf when the place cannot cover
+// the keywords). This is option (2) of the paper's footnote 2, where a
+// kSP result carries the full set of tied trees rather than an arbitrary
+// representative.
+func (d *Dataset) TightestTrees(place uint32, keywords []string, limit int) ([]*Tree, float64, error) {
+	return d.engine.TQSPSet(place, keywords, limit)
+}
+
+// SearchBatch evaluates many queries concurrently (the dataset is
+// immutable, so queries parallelize perfectly) and returns the results in
+// input order. parallelism <= 0 selects GOMAXPROCS.
+func (d *Dataset) SearchBatch(queries []Query, parallelism int) ([][]Result, error) {
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	out := make([][]Result, len(queries))
+	errs := make([]error, len(queries))
+	sem := make(chan struct{}, parallelism)
+	var wg sync.WaitGroup
+	for i, q := range queries {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, q Query) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			out[i], errs[i] = d.Search(q)
+		}(i, q)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}
+
+// KeywordSearch answers a location-free keyword query: the k places with
+// the tightest semantic trees covering all keywords, ranked purely by
+// looseness (the classic RDF keyword-search model restricted to place
+// roots). Result.Dist is zero and Score equals Looseness.
+func (d *Dataset) KeywordSearch(keywords []string, k int) ([]Result, error) {
+	res, _, err := d.engine.KeywordTopK(keywords, k, Options{})
+	return res, err
+}
+
+// NearestPlaces returns up to n places in ascending Euclidean distance
+// from loc, irrespective of keywords.
+func (d *Dataset) NearestPlaces(loc Point, n int) []Result {
+	br := d.engine.Tree.NewBrowser(loc)
+	var out []Result
+	for len(out) < n {
+		it, dist, ok := br.Next()
+		if !ok {
+			break
+		}
+		out = append(out, Result{Place: it.ID, Dist: dist})
+	}
+	return out
+}
+
+// PlacesWithin returns the places inside the axis-aligned rectangle
+// spanned by the two corner points, in ascending vertex-ID order.
+func (d *Dataset) PlacesWithin(a, b Point) []uint32 {
+	r := geo.RectFromPoint(a).ExpandPoint(b)
+	items := d.engine.Tree.Search(r, nil)
+	out := make([]uint32, len(items))
+	for i, it := range items {
+		out[i] = it.ID
+	}
+	sortUint32(out)
+	return out
+}
+
+func sortUint32(s []uint32) {
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+}
+
+// VertexByURI resolves an entity URI to the vertex ID used in Results and
+// Trees; ok is false for unknown URIs.
+func (d *Dataset) VertexByURI(uri string) (uint32, bool) { return d.g.VertexByURI(uri) }
+
+// Location returns the coordinates of a place vertex; ok is false for
+// non-places.
+func (d *Dataset) Location(v uint32) (Point, bool) {
+	if int(v) >= d.g.NumVertices() || !d.g.IsPlace(v) {
+		return Point{}, false
+	}
+	return d.g.Loc(v), true
+}
+
+// Describe returns the document terms of a vertex — the keyword set the
+// engine matches against.
+func (d *Dataset) Describe(v uint32) []string {
+	doc := d.g.Doc(v)
+	out := make([]string, len(doc))
+	for i, t := range doc {
+		out[i] = d.g.Vocab.Term(t)
+	}
+	return out
+}
+
+// DatasetStats summarizes a dataset.
+type DatasetStats struct {
+	Vertices int
+	Edges    int
+	Places   int
+	Terms    int
+}
+
+// Stats returns dataset summary statistics.
+func (d *Dataset) Stats() DatasetStats {
+	return DatasetStats{
+		Vertices: d.g.NumVertices(),
+		Edges:    d.g.NumEdges(),
+		Places:   len(d.g.Places()),
+		Terms:    d.g.Vocab.Len(),
+	}
+}
+
+// Builder assembles a dataset programmatically, without N-Triples.
+type Builder struct {
+	b *rdf.Builder
+}
+
+// NewBuilder returns an empty dataset builder with plain tokenization.
+// Use NewBuilderWith to enable stemming or stopword removal — text is
+// analyzed as it is added, so the analyzer must be fixed up front (the
+// Config passed to Build does not change it).
+func NewBuilder() *Builder {
+	return &Builder{b: rdf.NewBuilder()}
+}
+
+// NewBuilderWith returns a dataset builder whose text analysis follows
+// cfg's RemoveStopwords/Stemming settings.
+func NewBuilderWith(cfg Config) *Builder {
+	b := rdf.NewBuilder()
+	b.Analyzer = cfg.analyzer()
+	return &Builder{b: b}
+}
+
+// AddTriple ingests one RDF statement (literal objects fold into the
+// subject's document, entity objects become graph edges; see the paper's
+// document-construction scheme). It reports whether the triple was used.
+func (b *Builder) AddTriple(t Triple) bool { return b.b.AddTriple(t) }
+
+// AddFact records an entity-to-entity statement.
+func (b *Builder) AddFact(subject, predicate, object string) {
+	b.b.AddTriple(rdf.Triple{S: rdf.NewIRI(subject), P: rdf.NewIRI(predicate), O: rdf.NewIRI(object)})
+}
+
+// AddLabel attaches literal text to an entity's document.
+func (b *Builder) AddLabel(subject, predicate, text string) {
+	b.b.AddTriple(rdf.Triple{S: rdf.NewIRI(subject), P: rdf.NewIRI(predicate), O: rdf.NewLiteral(text)})
+}
+
+// AddPlace declares an entity as a place at the given coordinates.
+func (b *Builder) AddPlace(subject string, loc Point) {
+	v := b.b.AddVertex(subject)
+	b.b.SetLocation(v, loc)
+}
+
+// Build freezes the data and constructs all indexes. The Builder must not
+// be reused afterwards.
+func (b *Builder) Build(cfg Config) (*Dataset, error) {
+	return finish(b.b, cfg)
+}

@@ -1,0 +1,486 @@
+package ksp
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// figure1NT is the running example of the paper in N-Triples form.
+const figure1NT = `
+<ex:Montmajour_Abbey> <ex:label> "Montmajour Abbey" .
+<ex:Montmajour_Abbey> <ex:hasGeometry> "POINT(43.71 4.66)"^^<http://www.opengis.net/ont/geosparql#wktLiteral> .
+<ex:Montmajour_Abbey> <ex:subject> <ex:Romanesque_architecture> .
+<ex:Montmajour_Abbey> <ex:dedication> <ex:Saint_Peter> .
+<ex:Montmajour_Abbey> <ex:diocese> <ex:Ancient_Diocese_of_Arles> .
+<ex:Ancient_Diocese_of_Arles> <ex:subject> <ex:Architectural_history> .
+<ex:Saint_Peter> <ex:birthPlace> <ex:Roman_Empire> .
+<ex:Saint_Peter> <ex:label> "catholic roman saint" .
+<ex:Roman_Empire> <ex:label> "ancient roman empire" .
+<ex:Dioecese_of_Frejus> <ex:label> "roman catholic diocese" .
+<ex:Dioecese_of_Frejus> <ex:hasGeometry> "POINT(43.13 5.97)"^^<http://www.opengis.net/ont/geosparql#wktLiteral> .
+<ex:Dioecese_of_Frejus> <ex:patron> <ex:Mary_Magdalene> .
+<ex:Dioecese_of_Frejus> <ex:denomination> <ex:Catholic_Church> .
+<ex:Catholic_Church> <ex:label> "catholic church history" .
+<ex:Mary_Magdalene> <ex:deathPlace> <ex:Anatolia> .
+<ex:Anatolia> <ex:label> "ancient anatolia history" .
+`
+
+func openFixture(t *testing.T, cfg Config) *Dataset {
+	t.Helper()
+	ds, err := Open(strings.NewReader(figure1NT), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+func TestOpenAndSearch(t *testing.T) {
+	ds := openFixture(t, DefaultConfig())
+	st := ds.Stats()
+	if st.Places != 2 {
+		t.Fatalf("places = %d, want 2", st.Places)
+	}
+	if st.Vertices == 0 || st.Edges == 0 || st.Terms == 0 {
+		t.Fatalf("stats empty: %+v", st)
+	}
+
+	q := Query{
+		Loc:      Point{X: 43.51, Y: 4.75},
+		Keywords: []string{"ancient", "roman", "catholic", "history"},
+		K:        2,
+	}
+	res, err := ds.Search(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("got %d results", len(res))
+	}
+	if ds.URI(res[0].Place) != "ex:Montmajour_Abbey" {
+		t.Errorf("top-1 = %s, want the abbey", ds.URI(res[0].Place))
+	}
+	if ds.URI(res[1].Place) != "ex:Dioecese_of_Frejus" {
+		t.Errorf("top-2 = %s, want the diocese", ds.URI(res[1].Place))
+	}
+	if res[0].Looseness != 6 || res[1].Looseness != 4 {
+		t.Errorf("loosenesses %v, %v; want 6, 4", res[0].Looseness, res[1].Looseness)
+	}
+}
+
+func TestAllAlgorithmsAgreeOnPublicAPI(t *testing.T) {
+	ds := openFixture(t, DefaultConfig())
+	q := Query{Loc: Point{X: 43.17, Y: 5.90}, Keywords: []string{"ancient", "roman", "catholic", "history"}, K: 2}
+	var base []Result
+	for _, algo := range []Algorithm{AlgoBSP, AlgoSPP, AlgoSP, AlgoTA} {
+		res, stats, err := ds.SearchWith(algo, q, Options{})
+		if err != nil {
+			t.Fatalf("%v: %v", algo, err)
+		}
+		if stats == nil {
+			t.Fatalf("%v: nil stats", algo)
+		}
+		if base == nil {
+			base = res
+			continue
+		}
+		if len(res) != len(base) {
+			t.Fatalf("%v: %d results vs %d", algo, len(res), len(base))
+		}
+		for i := range res {
+			if res[i].Place != base[i].Place || math.Abs(res[i].Score-base[i].Score) > 1e-9 {
+				t.Errorf("%v result %d differs: %+v vs %+v", algo, i, res[i], base[i])
+			}
+		}
+	}
+}
+
+func TestBuilderAPI(t *testing.T) {
+	b := NewBuilder()
+	b.AddPlace("ex:Hospital_A", Point{X: 1, Y: 1})
+	b.AddLabel("ex:Hospital_A", "ex:label", "hospital general")
+	b.AddFact("ex:Hospital_A", "ex:offers", "ex:Cardiology_Dept")
+	b.AddLabel("ex:Cardiology_Dept", "ex:label", "cardiology heart treatment")
+	b.AddPlace("ex:Hospital_B", Point{X: 1.2, Y: 1.1})
+	b.AddLabel("ex:Hospital_B", "ex:label", "hospital dental clinic")
+	ds, err := b.Build(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := ds.Search(Query{Loc: Point{X: 1.1, Y: 1}, Keywords: []string{"hospital", "cardiology"}, K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || ds.URI(res[0].Place) != "ex:Hospital_A" {
+		t.Fatalf("expected Hospital_A, got %+v", res)
+	}
+	loc, ok := ds.Location(res[0].Place)
+	if !ok || loc != (Point{X: 1, Y: 1}) {
+		t.Errorf("Location = %v, %v", loc, ok)
+	}
+	desc := ds.Describe(res[0].Place)
+	if len(desc) == 0 {
+		t.Error("Describe should return terms")
+	}
+}
+
+func TestSearchFallsBackWithoutIndexes(t *testing.T) {
+	// No α index and no reachability: Search must still work (BSP).
+	ds := openFixture(t, Config{Direction: Outgoing})
+	res, err := ds.Search(Query{Loc: Point{X: 43.51, Y: 4.75}, Keywords: []string{"ancient"}, K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 {
+		t.Fatalf("got %d results", len(res))
+	}
+	// SP must refuse politely.
+	if _, _, err := ds.SearchWith(AlgoSP, Query{Loc: Point{}, Keywords: []string{"ancient"}, K: 1}, Options{}); err == nil {
+		t.Error("SP without α index should error")
+	}
+	if _, _, err := ds.SearchWith(Algorithm(99), Query{}, Options{}); err == nil {
+		t.Error("unknown algorithm should error")
+	}
+}
+
+func TestCollectTreesPublic(t *testing.T) {
+	ds := openFixture(t, DefaultConfig())
+	res, _, err := ds.SearchWith(AlgoSP, Query{
+		Loc:      Point{X: 43.17, Y: 5.90},
+		Keywords: []string{"ancient", "roman", "catholic", "history"},
+		K:        1,
+	}, Options{CollectTrees: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || res[0].Tree == nil {
+		t.Fatalf("expected a tree: %+v", res)
+	}
+	names := map[string]bool{}
+	for _, n := range res[0].Tree.Nodes {
+		names[ds.URI(n.V)] = true
+	}
+	for _, want := range []string{"ex:Dioecese_of_Frejus", "ex:Mary_Magdalene", "ex:Catholic_Church", "ex:Anatolia"} {
+		if !names[want] {
+			t.Errorf("tree missing %s (have %v)", want, names)
+		}
+	}
+}
+
+func TestStemmingConfig(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Stemming = true
+	cfg.RemoveStopwords = true
+	ds := openFixture(t, cfg)
+	// "architectures" matches documents containing "architecture" or
+	// "architectural" once all stem to "architectur".
+	q := Query{Loc: Point{X: 43.51, Y: 4.75}, Keywords: []string{"Architectures", "romanesque"}, K: 1}
+	res, err := ds.Search(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 || ds.URI(res[0].Place) != "ex:Montmajour_Abbey" {
+		t.Fatalf("stemming search failed: %+v", res)
+	}
+	// Without stemming the same query finds nothing ("architectures" is
+	// absent as a literal token).
+	plain := openFixture(t, DefaultConfig())
+	res, err = plain.Search(Query{Loc: q.Loc, Keywords: []string{"architectures", "romanesque"}, K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 0 {
+		t.Fatalf("plain search unexpectedly matched: %+v", res)
+	}
+	// Pure-stopword keywords are vacuously covered.
+	res, err = ds.Search(Query{Loc: q.Loc, Keywords: []string{"the", "romanesque"}, K: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 {
+		t.Fatalf("stopword keyword should be ignored: %+v", res)
+	}
+}
+
+func TestStemmingSurvivesSnapshot(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Stemming = true
+	ds := openFixture(t, cfg)
+	path := t.TempDir() + "/stemmed.snap"
+	if err := ds.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := LoadSnapshot(path, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Query{Loc: Point{X: 43.51, Y: 4.75}, Keywords: []string{"architectural", "romanesque"}, K: 1}
+	res, err := restored.Search(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 1 {
+		t.Fatalf("restored dataset lost its analyzer: %+v", res)
+	}
+}
+
+func TestMultiTokenKeyword(t *testing.T) {
+	ds := openFixture(t, DefaultConfig())
+	// A camel-case keyword splits into two query keywords, both of which
+	// must be covered.
+	res, err := ds.Search(Query{Loc: Point{X: 43.51, Y: 4.75}, Keywords: []string{"romanCatholic"}, K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("multi-token keyword: %+v", res)
+	}
+	// Both roman and catholic are at the diocese root: L = 1.
+	if ds.URI(res[0].Place) != "ex:Dioecese_of_Frejus" && ds.URI(res[1].Place) != "ex:Dioecese_of_Frejus" {
+		t.Errorf("diocese missing from results")
+	}
+}
+
+func TestSaveAndLoadSnapshot(t *testing.T) {
+	ds := openFixture(t, DefaultConfig())
+	path := t.TempDir() + "/fixture.snap"
+	if err := ds.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := LoadSnapshot(path, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Stats() != ds.Stats() {
+		t.Fatalf("stats changed: %+v vs %+v", restored.Stats(), ds.Stats())
+	}
+	q := Query{Loc: Point{X: 43.51, Y: 4.75}, Keywords: []string{"ancient", "roman", "catholic", "history"}, K: 2}
+	want, err := ds.Search(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := restored.Search(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("result counts differ")
+	}
+	for i := range want {
+		if restored.URI(got[i].Place) != ds.URI(want[i].Place) || got[i].Score != want[i].Score {
+			t.Errorf("result %d differs after reload", i)
+		}
+	}
+	// SP must be available from the snapshot's α index without a rebuild.
+	if _, _, err := restored.SearchWith(AlgoSP, q, Options{}); err != nil {
+		t.Errorf("SP unavailable after load: %v", err)
+	}
+	if _, err := LoadSnapshot(t.TempDir()+"/missing.snap", DefaultConfig()); err == nil {
+		t.Error("expected error for missing snapshot")
+	}
+}
+
+func TestDocStoreConfig(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.DocStorePath = t.TempDir() + "/docs.bin"
+	ds := openFixture(t, cfg)
+	q := Query{Loc: Point{X: 43.51, Y: 4.75}, Keywords: []string{"ancient", "roman", "catholic", "history"}, K: 2}
+	res, err := ds.Search(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 || res[0].Looseness != 6 {
+		t.Fatalf("spilled-docs search differs: %+v", res)
+	}
+	// Describe pages the document back from disk.
+	desc := ds.Describe(res[0].Place)
+	found := false
+	for _, w := range desc {
+		if w == "abbey" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("Describe after spill = %v", desc)
+	}
+	// Snapshots still work with spilled documents.
+	snap := t.TempDir() + "/spilled.snap"
+	if err := ds.Save(snap); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadSnapshot(snap, DefaultConfig()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiskIndexConfig(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.DiskIndexPath = t.TempDir() + "/doc.idx"
+	ds := openFixture(t, cfg)
+	q := Query{Loc: Point{X: 43.51, Y: 4.75}, Keywords: []string{"ancient", "roman", "catholic", "history"}, K: 2}
+	res, err := ds.Search(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 || res[0].Looseness != 6 {
+		t.Fatalf("disk-index search differs: %+v", res)
+	}
+	// The same answers as the in-memory configuration.
+	mem := openFixture(t, DefaultConfig())
+	memRes, err := mem.Search(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res {
+		if res[i].Place != memRes[i].Place || res[i].Score != memRes[i].Score {
+			t.Errorf("result %d differs disk vs mem: %+v vs %+v", i, res[i], memRes[i])
+		}
+	}
+}
+
+func TestKeywordSearch(t *testing.T) {
+	ds := openFixture(t, DefaultConfig())
+	// Purely semantic: the diocese (L=4) beats the abbey (L=6) no matter
+	// where the user stands.
+	res, err := ds.KeywordSearch([]string{"ancient", "roman", "catholic", "history"}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("got %d results", len(res))
+	}
+	if ds.URI(res[0].Place) != "ex:Dioecese_of_Frejus" || res[0].Looseness != 4 {
+		t.Errorf("top-1 = %s L=%v, want diocese L=4", ds.URI(res[0].Place), res[0].Looseness)
+	}
+	if ds.URI(res[1].Place) != "ex:Montmajour_Abbey" || res[1].Looseness != 6 {
+		t.Errorf("top-2 = %s L=%v, want abbey L=6", ds.URI(res[1].Place), res[1].Looseness)
+	}
+	// Uncoverable keywords yield nothing.
+	res, err = ds.KeywordSearch([]string{"church", "romanesque"}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 0 {
+		t.Errorf("expected empty, got %+v", res)
+	}
+}
+
+func TestTightestTrees(t *testing.T) {
+	ds := openFixture(t, DefaultConfig())
+	diocese, ok := ds.VertexByURI("ex:Dioecese_of_Frejus")
+	if !ok {
+		t.Fatal("diocese missing")
+	}
+	trees, loose, err := ds.TightestTrees(diocese, []string{"ancient", "roman", "catholic", "history"}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loose != 4 || len(trees) != 1 {
+		t.Fatalf("L=%v, %d trees; want 4 and 1", loose, len(trees))
+	}
+	if trees[0].Root != diocese || len(trees[0].Nodes) != 4 {
+		t.Errorf("tree = %+v", trees[0])
+	}
+}
+
+func TestSearchBatch(t *testing.T) {
+	ds := openFixture(t, DefaultConfig())
+	kws := []string{"ancient", "roman", "catholic", "history"}
+	queries := []Query{
+		{Loc: Point{X: 43.51, Y: 4.75}, Keywords: kws, K: 2},
+		{Loc: Point{X: 43.17, Y: 5.90}, Keywords: kws, K: 2},
+		{Loc: Point{X: 43.51, Y: 4.75}, Keywords: []string{"unknownkeyword"}, K: 1},
+	}
+	batch, err := ds.SearchBatch(queries, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != 3 {
+		t.Fatalf("batch size %d", len(batch))
+	}
+	// Results must match serial runs, in input order.
+	for i, q := range queries {
+		want, err := ds.Search(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(batch[i]) != len(want) {
+			t.Fatalf("query %d: %d vs %d results", i, len(batch[i]), len(want))
+		}
+		for j := range want {
+			if batch[i][j].Place != want[j].Place {
+				t.Errorf("query %d result %d differs", i, j)
+			}
+		}
+	}
+	// parallelism <= 0 falls back to GOMAXPROCS.
+	if _, err := ds.SearchBatch(queries[:1], 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNearestPlacesAndWithin(t *testing.T) {
+	ds := openFixture(t, DefaultConfig())
+	near := ds.NearestPlaces(Point{X: 43.17, Y: 5.90}, 5)
+	if len(near) != 2 {
+		t.Fatalf("NearestPlaces = %+v", near)
+	}
+	if ds.URI(near[0].Place) != "ex:Dioecese_of_Frejus" {
+		t.Errorf("nearest = %s", ds.URI(near[0].Place))
+	}
+	if near[0].Dist > near[1].Dist {
+		t.Error("not sorted by distance")
+	}
+
+	within := ds.PlacesWithin(Point{X: 43.0, Y: 5.0}, Point{X: 44.0, Y: 6.5})
+	if len(within) != 1 {
+		t.Fatalf("PlacesWithin = %v", within)
+	}
+	if ds.URI(within[0]) != "ex:Dioecese_of_Frejus" {
+		t.Errorf("within = %s", ds.URI(within[0]))
+	}
+	if got := ds.PlacesWithin(Point{X: 0, Y: 0}, Point{X: 1, Y: 1}); len(got) != 0 {
+		t.Errorf("empty region returned %v", got)
+	}
+}
+
+func TestAlgorithmString(t *testing.T) {
+	for a, want := range map[Algorithm]string{AlgoBSP: "BSP", AlgoSPP: "SPP", AlgoSP: "SP", AlgoTA: "TA"} {
+		if a.String() != want {
+			t.Errorf("%d.String() = %q", int(a), a.String())
+		}
+	}
+	if Algorithm(42).String() != "Algorithm(42)" {
+		t.Error("unknown algorithm string")
+	}
+}
+
+func TestOpenRejectsBadInput(t *testing.T) {
+	if _, err := Open(strings.NewReader("not ntriples at all\n"), DefaultConfig()); err == nil {
+		t.Error("expected parse error")
+	}
+	if _, err := OpenFile("/nonexistent/file.nt", DefaultConfig()); err == nil {
+		t.Error("expected file error")
+	}
+}
+
+func TestWeightedRankingConfig(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Ranking = WeightedSumRanking{Beta: 0.9}
+	ds := openFixture(t, cfg)
+	res, err := ds.Search(Query{Loc: Point{X: 43.51, Y: 4.75}, Keywords: []string{"ancient", "roman"}, K: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) == 0 {
+		t.Fatal("no results")
+	}
+	// With β=0.9 looseness dominates: the diocese (L=2: roman+catholic at
+	// the root... here keywords are ancient+roman; p2 has roman at 0 and
+	// ancient at 2 -> L=3; p1 has both at 1 -> L=3). Just check scores
+	// follow the weighted formula.
+	want := 0.9*res[0].Looseness + 0.1*res[0].Dist
+	if math.Abs(res[0].Score-want) > 1e-9 {
+		t.Errorf("score %v, want %v", res[0].Score, want)
+	}
+}
