@@ -15,8 +15,10 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
+	"runtime"
 	"time"
 
 	"ksp/internal/bench"
@@ -32,6 +34,7 @@ func main() {
 		seed     = flag.Int64("seed", 1, "random seed")
 		deadline = flag.Duration("bsp-deadline", 5*time.Second, "per-query cap for BSP/TA (paper: 120s)")
 		csvDir   = flag.String("csv", "", "also write each report as CSV into this directory")
+		jsonOut  = flag.String("json", "", "write all reports plus run metadata as one JSON document to this file ('-' = stdout)")
 		list     = flag.Bool("list", false, "list experiment ids and exit")
 	)
 	flag.Parse()
@@ -50,22 +53,58 @@ func main() {
 	if *exp == "all" {
 		ids = bench.ExperimentIDs()
 	}
+	// With -json - the JSON document owns stdout; the human-readable
+	// tables move to stderr so the output stays machine-parseable.
+	tables := io.Writer(os.Stdout)
+	if *jsonOut == "-" {
+		tables = os.Stderr
+	}
+	var all []*bench.Report
 	for _, id := range ids {
 		reports, err := s.Experiment(id)
 		if err != nil {
 			log.Fatal(err)
 		}
 		for _, r := range reports {
-			r.Print(os.Stdout)
+			r.Print(tables)
 		}
+		all = append(all, reports...)
 		if *csvDir != "" {
 			names, err := bench.SaveCSVs(*csvDir, reports)
 			if err != nil {
 				log.Fatal(err)
 			}
-			fmt.Printf("  csv: %v\n", names)
+			fmt.Fprintf(tables, "  csv: %v\n", names)
 		}
 	}
-	fmt.Printf("\ncompleted %q at scale %d with %d queries/setting in %v\n",
+	if *jsonOut != "" {
+		meta := bench.RunMeta{
+			Tool:        "kspbench",
+			Generated:   time.Now().UTC().Format(time.RFC3339),
+			Scale:       *scale,
+			Queries:     *queries,
+			Seed:        *seed,
+			GoVersion:   runtime.Version(),
+			GOMAXPROCS:  runtime.GOMAXPROCS(0),
+			NumCPU:      runtime.NumCPU(),
+			Experiments: ids,
+		}
+		w := os.Stdout
+		if *jsonOut != "-" {
+			f, err := os.Create(*jsonOut)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			w = f
+		}
+		if err := bench.WriteJSON(w, meta, all); err != nil {
+			log.Fatal(err)
+		}
+		if *jsonOut != "-" {
+			fmt.Printf("json: %s\n", *jsonOut)
+		}
+	}
+	fmt.Fprintf(tables, "\ncompleted %q at scale %d with %d queries/setting in %v\n",
 		*exp, *scale, *queries, time.Since(start).Round(time.Millisecond))
 }

@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // registered on the side listener only (-pprof)
 	"time"
 
 	"ksp"
@@ -32,11 +33,15 @@ func main() {
 		alphaR   = flag.Int("alpha", 3, "α radius (N-Triples loading only)")
 		maxK     = flag.Int("maxk", 100, "largest k a request may ask for")
 		timeout  = flag.Duration("timeout", 10*time.Second, "per-query evaluation cap")
+		parallel = flag.Int("parallel", 0, "default pipeline workers per query (0 = serial; requests may override with ?parallel=, capped at GOMAXPROCS)")
+		cache    = flag.Int("cache", 0, "looseness cache entries (0 = disabled, negative = built-in default)")
+		pprof    = flag.String("pprof", "", "side listen address for net/http/pprof (empty = disabled), e.g. localhost:6060")
 	)
 	flag.Parse()
 
 	cfg := ksp.DefaultConfig()
 	cfg.AlphaRadius = *alphaR
+	cfg.LoosenessCacheEntries = *cache
 
 	var (
 		ds  *ksp.Dataset
@@ -58,9 +63,25 @@ func main() {
 	fmt.Printf("loaded %d vertices, %d edges, %d places in %v\n",
 		st.Vertices, st.Edges, st.Places, time.Since(start).Round(time.Millisecond))
 
+	if *pprof != "" {
+		// The profiling endpoints stay off the public listener: pprof's
+		// init registers on http.DefaultServeMux, which only this side
+		// server exposes.
+		go func() {
+			fmt.Printf("pprof on http://%s/debug/pprof/\n", *pprof)
+			if err := http.ListenAndServe(*pprof, nil); err != nil {
+				log.Printf("pprof listener: %v", err)
+			}
+		}()
+	}
+
 	s := server.New(ds)
 	s.MaxK = *maxK
 	s.Timeout = *timeout
+	s.DefaultParallel = s.MaxParallel
+	if *parallel >= 0 {
+		s.DefaultParallel = *parallel
+	}
 	fmt.Printf("listening on %s\n", *addr)
 	log.Fatal(http.ListenAndServe(*addr, s))
 }

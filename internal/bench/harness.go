@@ -156,10 +156,13 @@ var (
 type measured struct {
 	Semantic   time.Duration // mean per query
 	Other      time.Duration // mean per query
+	Wall       time.Duration // mean per query, measured around the call
 	TQSP       float64       // mean per query
 	NodeAccess float64
 	Results    []core.Result // concatenated results (for figure 8)
 	TimedOut   int
+	// Looseness-cache counters, summed over the workload.
+	CacheHits, CacheBoundHits, CacheMisses int64
 }
 
 func (m measured) total() time.Duration { return m.Semantic + m.Other }
@@ -171,8 +174,11 @@ func (s *Suite) runWorkload(e *core.Engine, a algoRunner, qs []core.Query, opts 
 	}
 	var agg core.Stats
 	var out measured
+	var wall time.Duration
 	for _, q := range qs {
+		start := time.Now()
 		res, stats, err := a.run(e, q, opts)
+		wall += time.Since(start)
 		if err != nil {
 			return out, fmt.Errorf("%s: %w", a.name, err)
 		}
@@ -188,8 +194,12 @@ func (s *Suite) runWorkload(e *core.Engine, a algoRunner, qs []core.Query, opts 
 	}
 	out.Semantic = agg.SemanticTime / time.Duration(n)
 	out.Other = agg.OtherTime / time.Duration(n)
+	out.Wall = wall / time.Duration(n)
 	out.TQSP = float64(agg.TQSPComputations) / float64(n)
 	out.NodeAccess = float64(agg.RTreeNodeAccesses) / float64(n)
+	out.CacheHits = agg.CacheHits
+	out.CacheBoundHits = agg.CacheBoundHits
+	out.CacheMisses = agg.CacheMisses
 	return out, nil
 }
 

@@ -2,6 +2,7 @@ package bench
 
 import (
 	"encoding/csv"
+	"encoding/json"
 	"fmt"
 	"io"
 	"os"
@@ -12,12 +13,12 @@ import (
 
 // Report is one printable experiment table.
 type Report struct {
-	ID     string
-	Title  string
-	Header []string
-	Rows   [][]string
+	ID     string     `json:"id"`
+	Title  string     `json:"title"`
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
 	// Notes carry the paper-shape expectation the numbers should match.
-	Notes []string
+	Notes []string `json:"notes,omitempty"`
 }
 
 // AddRow appends a formatted row.
@@ -83,6 +84,34 @@ func SaveCSVs(dir string, reports []*Report) ([]string, error) {
 		names = append(names, name)
 	}
 	return names, nil
+}
+
+// RunMeta records the configuration a JSON report set was produced
+// under, so baselines checked into the repo carry their own provenance.
+type RunMeta struct {
+	Tool        string   `json:"tool"`
+	Generated   string   `json:"generated,omitempty"` // RFC 3339
+	Scale       int      `json:"scale"`
+	Queries     int      `json:"queries"`
+	Seed        int64    `json:"seed"`
+	GoVersion   string   `json:"goVersion"`
+	GOMAXPROCS  int      `json:"gomaxprocs"`
+	NumCPU      int      `json:"numCPU"`
+	Experiments []string `json:"experiments"`
+}
+
+// jsonDoc is the top-level shape WriteJSON emits.
+type jsonDoc struct {
+	Meta    RunMeta   `json:"meta"`
+	Reports []*Report `json:"reports"`
+}
+
+// WriteJSON emits the reports plus run metadata as one indented JSON
+// document — the machine-readable counterpart of Print/WriteCSV.
+func WriteJSON(w io.Writer, meta RunMeta, reports []*Report) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(jsonDoc{Meta: meta, Reports: reports})
 }
 
 // slug compresses a title into a file-name fragment.

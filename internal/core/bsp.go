@@ -1,7 +1,6 @@
 package core
 
 import (
-	"math"
 	"time"
 )
 
@@ -17,6 +16,7 @@ func (e *Engine) BSP(q Query, opts Options) ([]Result, *Stats, error) {
 	if err != nil {
 		return nil, stats, err
 	}
+	defer e.releasePrep(pq)
 	hk := newTopK(q.K)
 	if pq.answerable && q.K > 0 {
 		if err := e.bspLoop(pq, opts, hk, stats); err != nil {
@@ -24,49 +24,30 @@ func (e *Engine) BSP(q Query, opts Options) ([]Result, *Stats, error) {
 		}
 	}
 	results := hk.sorted()
-	stats.OtherTime = time.Since(start) - stats.SemanticTime
+	finishStats(stats, start)
 	return results, stats, nil
 }
 
 func (e *Engine) bspLoop(pq *prepQuery, opts Options, hk *topK, stats *Stats) error {
-	s := newSearcher(e, pq, stats, opts.CollectTrees)
-	deadline := deadlineFor(opts)
-	br, err := e.source(pq.loc.Loc, opts)
-	if err != nil {
-		return err
+	mk := func(st *Stats, _ func() float64) (candSource, error) {
+		br, err := e.source(pq.loc.Loc, opts)
+		if err != nil {
+			return nil, err
+		}
+		return &streamSource{br: br, rank: e.Rank, maxDist: opts.MaxDist, stats: st}, nil
 	}
-	defer func() { stats.RTreeNodeAccesses += br.Accesses() }()
+	// BSP is the paper's no-pruning baseline: Rules 1 and 2 stay off in
+	// serial and parallel runs alike, so its cost profile keeps meaning
+	// "full TQSP construction per retrieved place".
+	return e.run(mk, pq, opts, hk, stats, false, false)
+}
 
-	for i := 0; ; i++ {
-		it, dist, ok := br.Next()
-		if !ok {
-			return nil
-		}
-		// The stream is distance-ordered, so the radius cap is a
-		// termination condition.
-		if opts.MaxDist > 0 && dist > opts.MaxDist {
-			return nil
-		}
-		// Termination (Algorithm 1 line 7): no remaining place can beat
-		// the kth candidate, since f(L, S) >= f(1, S) and S only grows.
-		if e.Rank.MinScore(dist) >= hk.theta() {
-			return nil
-		}
-		stats.PlacesRetrieved++
-		if i%64 == 0 && expired(deadline) {
-			stats.TimedOut = true
-			return nil
-		}
-
-		semStart := time.Now()
-		loose, tree := s.getSemanticPlace(it.ID, math.Inf(1))
-		stats.SemanticTime += time.Since(semStart)
-		if math.IsInf(loose, 1) {
-			continue
-		}
-		f := e.Rank.Score(loose, dist)
-		if f < hk.theta() {
-			hk.add(Result{Place: it.ID, Looseness: loose, Dist: dist, Score: f, Tree: tree})
-		}
+// finishStats computes OtherTime as the wall-clock remainder. In a
+// parallel run SemanticTime sums concurrent workers (CPU seconds) and
+// can exceed the wall clock; clamp rather than report negative time.
+func finishStats(stats *Stats, start time.Time) {
+	stats.OtherTime = time.Since(start) - stats.SemanticTime
+	if stats.OtherTime < 0 {
+		stats.OtherTime = 0
 	}
 }

@@ -2,10 +2,12 @@ package core
 
 import (
 	"container/heap"
+	"encoding/binary"
 	"fmt"
 	"math"
 	"math/bits"
 	"sort"
+	"sync"
 	"time"
 
 	"ksp/internal/alpha"
@@ -36,7 +38,101 @@ type Engine struct {
 	Grid *grid.Grid
 	Dir  rdf.Direction
 	Rank Ranking
+
+	// pools recycles per-query scratch (dense Mq.ψ arrays, BFS state)
+	// across queries and across the workers of one parallel query. A
+	// pointer so WithAlpha clones share it (the graph, and hence every
+	// scratch size, is identical).
+	pools *enginePools
+	// loose is the optional cross-query looseness cache
+	// (EnableLoosenessCache); shared by WithAlpha clones — L(Tp) depends
+	// only on the graph, direction and keyword set, never on α.
+	loose *looseCache
 }
+
+// enginePools recycles allocation-heavy per-query state.
+type enginePools struct {
+	mq      sync.Pool // *denseMQ
+	scratch sync.Pool // *bfsScratch
+}
+
+func (p *enginePools) getMQ(n int) *denseMQ {
+	d, _ := p.mq.Get().(*denseMQ)
+	if d == nil {
+		d = &denseMQ{}
+	}
+	d.reset(n)
+	return d
+}
+
+func (p *enginePools) putMQ(d *denseMQ) {
+	if d != nil {
+		p.mq.Put(d)
+	}
+}
+
+func (p *enginePools) getScratch(n int) *bfsScratch {
+	s, _ := p.scratch.Get().(*bfsScratch)
+	if s == nil || len(s.visited) != n {
+		s = &bfsScratch{visited: make([]uint32, n)}
+	}
+	return s
+}
+
+func (p *enginePools) putScratch(s *bfsScratch) {
+	if s != nil {
+		p.scratch.Put(s)
+	}
+}
+
+// denseMQ is the map Mq.ψ (Table 2) materialized as epoch-stamped dense
+// arrays indexed by vertex ID: the TQSP hot loop replaces a hash lookup
+// per visited vertex with two array reads, and the epoch stamp lets the
+// arrays be recycled across queries without clearing.
+type denseMQ struct {
+	mask  []uint64
+	stamp []uint32
+	epoch uint32
+	count int
+}
+
+func (d *denseMQ) reset(n int) {
+	if len(d.mask) != n {
+		d.mask = make([]uint64, n)
+		d.stamp = make([]uint32, n)
+		d.epoch = 0
+	}
+	d.epoch++
+	if d.epoch == 0 { // stamp wrap: clear once every 2^32 queries
+		for i := range d.stamp {
+			d.stamp[i] = 0
+		}
+		d.epoch = 1
+	}
+	d.count = 0
+}
+
+// or merges bit into v's keyword mask.
+func (d *denseMQ) or(v uint32, bit uint64) {
+	if d.stamp[v] != d.epoch {
+		d.stamp[v] = d.epoch
+		d.mask[v] = bit
+		d.count++
+		return
+	}
+	d.mask[v] |= bit
+}
+
+// get returns v's keyword mask (zero when v matches no query keyword).
+func (d *denseMQ) get(v uint32) uint64 {
+	if d.stamp[v] == d.epoch {
+		return d.mask[v]
+	}
+	return 0
+}
+
+// size returns the number of vertices matching at least one keyword.
+func (d *denseMQ) size() int { return d.count }
 
 // spatialSource abstracts GETNEXT: an incremental nearest-place stream.
 // Both the R-tree browser and the grid browser satisfy it.
@@ -77,11 +173,12 @@ func NewEngine(g *rdf.Graph, dir rdf.Direction) *Engine {
 		items[i] = rtree.Item{ID: p, Loc: g.Loc(p)}
 	}
 	return &Engine{
-		G:    g,
-		Tree: rtree.Bulk(items, rtree.DefaultMaxEntries),
-		Doc:  invindex.FromGraph(g),
-		Dir:  dir,
-		Rank: ProductRanking{},
+		G:     g,
+		Tree:  rtree.Bulk(items, rtree.DefaultMaxEntries),
+		Doc:   invindex.FromGraph(g),
+		Dir:   dir,
+		Rank:  ProductRanking{},
+		pools: &enginePools{},
 	}
 }
 
@@ -134,17 +231,42 @@ func (e *Engine) WithAlpha(alphaRadius int) *Engine {
 
 // prepQuery is a resolved query: deduped keyword term IDs ordered by
 // ascending document frequency (the paper prioritizes infrequent keywords
-// in Rule 1), the map Mq.ψ from vertices to keyword masks, and the raw
-// posting lists.
+// in Rule 1), the dense map Mq.ψ from vertices to keyword masks, and the
+// raw posting lists. Read-only once prepare returns, so the workers of a
+// parallel evaluation share it freely; the engine recycles mq via
+// releasePrep.
 type prepQuery struct {
 	loc      Query
 	terms    []uint32
 	postings [][]invindex.Posting
-	mq       map[uint32]uint64
+	mq       *denseMQ
 	full     uint64
+	// sig is the canonical (sorted, packed) term-set signature keying the
+	// looseness cache; empty when the cache is disabled.
+	sig string
 	// answerable is false when some keyword is absent from every document;
 	// no qualified semantic place can exist then.
 	answerable bool
+}
+
+// termSig packs the sorted term IDs into a collision-free string key.
+func termSig(terms []uint32) string {
+	sorted := append([]uint32(nil), terms...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	buf := make([]byte, 4*len(sorted))
+	for i, t := range sorted {
+		binary.LittleEndian.PutUint32(buf[4*i:], t)
+	}
+	return string(buf)
+}
+
+// releasePrep returns a prepared query's pooled scratch to the engine.
+// The prepQuery must not be used afterwards.
+func (e *Engine) releasePrep(pq *prepQuery) {
+	if pq != nil && pq.mq != nil {
+		e.pools.putMQ(pq.mq)
+		pq.mq = nil
+	}
 }
 
 var errTooManyKeywords = fmt.Errorf("core: more than %d query keywords", MaxKeywords)
@@ -156,7 +278,7 @@ var errTooManyKeywords = fmt.Errorf("core: more than %d query keywords", MaxKeyw
 // each as a query keyword, and a keyword consisting only of stopwords is
 // vacuously covered.
 func (e *Engine) prepare(q Query) (*prepQuery, error) {
-	pq := &prepQuery{loc: q, mq: make(map[uint32]uint64), answerable: true}
+	pq := &prepQuery{loc: q, answerable: true}
 	seen := make(map[uint32]bool)
 	for _, kw := range q.Keywords {
 		for _, tok := range e.G.Analyze(kw) {
@@ -207,11 +329,15 @@ func (e *Engine) prepare(q Query) (*prepQuery, error) {
 	pq.terms, pq.postings = terms, posts
 
 	pq.full = (uint64(1) << uint(len(pq.terms))) - 1
+	pq.mq = e.pools.getMQ(e.G.NumVertices())
 	for i, pl := range pq.postings {
 		bit := uint64(1) << uint(i)
 		for _, p := range pl {
-			pq.mq[p.ID] |= bit
+			pq.mq.or(p.ID, bit)
 		}
+	}
+	if e.loose != nil {
+		pq.sig = termSig(pq.terms)
 	}
 	return pq, nil
 }
@@ -285,6 +411,36 @@ func deadlineFor(opts Options) time.Time {
 
 func expired(deadline time.Time) bool {
 	return !deadline.IsZero() && time.Now().After(deadline)
+}
+
+// limiter bundles the two early-exit conditions of a query: the
+// Options.Deadline budget and Options.Cancel (e.g. an HTTP client
+// disconnecting). Loops poll it periodically, exactly like the previous
+// deadline-only checks.
+type limiter struct {
+	deadline time.Time
+	cancel   <-chan struct{}
+}
+
+func limiterFor(opts Options) limiter {
+	return limiter{deadline: deadlineFor(opts), cancel: opts.Cancel}
+}
+
+// stop reports whether evaluation must halt, recording the reason.
+func (l limiter) stop(stats *Stats) bool {
+	if l.cancel != nil {
+		select {
+		case <-l.cancel:
+			stats.Cancelled = true
+			return true
+		default:
+		}
+	}
+	if expired(l.deadline) {
+		stats.TimedOut = true
+		return true
+	}
+	return false
 }
 
 func popcount(x uint64) int { return bits.OnesCount64(x) }

@@ -198,8 +198,8 @@ func TestPrepareMqMatchesTable2(t *testing.T) {
 		f.V8: {"ancient", "history"},
 		f.P2: {"catholic", "roman"},
 	}
-	if len(pq.mq) != len(wantVertices) {
-		t.Errorf("Mq has %d vertices, want %d", len(pq.mq), len(wantVertices))
+	if pq.mq.size() != len(wantVertices) {
+		t.Errorf("Mq has %d vertices, want %d", pq.mq.size(), len(wantVertices))
 	}
 	// Build keyword-position lookup.
 	pos := map[string]int{}
@@ -211,8 +211,8 @@ func TestPrepareMqMatchesTable2(t *testing.T) {
 		for _, w := range words {
 			want |= 1 << uint(pos[w])
 		}
-		if pq.mq[v] != want {
-			t.Errorf("Mq[%d] = %b, want %b (%v)", v, pq.mq[v], want, words)
+		if pq.mq.get(v) != want {
+			t.Errorf("Mq[%d] = %b, want %b (%v)", v, pq.mq.get(v), want, words)
 		}
 	}
 }

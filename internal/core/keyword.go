@@ -17,9 +17,10 @@ func (e *Engine) KeywordTopK(keywords []string, k int, opts Options) ([]Result, 
 	if err != nil {
 		return nil, stats, err
 	}
+	defer e.releasePrep(pq)
 	var out []Result
 	if pq.answerable && k > 0 {
-		deadline := deadlineFor(opts)
+		lim := limiterFor(opts)
 		semStart := time.Now()
 		ls := newLooseStream(e, pq, stats)
 		for len(out) < k {
@@ -28,13 +29,12 @@ func (e *Engine) KeywordTopK(keywords []string, k int, opts Options) ([]Result, 
 				break
 			}
 			out = append(out, Result{Place: p, Looseness: loose, Score: loose})
-			if expired(deadline) {
-				stats.TimedOut = true
+			if lim.stop(stats) {
 				break
 			}
 		}
 		stats.SemanticTime = time.Since(semStart)
 	}
-	stats.OtherTime = time.Since(start) - stats.SemanticTime
+	finishStats(stats, start)
 	return out, stats, nil
 }

@@ -1,0 +1,259 @@
+package core
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// atomicFloat64 is the pipeline's shared θ: written only by the
+// finalizer (after each top-k insertion), read by the producer and the
+// workers. θ only decreases, so any stale read is an upper bound on the
+// exact serial θ — the soundness hinge of DESIGN.md §8.
+type atomicFloat64 struct{ bits atomic.Uint64 }
+
+func (a *atomicFloat64) store(v float64) { a.bits.Store(math.Float64bits(v)) }
+func (a *atomicFloat64) load() float64   { return math.Float64frombits(a.bits.Load()) }
+
+// candidate is one place the algorithm considers, produced in the serial
+// algorithm's order. bound is the pop-time lower bound on the score of
+// this and every later candidate: MinScore(dist) for the
+// distance-ordered stream (BSP/SPP), the α-bound f(λ(p), S) for SP. The
+// remaining fields are filled by the worker that evaluates it; ready is
+// closed when they are valid.
+type candidate struct {
+	place uint32
+	dist  float64
+	bound float64
+
+	loose  float64
+	tree   *Tree
+	pruned bool // rejected by Pruning Rule 1
+	ready  chan struct{}
+}
+
+// candSource yields candidates in the serial algorithm's order. next
+// returns false when the stream is exhausted or provably beyond any
+// possible result; close flushes access counters into the source's
+// Stats. A source is driven by exactly one goroutine.
+type candSource interface {
+	next() (candidate, bool)
+	close()
+}
+
+// sourceFactory builds a candSource writing its counters to st and
+// reading the pruning threshold from theta — hk.theta in a serial run,
+// the shared atomic in a parallel one.
+type sourceFactory func(st *Stats, theta func() float64) (candSource, error)
+
+// run evaluates one prepared query through the candidate pipeline,
+// serial or parallel per opts.Parallelism. rule1/rule2 select which
+// pruning rules the consumer applies.
+func (e *Engine) run(mk sourceFactory, pq *prepQuery, opts Options, hk *topK, stats *Stats, rule1, rule2 bool) error {
+	if w := opts.workers(); w > 1 {
+		return e.runParallel(mk, pq, opts, hk, stats, w, rule1, rule2)
+	}
+	return e.runSerial(mk, pq, opts, hk, stats, rule1, rule2)
+}
+
+// runSerial is the classic evaluation loop shared by BSP, SPP and SP:
+// pop the next candidate, stop when its bound reaches θ (no later
+// candidate can improve the top-k), otherwise apply the selected pruning
+// rules, construct the TQSP, and offer the result to Hk.
+func (e *Engine) runSerial(mk sourceFactory, pq *prepQuery, opts Options, hk *topK, stats *Stats, rule1, rule2 bool) error {
+	src, err := mk(stats, hk.theta)
+	if err != nil {
+		return err
+	}
+	defer src.close()
+	s := newSearcher(e, pq, stats, opts.CollectTrees)
+	defer s.release()
+	lim := limiterFor(opts)
+
+	for i := 0; ; i++ {
+		cand, ok := src.next()
+		if !ok {
+			return nil
+		}
+		// Termination: bounds are non-decreasing along the stream.
+		if cand.bound >= hk.theta() {
+			return nil
+		}
+		stats.PlacesRetrieved++
+		if i%64 == 0 && lim.stop(stats) {
+			return nil
+		}
+		if rule1 && e.unqualified(cand.place, pq, stats) {
+			continue
+		}
+		lw := math.Inf(1)
+		if rule2 {
+			lw = e.Rank.LoosenessThreshold(hk.theta(), cand.dist)
+		}
+		semStart := time.Now()
+		loose, tree := s.semanticPlace(cand.place, lw)
+		stats.SemanticTime += time.Since(semStart)
+		if math.IsInf(loose, 1) {
+			continue
+		}
+		if f := e.Rank.Score(loose, cand.dist); f < hk.theta() {
+			hk.add(Result{Place: cand.place, Looseness: loose, Dist: cand.dist, Score: f, Tree: tree})
+		}
+	}
+}
+
+// pipelineDepth bounds, per worker, how far the producer may run ahead
+// of the finalizer — the reorder buffer and job queue capacity.
+const pipelineDepth = 4
+
+// runParallel evaluates the query with a three-stage pipeline that
+// returns results bit-identical to runSerial (the argument is laid out
+// in DESIGN.md §8):
+//
+//	producer  — drives the candidate source in serial order, stopping
+//	            early when a bound reaches the (stale) shared θ;
+//	workers   — evaluate candidates concurrently: Rule 1, then TQSP
+//	            construction under the Rule-2 threshold derived from the
+//	            shared θ, which is always >= the exact serial threshold,
+//	            so speculative work can be wasted but never wrong;
+//	finalizer — this goroutine: consumes candidates in production order,
+//	            re-applies the exact termination and insertion checks
+//	            against the true Hk, and publishes θ to the atomic.
+func (e *Engine) runParallel(mk sourceFactory, pq *prepQuery, opts Options, hk *topK, stats *Stats, workers int, rule1, rule2 bool) error {
+	theta := &atomicFloat64{}
+	theta.store(math.Inf(1))
+
+	prodStats := &Stats{}
+	src, err := mk(prodStats, theta.load)
+	if err != nil {
+		return err
+	}
+
+	depth := pipelineDepth * workers
+	jobs := make(chan *candidate, depth)
+	ordered := make(chan *candidate, depth)
+	stop := make(chan struct{})
+	var stopOnce sync.Once
+	halt := func() { stopOnce.Do(func() { close(stop) }) }
+
+	// Producer. Candidates enter jobs before ordered, so every candidate
+	// the finalizer waits on is guaranteed to reach a worker.
+	go func() {
+		defer close(jobs)
+		defer close(ordered)
+		for {
+			cand, ok := src.next()
+			if !ok {
+				return
+			}
+			// Speculation cut: bounds are non-decreasing, so once one
+			// reaches even the stale θ (>= exact θ), no later candidate
+			// can be added and the exact finalizer would stop here too.
+			if cand.bound >= theta.load() {
+				return
+			}
+			c := new(candidate)
+			*c = cand
+			c.ready = make(chan struct{})
+			select {
+			case jobs <- c:
+			case <-stop:
+				return
+			}
+			select {
+			case ordered <- c:
+			case <-stop:
+				return
+			}
+		}
+	}()
+
+	// Workers.
+	var wg sync.WaitGroup
+	workerStats := make([]*Stats, workers)
+	for w := 0; w < workers; w++ {
+		ws := &Stats{}
+		workerStats[w] = ws
+		wg.Add(1)
+		go func(ws *Stats) {
+			defer wg.Done()
+			s := newSearcher(e, pq, ws, opts.CollectTrees)
+			defer s.release()
+			if rule2 {
+				s.liveTheta = theta
+			}
+			for c := range jobs {
+				select {
+				case <-stop:
+					// Finalizer gave up; it no longer reads results, but
+					// ready must still close so nothing can block on it.
+					close(c.ready)
+					continue
+				default:
+				}
+				e.evalCandidate(s, c, rule1, rule2, theta, ws)
+				close(c.ready)
+			}
+		}(ws)
+	}
+
+	// Finalizer: strictly in production order, so every θ a worker ever
+	// observes derives from a finalized prefix of earlier candidates.
+	lim := limiterFor(opts)
+	terminated := false
+	for c := range ordered {
+		if terminated {
+			continue // drain so the producer can unblock and exit
+		}
+		<-c.ready
+		if c.bound >= hk.theta() {
+			terminated = true
+			halt()
+			continue
+		}
+		stats.PlacesRetrieved++
+		if lim.stop(stats) {
+			terminated = true
+			halt()
+			continue
+		}
+		if c.pruned || math.IsInf(c.loose, 1) {
+			continue
+		}
+		// The worker ran under a stale (looser) threshold; the exact
+		// insertion check happens here, against the true Hk.
+		if f := e.Rank.Score(c.loose, c.dist); f < hk.theta() {
+			hk.add(Result{Place: c.place, Looseness: c.loose, Dist: c.dist, Score: f, Tree: c.tree})
+			theta.store(hk.theta())
+		}
+	}
+	halt()
+	wg.Wait()
+	src.close()
+
+	for _, ws := range workerStats {
+		stats.Add(ws)
+	}
+	// Worker stats may carry TimedOut/Cancelled only via Add's flag merge;
+	// they never set them — keep the flags the finalizer recorded.
+	stats.Add(prodStats)
+	return nil
+}
+
+// evalCandidate is the worker body: Pruning Rule 1, then TQSP
+// construction under the Rule-2 threshold from the shared θ.
+func (e *Engine) evalCandidate(s *searcher, c *candidate, rule1, rule2 bool, theta *atomicFloat64, ws *Stats) {
+	if rule1 && e.unqualified(c.place, s.pq, ws) {
+		c.pruned = true
+		return
+	}
+	lw := math.Inf(1)
+	if rule2 {
+		lw = e.Rank.LoosenessThreshold(theta.load(), c.dist)
+	}
+	s.liveDist = c.dist
+	semStart := time.Now()
+	c.loose, c.tree = s.semanticPlace(c.place, lw)
+	ws.SemanticTime += time.Since(semStart)
+}

@@ -7,19 +7,43 @@ import (
 	"ksp/internal/rdf"
 )
 
-// searcher carries the per-query scratch of the TQSP constructions: the
-// epoch-stamped visited array lets thousands of BFS runs share one
-// allocation, and parent links are tracked only when trees are collected.
+// bfsScratch is the recyclable allocation-heavy state of TQSP
+// construction: the epoch-stamped visited array lets thousands of BFS
+// runs share one allocation, and parent links are allocated only once
+// trees are first collected. Scratch lives in the engine's pool and is
+// handed to one searcher at a time.
+type bfsScratch struct {
+	visited []uint32
+	epoch   uint32
+	queue   []bfsEnt
+	parent  []uint32
+}
+
+// searcher carries the per-query scratch of the TQSP constructions. In a
+// parallel evaluation each worker owns one searcher; they share the
+// read-only prepQuery and write disjoint Stats.
 type searcher struct {
 	e       *Engine
 	pq      *prepQuery
 	stats   *Stats
 	collect bool
+	scratch *bfsScratch
 
-	visited []uint32
-	epoch   uint32
-	queue   []bfsEnt
-	parent  []uint32
+	// liveTheta, when non-nil, is the pipeline's shared θ: the dynamic
+	// bound of Pruning Rule 2 is re-tightened from it periodically during
+	// construction, so a long BFS started under a stale threshold still
+	// benefits from results finalized since (DESIGN.md §8). liveDist is
+	// the current candidate's spatial distance, set per call.
+	liveTheta *atomicFloat64
+	liveDist  float64
+
+	// lastLB reports, after a getSemanticPlace call, what is known about
+	// the true looseness: the exact value when construction completed
+	// (possibly +Inf for an unqualified place), or the dynamic lower
+	// bound reached when Rule 2 aborted. The looseness cache persists it.
+	lastLB float64
+	// lastExact reports whether lastLB is the exact looseness.
+	lastExact bool
 }
 
 type bfsEnt struct {
@@ -28,18 +52,27 @@ type bfsEnt struct {
 }
 
 func newSearcher(e *Engine, pq *prepQuery, stats *Stats, collect bool) *searcher {
-	s := &searcher{
+	return &searcher{
 		e:       e,
 		pq:      pq,
 		stats:   stats,
 		collect: collect,
-		visited: make([]uint32, e.G.NumVertices()),
+		scratch: e.pools.getScratch(e.G.NumVertices()),
 	}
-	if collect {
-		s.parent = make([]uint32, e.G.NumVertices())
-	}
-	return s
 }
+
+// release returns the searcher's scratch to the engine pool. The
+// searcher must not be used afterwards.
+func (s *searcher) release() {
+	if s.scratch != nil {
+		s.e.pools.putScratch(s.scratch)
+		s.scratch = nil
+	}
+}
+
+// liveThetaEvery is how many BFS pops pass between re-reads of the
+// shared θ during parallel evaluation.
+const liveThetaEvery = 64
 
 // getSemanticPlace constructs the TQSP rooted at p (Algorithm 2) and, when
 // lw is finite, applies the dynamic-bound abort of Pruning Rule 2
@@ -48,45 +81,59 @@ func newSearcher(e *Engine, pq *prepQuery, stats *Stats, collect bool) *searcher
 //
 // It returns the looseness (or +Inf when no qualified semantic place is
 // rooted at p, or when Rule 2 fired) and, if requested, the materialized
-// tree.
+// tree. s.lastLB / s.lastExact record what was learned about the true
+// looseness for the cross-query cache.
 func (s *searcher) getSemanticPlace(p uint32, lw float64) (float64, *Tree) {
 	s.stats.TQSPComputations++
 	g := s.e.G
 	dir := s.e.Dir
+	sc := s.scratch
 
-	s.epoch++
-	if s.epoch == 0 {
-		for i := range s.visited {
-			s.visited[i] = 0
+	sc.epoch++
+	if sc.epoch == 0 {
+		for i := range sc.visited {
+			sc.visited[i] = 0
 		}
-		s.epoch = 1
+		sc.epoch = 1
 	}
 
 	b := s.pq.full // undiscovered keywords
 	foundSum := 0.0
 	var matched []matchRec
 
-	q := s.queue[:0]
+	q := sc.queue[:0]
 	q = append(q, bfsEnt{v: p, dist: 0})
-	s.visited[p] = s.epoch
+	sc.visited[p] = sc.epoch
 	if s.collect {
-		s.parent[p] = p
+		if sc.parent == nil {
+			sc.parent = make([]uint32, len(sc.visited))
+		}
+		sc.parent[p] = p
 	}
 
 	for head := 0; head < len(q) && b != 0; head++ {
 		cur := q[head]
 		s.stats.BFSVertexVisits++
 
+		// Parallel pipelines tighten lw from the shared θ as earlier
+		// candidates finalize; θ only decreases, so lw only tightens.
+		if s.liveTheta != nil && head%liveThetaEvery == 0 && head > 0 {
+			if lw2 := s.e.Rank.LoosenessThreshold(s.liveTheta.load(), s.liveDist); lw2 < lw {
+				lw = lw2
+			}
+		}
+
 		// Pruning Rule 2 (Lemma 1): every undiscovered keyword lies at
 		// distance >= d(p, cur).
 		lb := 1 + foundSum + float64(cur.dist)*float64(popcount(b))
 		if lb >= lw {
 			s.stats.PrunedDynamicBound++
-			s.queue = q
+			sc.queue = q
+			s.lastLB, s.lastExact = lb, false
 			return math.Inf(1), nil
 		}
 
-		if mask := s.pq.mq[cur.v] & b; mask != 0 {
+		if mask := s.pq.mq.get(cur.v) & b; mask != 0 {
 			foundSum += float64(popcount(mask)) * float64(cur.dist)
 			b &^= mask
 			if s.collect {
@@ -98,10 +145,10 @@ func (s *searcher) getSemanticPlace(p uint32, lw float64) (float64, *Tree) {
 		}
 
 		push := func(w uint32) {
-			if s.visited[w] != s.epoch {
-				s.visited[w] = s.epoch
+			if sc.visited[w] != sc.epoch {
+				sc.visited[w] = sc.epoch
 				if s.collect {
-					s.parent[w] = cur.v
+					sc.parent[w] = cur.v
 				}
 				q = append(q, bfsEnt{v: w, dist: cur.dist + 1})
 			}
@@ -117,12 +164,16 @@ func (s *searcher) getSemanticPlace(p uint32, lw float64) (float64, *Tree) {
 			}
 		}
 	}
-	s.queue = q
+	sc.queue = q
 
 	if b != 0 {
+		// The BFS exhausted p's reachable set without covering every
+		// keyword: p is unqualified, exactly and permanently.
+		s.lastLB, s.lastExact = math.Inf(1), true
 		return math.Inf(1), nil
 	}
 	loose := 1 + foundSum
+	s.lastLB, s.lastExact = loose, true
 	if !s.collect {
 		return loose, nil
 	}
@@ -140,6 +191,7 @@ func (s *searcher) buildTree(root uint32, matched []matchRec) *Tree {
 		depth   int
 		matched []int
 	}
+	parent := s.scratch.parent
 	nodes := make(map[uint32]*info)
 	var addPath func(v uint32) int
 	addPath = func(v uint32) int {
@@ -150,7 +202,7 @@ func (s *searcher) buildTree(root uint32, matched []matchRec) *Tree {
 			nodes[v] = &info{depth: 0}
 			return 0
 		}
-		d := addPath(s.parent[v]) + 1
+		d := addPath(parent[v]) + 1
 		nodes[v] = &info{depth: d}
 		return d
 	}
@@ -177,11 +229,11 @@ func (s *searcher) buildTree(root uint32, matched []matchRec) *Tree {
 		return a < b
 	})
 	for _, v := range order {
-		parent := s.parent[v]
+		p := parent[v]
 		if v == root {
-			parent = root
+			p = root
 		}
-		t.Nodes = append(t.Nodes, TreeNode{V: v, Parent: parent, Depth: nodes[v].depth, Matched: nodes[v].matched})
+		t.Nodes = append(t.Nodes, TreeNode{V: v, Parent: p, Depth: nodes[v].depth, Matched: nodes[v].matched})
 	}
 	return t
 }

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"container/heap"
+
+	"ksp/internal/alpha"
+	"ksp/internal/geo"
+)
+
+// streamSource adapts the incremental nearest-place stream (R-tree or
+// grid browser) to the candidate pipeline for BSP and SPP: candidates
+// arrive in ascending spatial distance, bounded below by MinScore(dist)
+// (Algorithm 1 line 7). MaxDist ends the stream — it is distance-ordered,
+// so the radius cap is a termination condition.
+type streamSource struct {
+	br      spatialSource
+	rank    Ranking
+	maxDist float64
+	stats   *Stats
+}
+
+func (s *streamSource) next() (candidate, bool) {
+	it, dist, ok := s.br.Next()
+	if !ok {
+		return candidate{}, false
+	}
+	if s.maxDist > 0 && dist > s.maxDist {
+		return candidate{}, false
+	}
+	return candidate{place: it.ID, dist: dist, bound: s.rank.MinScore(dist)}, true
+}
+
+func (s *streamSource) close() { s.stats.RTreeNodeAccesses += s.br.Accesses() }
+
+// spSource drives SP's best-first traversal (Algorithm 4): one priority
+// queue holds R-tree nodes and places keyed by their α-bounds on the
+// ranking score; node expansion applies Pruning Rules 3 and 4 against
+// the current θ. With the exact θ (serial) the produced stream is
+// exactly Algorithm 4's; with a stale θ (parallel producer) it is a
+// superset in the same non-decreasing bound order, which the finalizer's
+// exact checks reduce to the serial result (DESIGN.md §8).
+type spSource struct {
+	e       *Engine
+	qv      *alpha.QueryView
+	theta   func() float64
+	qloc    geo.Point
+	maxDist float64
+	stats   *Stats
+	pqueue  spHeap
+}
+
+func (s *spSource) next() (candidate, bool) {
+	for s.pqueue.Len() > 0 {
+		ent := heap.Pop(&s.pqueue).(spEntry)
+		// Termination (Algorithm 4 line 9): every remaining entry's bound
+		// is at least ent.bound.
+		if ent.bound >= s.theta() {
+			return candidate{}, false
+		}
+		if ent.node == nil {
+			return candidate{place: ent.place, dist: ent.dist, bound: ent.bound}, true
+		}
+
+		// Node: expand children under Pruning Rules 3 and 4.
+		s.stats.RTreeNodeAccesses++
+		n := ent.node
+		th := s.theta()
+		if n.Leaf {
+			for _, it := range n.Items {
+				d := s.qloc.Dist(it.Loc)
+				if s.maxDist > 0 && d > s.maxDist {
+					continue // outside the query radius
+				}
+				fb := s.e.Rank.Score(s.qv.PlaceBound(it.ID), d)
+				if fb < th {
+					heap.Push(&s.pqueue, spEntry{bound: fb, dist: d, place: it.ID})
+				} else {
+					s.stats.PrunedAlphaPlaces++ // Pruning Rule 3
+				}
+			}
+		} else {
+			for _, ch := range n.Children {
+				d := ch.Rect.MinDist(s.qloc)
+				if s.maxDist > 0 && d > s.maxDist {
+					continue // whole subtree outside the radius
+				}
+				fb := s.e.Rank.Score(s.qv.NodeBound(ch.ID), d)
+				if fb < th {
+					heap.Push(&s.pqueue, spEntry{bound: fb, dist: d, node: ch})
+				} else {
+					s.stats.PrunedAlphaNodes++ // Pruning Rule 4
+				}
+			}
+		}
+	}
+	return candidate{}, false
+}
+
+func (s *spSource) close() {}

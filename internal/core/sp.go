@@ -3,7 +3,6 @@ package core
 import (
 	"container/heap"
 	"fmt"
-	"math"
 	"time"
 
 	"ksp/internal/rtree"
@@ -26,6 +25,7 @@ func (e *Engine) SP(q Query, opts Options) ([]Result, *Stats, error) {
 	if err != nil {
 		return nil, stats, err
 	}
+	defer e.releasePrep(pq)
 	hk := newTopK(q.K)
 	if pq.answerable && q.K > 0 {
 		if err := e.spLoop(pq, opts, hk, stats); err != nil {
@@ -33,7 +33,7 @@ func (e *Engine) SP(q Query, opts Options) ([]Result, *Stats, error) {
 		}
 	}
 	results := hk.sorted()
-	stats.OtherTime = time.Since(start) - stats.SemanticTime
+	finishStats(stats, start)
 	return results, stats, nil
 }
 
@@ -78,83 +78,16 @@ func (e *Engine) spLoop(pq *prepQuery, opts Options, hk *topK, stats *Stats) err
 	if err != nil {
 		return err
 	}
-	s := newSearcher(e, pq, stats, opts.CollectTrees)
-	deadline := deadlineFor(opts)
 	qloc := pq.loc.Loc
-
-	var pqueue spHeap
-	if e.Tree.Len() > 0 {
-		root := e.Tree.Root()
-		d := root.Rect.MinDist(qloc)
-		pqueue = append(pqueue, spEntry{bound: e.Rank.Score(qv.NodeBound(root.ID), d), dist: d, node: root})
+	mk := func(st *Stats, theta func() float64) (candSource, error) {
+		src := &spSource{e: e, qv: qv, theta: theta, qloc: qloc, maxDist: opts.MaxDist, stats: st}
+		if e.Tree.Len() > 0 {
+			root := e.Tree.Root()
+			d := root.Rect.MinDist(qloc)
+			src.pqueue = append(src.pqueue, spEntry{bound: e.Rank.Score(qv.NodeBound(root.ID), d), dist: d, node: root})
+		}
+		heap.Init(&src.pqueue)
+		return src, nil
 	}
-	heap.Init(&pqueue)
-
-	for i := 0; pqueue.Len() > 0; i++ {
-		ent := heap.Pop(&pqueue).(spEntry)
-		// Termination (Algorithm 4 line 9): every remaining entry's bound
-		// is at least ent.bound.
-		if ent.bound >= hk.theta() {
-			return nil
-		}
-		if i%64 == 0 && expired(deadline) {
-			stats.TimedOut = true
-			return nil
-		}
-
-		if ent.node == nil {
-			stats.PlacesRetrieved++
-			if e.Reach != nil && !opts.NoRule1 && e.unqualified(ent.place, pq, stats) {
-				continue
-			}
-			lw := math.Inf(1)
-			if !opts.NoRule2 {
-				lw = e.Rank.LoosenessThreshold(hk.theta(), ent.dist)
-			}
-			semStart := time.Now()
-			loose, tree := s.getSemanticPlace(ent.place, lw)
-			stats.SemanticTime += time.Since(semStart)
-			if math.IsInf(loose, 1) {
-				continue
-			}
-			f := e.Rank.Score(loose, ent.dist)
-			if f < hk.theta() {
-				hk.add(Result{Place: ent.place, Looseness: loose, Dist: ent.dist, Score: f, Tree: tree})
-			}
-			continue
-		}
-
-		// Node: expand children under Pruning Rules 3 and 4.
-		stats.RTreeNodeAccesses++
-		n := ent.node
-		theta := hk.theta()
-		if n.Leaf {
-			for _, it := range n.Items {
-				d := qloc.Dist(it.Loc)
-				if opts.MaxDist > 0 && d > opts.MaxDist {
-					continue // outside the query radius
-				}
-				fb := e.Rank.Score(qv.PlaceBound(it.ID), d)
-				if fb < theta {
-					heap.Push(&pqueue, spEntry{bound: fb, dist: d, place: it.ID})
-				} else {
-					stats.PrunedAlphaPlaces++ // Pruning Rule 3
-				}
-			}
-		} else {
-			for _, ch := range n.Children {
-				d := ch.Rect.MinDist(qloc)
-				if opts.MaxDist > 0 && d > opts.MaxDist {
-					continue // whole subtree outside the radius
-				}
-				fb := e.Rank.Score(qv.NodeBound(ch.ID), d)
-				if fb < theta {
-					heap.Push(&pqueue, spEntry{bound: fb, dist: d, node: ch})
-				} else {
-					stats.PrunedAlphaNodes++ // Pruning Rule 4
-				}
-			}
-		}
-	}
-	return nil
+	return e.run(mk, pq, opts, hk, stats, e.Reach != nil && !opts.NoRule1, !opts.NoRule2)
 }

@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"math"
 	"time"
 )
 
@@ -21,6 +20,7 @@ func (e *Engine) SPP(q Query, opts Options) ([]Result, *Stats, error) {
 	if err != nil {
 		return nil, stats, err
 	}
+	defer e.releasePrep(pq)
 	hk := newTopK(q.K)
 	if pq.answerable && q.K > 0 {
 		if err := e.sppLoop(pq, opts, hk, stats); err != nil {
@@ -28,58 +28,19 @@ func (e *Engine) SPP(q Query, opts Options) ([]Result, *Stats, error) {
 		}
 	}
 	results := hk.sorted()
-	stats.OtherTime = time.Since(start) - stats.SemanticTime
+	finishStats(stats, start)
 	return results, stats, nil
 }
 
 func (e *Engine) sppLoop(pq *prepQuery, opts Options, hk *topK, stats *Stats) error {
-	s := newSearcher(e, pq, stats, opts.CollectTrees)
-	deadline := deadlineFor(opts)
-	br, err := e.source(pq.loc.Loc, opts)
-	if err != nil {
-		return err
+	mk := func(st *Stats, _ func() float64) (candSource, error) {
+		br, err := e.source(pq.loc.Loc, opts)
+		if err != nil {
+			return nil, err
+		}
+		return &streamSource{br: br, rank: e.Rank, maxDist: opts.MaxDist, stats: st}, nil
 	}
-	defer func() { stats.RTreeNodeAccesses += br.Accesses() }()
-
-	for i := 0; ; i++ {
-		it, dist, ok := br.Next()
-		if !ok {
-			return nil
-		}
-		if opts.MaxDist > 0 && dist > opts.MaxDist {
-			return nil
-		}
-		if e.Rank.MinScore(dist) >= hk.theta() {
-			return nil
-		}
-		stats.PlacesRetrieved++
-		if i%64 == 0 && expired(deadline) {
-			stats.TimedOut = true
-			return nil
-		}
-
-		if !opts.NoRule1 && e.unqualified(it.ID, pq, stats) { // Pruning Rule 1
-			continue
-		}
-
-		// Pruning Rule 2 via the looseness threshold of Definition 4.
-		lw := math.Inf(1)
-		if !opts.NoRule2 {
-			lw = e.Rank.LoosenessThreshold(hk.theta(), dist)
-		}
-		semStart := time.Now()
-		loose, tree := s.getSemanticPlace(it.ID, lw)
-		stats.SemanticTime += time.Since(semStart)
-		if math.IsInf(loose, 1) {
-			continue
-		}
-		// With Rule 2 active any surviving place beats the current kth
-		// candidate (its looseness is below Lw) — the guard below only
-		// matters for the NoRule2 ablation.
-		if f := e.Rank.Score(loose, dist); f < hk.theta() {
-			hk.add(Result{Place: it.ID, Looseness: loose, Dist: dist, Score: f, Tree: tree})
-		}
-	}
+	return e.run(mk, pq, opts, hk, stats, !opts.NoRule1, !opts.NoRule2)
 }
 
 // unqualified applies Pruning Rule 1: the place is discarded when some

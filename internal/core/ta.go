@@ -23,18 +23,20 @@ func (e *Engine) TA(q Query, opts Options) ([]Result, *Stats, error) {
 	if err != nil {
 		return nil, stats, err
 	}
+	defer e.releasePrep(pq)
 	hk := newTopK(q.K)
 	if pq.answerable && q.K > 0 {
 		e.taLoop(pq, opts, hk, stats)
 	}
 	results := hk.sorted()
-	stats.OtherTime = time.Since(start) - stats.SemanticTime
+	finishStats(stats, start)
 	return results, stats, nil
 }
 
 func (e *Engine) taLoop(pq *prepQuery, opts Options, hk *topK, stats *Stats) {
 	s := newSearcher(e, pq, stats, opts.CollectTrees)
-	deadline := deadlineFor(opts)
+	defer s.release()
+	lim := limiterFor(opts)
 	ls := newLooseStream(e, pq, stats)
 	br := e.Tree.NewBrowser(pq.loc.Loc)
 	defer func() { stats.RTreeNodeAccesses += br.NodeAccesses }()
@@ -58,8 +60,7 @@ func (e *Engine) taLoop(pq *prepQuery, opts Options, hk *topK, stats *Stats) {
 	}
 
 	for i := 0; !(looseDone && spatialDone); i++ {
-		if i%16 == 0 && expired(deadline) {
-			stats.TimedOut = true
+		if i%16 == 0 && lim.stop(stats) {
 			return
 		}
 		// Sorted access on the looseness list; spatial distance is the
@@ -91,7 +92,7 @@ func (e *Engine) taLoop(pq *prepQuery, opts Options, hk *topK, stats *Stats) {
 			stats.PlacesRetrieved++
 			if !seen[it.ID] {
 				semStart := time.Now()
-				loose, tree := s.getSemanticPlace(it.ID, math.Inf(1))
+				loose, tree := s.semanticPlace(it.ID, math.Inf(1))
 				stats.SemanticTime += time.Since(semStart)
 				if !math.IsInf(loose, 1) {
 					score(it.ID, loose, dist, tree)

@@ -24,6 +24,7 @@ func (e *Engine) TQSPSet(p uint32, keywords []string, limit int) ([]*Tree, float
 	if err != nil {
 		return nil, 0, err
 	}
+	defer e.releasePrep(pq)
 	if !pq.answerable {
 		return nil, math.Inf(1), nil
 	}
@@ -50,7 +51,7 @@ func (e *Engine) TQSPSet(p uint32, keywords []string, limit int) ([]*Tree, float
 	remaining := m
 	level := int32(0)
 	scan := func(v uint32) {
-		mask := pq.mq[v]
+		mask := pq.mq.get(v)
 		for i := 0; i < m; i++ {
 			if mask&(1<<uint(i)) == 0 {
 				continue

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"runtime"
 	"time"
 
 	"ksp/internal/geo"
@@ -37,6 +38,29 @@ type Options struct {
 	// means nearby). All algorithms honour it and use it as an extra
 	// termination bound.
 	MaxDist float64
+	// Parallelism selects the number of TQSP workers in the pipelined
+	// evaluation of BSP/SPP/SP: candidates are produced in the serial
+	// algorithm's order, fanned out to a worker pool for concurrent TQSP
+	// construction, and finalized in order so results are identical to a
+	// serial run (see DESIGN.md §8). 0 or 1 runs the classic serial
+	// loops; negative selects GOMAXPROCS. TA is always serial.
+	Parallelism int
+	// Cancel aborts evaluation early when the channel is closed (e.g. an
+	// HTTP client disconnecting: pass Request.Context().Done()). Partial
+	// statistics are reported with Stats.Cancelled set.
+	Cancel <-chan struct{}
+}
+
+// workers resolves Options.Parallelism to a worker count.
+func (o Options) workers() int {
+	switch {
+	case o.Parallelism < 0:
+		return runtime.GOMAXPROCS(0)
+	case o.Parallelism == 0:
+		return 1
+	default:
+		return o.Parallelism
+	}
 }
 
 // Result is one TQSP in a kSP answer.
@@ -93,6 +117,14 @@ type Stats struct {
 	PrunedAlphaNodes  int64
 	// BFSVertexVisits counts vertices touched during TQSP construction.
 	BFSVertexVisits int64
+	// CacheHits counts looseness-cache hits that returned an exact
+	// L(Tp) and skipped the BFS entirely; CacheBoundHits counts hits on
+	// a stored Rule-2 lower bound tight enough to prune without a BFS;
+	// CacheMisses counts lookups that fell through to a TQSP
+	// construction. All zero when the cache is disabled.
+	CacheHits      int64
+	CacheBoundHits int64
+	CacheMisses    int64
 	// SemanticTime is the time spent constructing TQSPs; OtherTime is the
 	// remaining runtime (spatial search, reachability queries, bounds) —
 	// the two bar segments of the paper's runtime figures.
@@ -100,6 +132,8 @@ type Stats struct {
 	OtherTime    time.Duration
 	// TimedOut reports that Options.Deadline fired before completion.
 	TimedOut bool
+	// Cancelled reports that Options.Cancel fired before completion.
+	Cancelled bool
 }
 
 // TotalTime returns SemanticTime + OtherTime.
@@ -117,9 +151,15 @@ func (s *Stats) Add(o *Stats) {
 	s.PrunedAlphaPlaces += o.PrunedAlphaPlaces
 	s.PrunedAlphaNodes += o.PrunedAlphaNodes
 	s.BFSVertexVisits += o.BFSVertexVisits
+	s.CacheHits += o.CacheHits
+	s.CacheBoundHits += o.CacheBoundHits
+	s.CacheMisses += o.CacheMisses
 	s.SemanticTime += o.SemanticTime
 	s.OtherTime += o.OtherTime
 	if o.TimedOut {
 		s.TimedOut = true
+	}
+	if o.Cancelled {
+		s.Cancelled = true
 	}
 }

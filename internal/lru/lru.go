@@ -1,23 +1,31 @@
 // Package lru provides a small generic LRU cache, used by the
 // disk-resident document store (rdf.Graph.SpillDocs) to keep hot vertex
 // documents in memory while the bulk lives on disk — the direction the
-// paper points to for larger-than-memory data (footnote 1 and Section 8).
+// paper points to for larger-than-memory data (footnote 1 and Section 8)
+// — and by the engine-level looseness cache (core.Engine), which reuses
+// TQSP looseness values across queries sharing a keyword set.
 package lru
 
-// Cache is a fixed-capacity least-recently-used cache. Not safe for
-// concurrent use; callers wrap it in a mutex.
+// Cache is a fixed-budget least-recently-used cache. The budget is a
+// cost total: with the default unit cost (New) it is an entry count;
+// NewSized attaches a per-entry cost function so unevenly sized values
+// (e.g. documents) are accounted by size. Not safe for concurrent use;
+// callers wrap it in a mutex or use Sharded.
 type Cache[K comparable, V any] struct {
-	capacity int
-	entries  map[K]*node[K, V]
-	head     *node[K, V] // most recent
-	tail     *node[K, V] // least recent
-	hits     int64
-	misses   int64
+	budget  int64
+	used    int64
+	cost    func(K, V) int64
+	entries map[K]*node[K, V]
+	head    *node[K, V] // most recent
+	tail    *node[K, V] // least recent
+	hits    int64
+	misses  int64
 }
 
 type node[K comparable, V any] struct {
 	key        K
 	value      V
+	cost       int64
 	prev, next *node[K, V]
 }
 
@@ -26,9 +34,22 @@ func New[K comparable, V any](capacity int) *Cache[K, V] {
 	if capacity < 1 {
 		capacity = 1
 	}
+	return NewSized[K, V](int64(capacity), nil)
+}
+
+// NewSized returns a cache whose entries' costs may total at most
+// budget. A nil cost function charges 1 per entry, making budget an
+// entry count. An entry is always admitted even when its cost alone
+// exceeds the budget (it then evicts everything else); eviction restores
+// the invariant used <= budget whenever more than one entry remains.
+func NewSized[K comparable, V any](budget int64, cost func(K, V) int64) *Cache[K, V] {
+	if budget < 1 {
+		budget = 1
+	}
 	return &Cache[K, V]{
-		capacity: capacity,
-		entries:  make(map[K]*node[K, V], capacity),
+		budget:  budget,
+		cost:    cost,
+		entries: make(map[K]*node[K, V]),
 	}
 }
 
@@ -45,26 +66,50 @@ func (c *Cache[K, V]) Get(key K) (V, bool) {
 	return n.value, true
 }
 
-// Put inserts or refreshes a value, evicting the least recently used
-// entry when over capacity.
-func (c *Cache[K, V]) Put(key K, value V) {
-	if n, ok := c.entries[key]; ok {
-		n.value = value
-		c.moveToFront(n)
-		return
+// Peek returns the cached value without touching recency or stats.
+func (c *Cache[K, V]) Peek(key K) (V, bool) {
+	n, ok := c.entries[key]
+	if !ok {
+		var zero V
+		return zero, false
 	}
-	n := &node[K, V]{key: key, value: value}
-	c.entries[key] = n
-	c.pushFront(n)
-	if len(c.entries) > c.capacity {
+	return n.value, true
+}
+
+// Put inserts or refreshes a value, evicting least recently used
+// entries while the cost total exceeds the budget.
+func (c *Cache[K, V]) Put(key K, value V) {
+	cost := int64(1)
+	if c.cost != nil {
+		cost = c.cost(key, value)
+		if cost < 0 {
+			cost = 0
+		}
+	}
+	if n, ok := c.entries[key]; ok {
+		c.used += cost - n.cost
+		n.value = value
+		n.cost = cost
+		c.moveToFront(n)
+	} else {
+		n := &node[K, V]{key: key, value: value, cost: cost}
+		c.entries[key] = n
+		c.pushFront(n)
+		c.used += cost
+	}
+	for c.used > c.budget && len(c.entries) > 1 {
 		lru := c.tail
 		c.unlink(lru)
 		delete(c.entries, lru.key)
+		c.used -= lru.cost
 	}
 }
 
 // Len returns the number of cached entries.
 func (c *Cache[K, V]) Len() int { return len(c.entries) }
+
+// Used returns the current cost total (the entry count under unit cost).
+func (c *Cache[K, V]) Used() int64 { return c.used }
 
 // Stats returns hit and miss counts.
 func (c *Cache[K, V]) Stats() (hits, misses int64) { return c.hits, c.misses }

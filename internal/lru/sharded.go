@@ -1,0 +1,100 @@
+package lru
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Sharded is a concurrency-safe LRU built from independently locked
+// Cache shards. Keys are routed by a caller-supplied hash (generic keys
+// cannot be hashed portably otherwise), so a well-spread hash keeps lock
+// contention proportional to 1/shards. Recency is maintained per shard,
+// which approximates global LRU closely enough for cache workloads.
+type Sharded[K comparable, V any] struct {
+	shards []shard[K, V]
+	hash   func(K) uint32
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+type shard[K comparable, V any] struct {
+	mu sync.Mutex
+	c  *Cache[K, V]
+	_  [40]byte // pad to a cache line to avoid false sharing between shards
+}
+
+// NewSharded returns a Sharded cache of the given shard count (rounded
+// up to a power of two, minimum 1) whose shards' budgets sum to budget.
+// cost follows NewSized semantics; hash routes keys to shards.
+func NewSharded[K comparable, V any](shards int, budget int64, cost func(K, V) int64, hash func(K) uint32) *Sharded[K, V] {
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	per := budget / int64(n)
+	if per < 1 {
+		per = 1
+	}
+	s := &Sharded[K, V]{shards: make([]shard[K, V], n), hash: hash}
+	for i := range s.shards {
+		s.shards[i].c = NewSized[K, V](per, cost)
+	}
+	return s
+}
+
+func (s *Sharded[K, V]) shardFor(key K) *shard[K, V] {
+	return &s.shards[s.hash(key)&uint32(len(s.shards)-1)]
+}
+
+// Get returns the cached value, tracking hits/misses atomically.
+func (s *Sharded[K, V]) Get(key K) (V, bool) {
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	v, ok := sh.c.Get(key)
+	sh.mu.Unlock()
+	if ok {
+		s.hits.Add(1)
+	} else {
+		s.misses.Add(1)
+	}
+	return v, ok
+}
+
+// Put inserts or refreshes a value.
+func (s *Sharded[K, V]) Put(key K, value V) {
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	sh.c.Put(key, value)
+	sh.mu.Unlock()
+}
+
+// Update applies an atomic read-modify-write under the shard lock: f
+// receives the current value (ok reports presence) and returns the value
+// to store, or store=false to leave the entry untouched. Used for merge
+// semantics like "keep the tighter of two lower bounds".
+func (s *Sharded[K, V]) Update(key K, f func(old V, ok bool) (V, bool)) {
+	sh := s.shardFor(key)
+	sh.mu.Lock()
+	old, ok := sh.c.Peek(key)
+	if v, store := f(old, ok); store {
+		sh.c.Put(key, v)
+	}
+	sh.mu.Unlock()
+}
+
+// Len returns the total entry count across shards.
+func (s *Sharded[K, V]) Len() int {
+	n := 0
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		n += sh.c.Len()
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Stats returns cumulative hit and miss counts.
+func (s *Sharded[K, V]) Stats() (hits, misses int64) {
+	return s.hits.Load(), s.misses.Load()
+}

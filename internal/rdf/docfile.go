@@ -22,8 +22,14 @@ type docFile struct {
 	reads int64
 }
 
-// DefaultDocCacheEntries is the default LRU capacity of SpillDocs.
+// DefaultDocCacheEntries is the default LRU budget of SpillDocs, in
+// short-document units (see docCost).
 const DefaultDocCacheEntries = 1 << 16
+
+// docCost charges a document by size — one unit per 16 terms (min 1) —
+// so a cache budget expressed in entries bounds memory even when a few
+// vertices carry very large documents.
+func docCost(_ uint32, doc []uint32) int64 { return 1 + int64(len(doc))/16 }
 
 // SpillDocs moves the vertex documents to a file at path, keeping an LRU
 // cache of cacheEntries hot documents (<= 0 selects the default). Doc and
@@ -57,7 +63,7 @@ func (g *Graph) SpillDocs(path string, cacheEntries int) error {
 		f.Close()
 		return err
 	}
-	g.spill = &docFile{f: f, cache: lru.New[uint32, []uint32](cacheEntries)}
+	g.spill = &docFile{f: f, cache: lru.NewSized[uint32, []uint32](int64(cacheEntries), docCost)}
 	g.docTerms = nil
 	return nil
 }

@@ -15,6 +15,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"runtime"
 	"strconv"
 	"strings"
 	"time"
@@ -30,11 +31,23 @@ type Server struct {
 	MaxK int
 	// Timeout bounds each query's evaluation.
 	Timeout time.Duration
+	// DefaultParallel is the pipeline width used when a request carries no
+	// ?parallel= parameter; 0 or 1 means serial evaluation.
+	DefaultParallel int
+	// MaxParallel caps the per-request ?parallel= parameter (and
+	// DefaultParallel); it defaults to GOMAXPROCS.
+	MaxParallel int
 }
 
 // New returns a ready handler for the dataset.
 func New(ds *ksp.Dataset) *Server {
-	s := &Server{ds: ds, mux: http.NewServeMux(), MaxK: 100, Timeout: 10 * time.Second}
+	s := &Server{
+		ds:          ds,
+		mux:         http.NewServeMux(),
+		MaxK:        100,
+		Timeout:     10 * time.Second,
+		MaxParallel: runtime.GOMAXPROCS(0),
+	}
 	s.mux.HandleFunc("/search", s.handleSearch)
 	s.mux.HandleFunc("/keyword", s.handleKeyword)
 	s.mux.HandleFunc("/nearest", s.handleNearest)
@@ -78,7 +91,12 @@ type QueryStats struct {
 	Millis            int64  `json:"millis"`
 	TQSPComputations  int64  `json:"tqspComputations"`
 	RTreeNodeAccesses int64  `json:"rtreeNodeAccesses"`
+	Parallelism       int    `json:"parallelism,omitempty"`
+	CacheHits         int64  `json:"cacheHits,omitempty"`
+	CacheBoundHits    int64  `json:"cacheBoundHits,omitempty"`
+	CacheMisses       int64  `json:"cacheMisses,omitempty"`
 	TimedOut          bool   `json:"timedOut"`
+	Cancelled         bool   `json:"cancelled,omitempty"`
 }
 
 type apiError struct {
@@ -138,12 +156,31 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	trees := q.Get("trees") == "1" || q.Get("trees") == "true"
+	parallel := s.DefaultParallel
+	if ps := q.Get("parallel"); ps != "" {
+		var err error
+		if parallel, err = strconv.Atoi(ps); err != nil || parallel < 0 {
+			s.fail(w, http.StatusBadRequest, "parallel must be a non-negative integer")
+			return
+		}
+	}
+	parallel = s.clampParallel(parallel)
 
 	query := ksp.Query{Loc: ksp.Point{X: x, Y: y}, Keywords: kws, K: k}
-	res, stats, err := s.ds.SearchWith(algo, query, ksp.Options{CollectTrees: trees, Deadline: s.Timeout})
+	opts := ksp.Options{
+		CollectTrees: trees,
+		Deadline:     s.Timeout,
+		Parallelism:  parallel,
+		// A disconnected client must not keep burning the Timeout budget.
+		Cancel: r.Context().Done(),
+	}
+	res, stats, err := s.ds.SearchWith(algo, query, opts)
 	if err != nil {
 		s.fail(w, http.StatusUnprocessableEntity, "%v", err)
 		return
+	}
+	if stats.Cancelled && r.Context().Err() != nil {
+		return // client is gone; nobody reads the response
 	}
 	resp := SearchResponse{
 		Results: make([]SearchResult, 0, len(res)),
@@ -152,7 +189,12 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 			Millis:            stats.TotalTime().Milliseconds(),
 			TQSPComputations:  stats.TQSPComputations,
 			RTreeNodeAccesses: stats.RTreeNodeAccesses,
+			Parallelism:       parallel,
+			CacheHits:         stats.CacheHits,
+			CacheBoundHits:    stats.CacheBoundHits,
+			CacheMisses:       stats.CacheMisses,
 			TimedOut:          stats.TimedOut,
+			Cancelled:         stats.Cancelled,
 		},
 	}
 	for _, item := range res {
@@ -180,6 +222,21 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, resp)
 }
 
+// clampParallel bounds a requested pipeline width to [0, MaxParallel].
+func (s *Server) clampParallel(p int) int {
+	max := s.MaxParallel
+	if max < 1 {
+		max = 1
+	}
+	if p > max {
+		return max
+	}
+	if p < 0 {
+		return 0
+	}
+	return p
+}
+
 func parseAlgo(s string) (ksp.Algorithm, bool) {
 	switch strings.ToUpper(s) {
 	case "BSP":
@@ -197,6 +254,10 @@ func parseAlgo(s string) (ksp.Algorithm, bool) {
 // handleKeyword serves location-free keyword search: the places with the
 // tightest semantic trees regardless of where the client is.
 func (s *Server) handleKeyword(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.fail(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
 	q := r.URL.Query()
 	var kws []string
 	for _, part := range strings.Split(q.Get("kw"), ",") {
@@ -240,6 +301,10 @@ func (s *Server) handleKeyword(w http.ResponseWriter, r *http.Request) {
 
 // handleNearest serves plain nearest-place lookup.
 func (s *Server) handleNearest(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.fail(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
 	q := r.URL.Query()
 	x, errX := strconv.ParseFloat(q.Get("x"), 64)
 	y, errY := strconv.ParseFloat(q.Get("y"), 64)
@@ -282,6 +347,10 @@ type DescribeResponse struct {
 }
 
 func (s *Server) handleDescribe(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		s.fail(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
 	uri := r.URL.Query().Get("uri")
 	if uri == "" {
 		s.fail(w, http.StatusBadRequest, "uri is required")
@@ -300,8 +369,25 @@ func (s *Server) handleDescribe(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, resp)
 }
 
+// StatsResponse is the /stats payload: dataset summary plus, when the
+// looseness cache is enabled, its cumulative counters and hit rate.
+type StatsResponse struct {
+	ksp.DatasetStats
+	Cache *CacheSection `json:"cache,omitempty"`
+}
+
+// CacheSection reports the looseness cache in /stats.
+type CacheSection struct {
+	ksp.CacheStats
+	HitRate float64 `json:"hitRate"`
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, s.ds.Stats())
+	resp := StatsResponse{DatasetStats: s.ds.Stats()}
+	if cs, ok := s.ds.CacheStats(); ok {
+		resp.Cache = &CacheSection{CacheStats: cs, HitRate: cs.HitRate()}
+	}
+	writeJSON(w, resp)
 }
 
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {

@@ -213,3 +213,99 @@ func TestStatsAndHealth(t *testing.T) {
 		t.Errorf("health status %d", resp.StatusCode)
 	}
 }
+
+// Mutating methods must be rejected on every read-only endpoint.
+func TestGetOnlyEndpoints(t *testing.T) {
+	srv := testServer(t)
+	for _, path := range []string{
+		"/search?x=0&y=0&kw=roman",
+		"/keyword?kw=roman",
+		"/nearest?x=0&y=0",
+		"/describe?uri=ex:Abbey",
+	} {
+		resp, err := http.Post(srv.URL+path, "application/json", strings.NewReader("{}"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("POST %s: status %d, want 405", path, resp.StatusCode)
+		}
+	}
+}
+
+// ?parallel= must be validated, clamped to MaxParallel, and echoed in the
+// response stats; results must match the serial run.
+func TestParallelParam(t *testing.T) {
+	ds, err := ksp.Open(strings.NewReader(fixtureNT), ksp.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := New(ds)
+	h.MaxParallel = 2
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	var serial, par SearchResponse
+	getJSON(t, srv.URL+"/search?x=0&y=0&kw=roman,history&k=2", &serial)
+	resp := getJSON(t, srv.URL+"/search?x=0&y=0&kw=roman,history&k=2&parallel=16", &par)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if par.Stats.Parallelism != 2 {
+		t.Errorf("parallelism = %d, want clamped 2", par.Stats.Parallelism)
+	}
+	if len(par.Results) != len(serial.Results) {
+		t.Fatalf("parallel results differ: %+v vs %+v", par.Results, serial.Results)
+	}
+	for i := range serial.Results {
+		if par.Results[i].URI != serial.Results[i].URI || par.Results[i].Score != serial.Results[i].Score {
+			t.Errorf("result %d differs: %+v vs %+v", i, par.Results[i], serial.Results[i])
+		}
+	}
+
+	resp = getJSON(t, srv.URL+"/search?x=0&y=0&kw=roman&parallel=bogus", nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bogus parallel: status %d, want 400", resp.StatusCode)
+	}
+	resp = getJSON(t, srv.URL+"/search?x=0&y=0&kw=roman&parallel=-1", nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("negative parallel: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// /stats must expose looseness-cache counters when the cache is enabled
+// and omit the section when it is not.
+func TestStatsCacheSection(t *testing.T) {
+	// Without cache.
+	srv := testServer(t)
+	var bare StatsResponse
+	getJSON(t, srv.URL+"/stats", &bare)
+	if bare.Cache != nil {
+		t.Errorf("cache section present without cache: %+v", bare.Cache)
+	}
+
+	// With cache: run the same query twice, expect hits to show up.
+	cfg := ksp.DefaultConfig()
+	cfg.LoosenessCacheEntries = -1
+	ds, err := ksp.Open(strings.NewReader(fixtureNT), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	csrv := httptest.NewServer(New(ds))
+	defer csrv.Close()
+	var sr SearchResponse
+	getJSON(t, csrv.URL+"/search?x=0&y=0&kw=roman,history&k=2", &sr)
+	getJSON(t, csrv.URL+"/search?x=0&y=0&kw=roman,history&k=2", &sr)
+	if sr.Stats.CacheHits == 0 {
+		t.Errorf("repeat query reported no cache hits: %+v", sr.Stats)
+	}
+	var st StatsResponse
+	getJSON(t, csrv.URL+"/stats", &st)
+	if st.Cache == nil {
+		t.Fatal("cache section missing")
+	}
+	if st.Cache.Hits == 0 || st.Cache.Entries == 0 || st.Cache.HitRate <= 0 {
+		t.Errorf("cache section not populated: %+v", st.Cache)
+	}
+}

@@ -57,8 +57,12 @@ type TreeNode = core.TreeNode
 // Stats carries the per-query cost counters of the underlying algorithm.
 type Stats = core.Stats
 
-// Options tunes one query execution (deadline, tree materialization).
+// Options tunes one query execution (deadline, tree materialization,
+// parallelism, cancellation).
 type Options = core.Options
+
+// CacheStats summarizes the cross-query looseness cache.
+type CacheStats = core.CacheStats
 
 // Ranking is the aggregate scoring function f(looseness, distance).
 type Ranking = core.Ranking
@@ -140,6 +144,13 @@ type Config struct {
 	// main memory (footnote 1). Search is unaffected (keyword matching
 	// goes through the inverted index); Describe pages from disk.
 	DocStorePath string
+	// LoosenessCacheEntries enables the engine's cross-query looseness
+	// cache with the given entry capacity: exact L(Tp) values and Rule-2
+	// lower bounds are remembered per (place, keyword-set) and reused by
+	// later queries, skipping TQSP constructions without changing any
+	// answer. 0 disables the cache; negative selects the built-in default
+	// capacity.
+	LoosenessCacheEntries int
 	// RemoveStopwords drops common English glue words from documents and
 	// query keywords alike.
 	RemoveStopwords bool
@@ -207,6 +218,9 @@ func finish(b *rdf.Builder, cfg Config) (*Dataset, error) {
 		if err := g.SpillDocs(cfg.DocStorePath, 0); err != nil {
 			return nil, err
 		}
+	}
+	if cfg.LoosenessCacheEntries != 0 {
+		e.EnableLoosenessCache(cfg.LoosenessCacheEntries)
 	}
 	return &Dataset{g: g, engine: e, cfg: cfg}, nil
 }
@@ -295,8 +309,16 @@ func LoadSnapshot(path string, cfg Config) (*Dataset, error) {
 			return nil, err
 		}
 	}
+	if cfg.LoosenessCacheEntries != 0 {
+		e.EnableLoosenessCache(cfg.LoosenessCacheEntries)
+	}
 	return &Dataset{g: g, engine: e, cfg: cfg}, nil
 }
+
+// CacheStats reports the looseness cache's cumulative hit/miss counters
+// and entry count; ok is false when Config.LoosenessCacheEntries left
+// the cache disabled.
+func (d *Dataset) CacheStats() (CacheStats, bool) { return d.engine.CacheStats() }
 
 // URI returns the URI (or blank-node label) of a vertex from a Result or
 // Tree.

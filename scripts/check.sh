@@ -1,0 +1,16 @@
+#!/bin/sh
+# Full pre-commit gate: vet, build, and the complete test suite under
+# the race detector (the parallel pipeline and the shared looseness
+# cache are only trustworthy race-clean).
+#
+# Usage: scripts/check.sh
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== go vet =="
+go vet ./...
+echo "== go build =="
+go build ./...
+echo "== go test -race =="
+go test -race ./...
+echo "OK"
