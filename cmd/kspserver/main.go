@@ -12,11 +12,16 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	_ "net/http/pprof" // registered on the side listener only (-pprof)
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"ksp"
@@ -36,6 +41,11 @@ func main() {
 		parallel = flag.Int("parallel", 0, "default pipeline workers per query (0 = serial; requests may override with ?parallel=, capped at GOMAXPROCS)")
 		cache    = flag.Int("cache", 0, "looseness cache entries (0 = disabled, negative = built-in default)")
 		pprof    = flag.String("pprof", "", "side listen address for net/http/pprof (empty = disabled), e.g. localhost:6060")
+
+		admitWidth = flag.Int("admit-width", 0, "total pipeline width admitted concurrently (0 = 2×GOMAXPROCS, negative = unlimited)")
+		admitQueue = flag.Int("admit-queue", 0, "requests that may queue for admission before shedding 429 (0 = 16, negative = no queue)")
+		queueWait  = flag.Duration("queue-wait", time.Second, "longest a request queues for admission before shedding 503")
+		drain      = flag.Duration("drain", 15*time.Second, "in-flight request drain budget on SIGTERM/SIGINT")
 	)
 	flag.Parse()
 
@@ -82,6 +92,35 @@ func main() {
 	if *parallel >= 0 {
 		s.DefaultParallel = *parallel
 	}
-	fmt.Printf("listening on %s\n", *addr)
-	log.Fatal(http.ListenAndServe(*addr, s))
+	s.AdmitCapacity = *admitWidth
+	s.AdmitQueue = *admitQueue
+	s.QueueTimeout = *queueWait
+
+	srv := &http.Server{Addr: *addr, Handler: s}
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Printf("listening on %s\n", *addr)
+		errc <- srv.ListenAndServe()
+	}()
+
+	// SIGTERM/SIGINT drains gracefully: readiness flips off first so
+	// load balancers stop routing here, then in-flight requests get the
+	// drain budget to finish before the listener dies.
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	select {
+	case err := <-errc:
+		log.Fatal(err)
+	case sig := <-sigc:
+		fmt.Printf("received %v, draining for up to %v\n", sig, *drain)
+		s.SetReady(false)
+		ctx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Fatalf("drain incomplete: %v", err)
+		}
+		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+	}
 }

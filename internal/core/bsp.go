@@ -9,9 +9,10 @@ import (
 // nearest-neighbour search on the R-tree, the TQSP of every retrieved
 // place is fully constructed, and search stops when the next entry's
 // minimal possible score reaches the kth candidate's score.
-func (e *Engine) BSP(q Query, opts Options) ([]Result, *Stats, error) {
+func (e *Engine) BSP(q Query, opts Options) (results []Result, stats *Stats, err error) {
 	start := time.Now()
-	stats := &Stats{}
+	stats = &Stats{}
+	defer guard("core.BSP", &results, &err)
 	pq, err := e.prepare(q)
 	if err != nil {
 		return nil, stats, err
@@ -23,7 +24,8 @@ func (e *Engine) BSP(q Query, opts Options) ([]Result, *Stats, error) {
 			return nil, stats, err
 		}
 	}
-	results := hk.sorted()
+	results = hk.sorted()
+	markExact(results, stats)
 	finishStats(stats, start)
 	return results, stats, nil
 }

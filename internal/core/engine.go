@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"ksp/internal/alpha"
+	"ksp/internal/faultinject"
 	"ksp/internal/geo"
 	"ksp/internal/grid"
 	"ksp/internal/invindex"
@@ -278,6 +279,7 @@ var errTooManyKeywords = fmt.Errorf("core: more than %d query keywords", MaxKeyw
 // each as a query keyword, and a keyword consisting only of stopwords is
 // vacuously covered.
 func (e *Engine) prepare(q Query) (*prepQuery, error) {
+	faultinject.Fire(PointPrepare)
 	pq := &prepQuery{loc: q, answerable: true}
 	seen := make(map[uint32]bool)
 	for _, kw := range q.Keywords {

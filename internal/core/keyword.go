@@ -10,9 +10,10 @@ import (
 // ([43], BLINKS [31]) restricted to place roots — useful on its own, and
 // the looseness-ordered stream inside it is the same machinery TA
 // consumes.
-func (e *Engine) KeywordTopK(keywords []string, k int, opts Options) ([]Result, *Stats, error) {
+func (e *Engine) KeywordTopK(keywords []string, k int, opts Options) (results []Result, stats *Stats, err error) {
 	start := time.Now()
-	stats := &Stats{}
+	stats = &Stats{}
+	defer guard("core.KeywordTopK", &results, &err)
 	pq, err := e.prepare(Query{Keywords: keywords, K: k})
 	if err != nil {
 		return nil, stats, err
@@ -28,8 +29,12 @@ func (e *Engine) KeywordTopK(keywords []string, k int, opts Options) ([]Result, 
 			if !ok {
 				break
 			}
-			out = append(out, Result{Place: p, Looseness: loose, Score: loose})
+			// The stream emits in exact (looseness, place) order, so even
+			// a truncated run returns a true prefix: every emitted result
+			// is exact; only the missing tail is lost.
+			out = append(out, Result{Place: p, Looseness: loose, Score: loose, Exact: true})
 			if lim.stop(stats) {
+				recordPartial(stats, loose)
 				break
 			}
 		}

@@ -1,0 +1,14 @@
+package core
+
+import (
+	"os"
+	"testing"
+
+	"ksp/internal/testutil"
+)
+
+// TestMain fails the package if any test leaks goroutines — stuck
+// pipeline stages would otherwise only surface as flakes elsewhere.
+func TestMain(m *testing.M) {
+	os.Exit(testutil.VerifyMain(m))
+}

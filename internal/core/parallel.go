@@ -5,6 +5,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"ksp/internal/faultinject"
 )
 
 // atomicFloat64 is the pipeline's shared θ: written only by the
@@ -29,7 +31,8 @@ type candidate struct {
 
 	loose  float64
 	tree   *Tree
-	pruned bool // rejected by Pruning Rule 1
+	pruned bool  // rejected by Pruning Rule 1
+	err    error // worker panic, forwarded instead of crashing
 	ready  chan struct{}
 }
 
@@ -71,7 +74,7 @@ func (e *Engine) runSerial(mk sourceFactory, pq *prepQuery, opts Options, hk *to
 	defer s.release()
 	lim := limiterFor(opts)
 
-	for i := 0; ; i++ {
+	for {
 		cand, ok := src.next()
 		if !ok {
 			return nil
@@ -81,9 +84,14 @@ func (e *Engine) runSerial(mk sourceFactory, pq *prepQuery, opts Options, hk *to
 			return nil
 		}
 		stats.PlacesRetrieved++
-		if i%64 == 0 && lim.stop(stats) {
+		// The deadline/cancel poll is per candidate: each one costs a
+		// TQSP construction, so the time.Now is noise, and checking
+		// before the expensive work keeps the overshoot at one BFS.
+		if lim.stop(stats) {
+			recordPartial(stats, cand.bound)
 			return nil
 		}
+		faultinject.Fire(PointSerialCandidate)
 		if rule1 && e.unqualified(cand.place, pq, stats) {
 			continue
 		}
@@ -136,13 +144,23 @@ func (e *Engine) runParallel(mk sourceFactory, pq *prepQuery, opts Options, hk *
 	stop := make(chan struct{})
 	var stopOnce sync.Once
 	halt := func() { stopOnce.Do(func() { close(stop) }) }
+	pipe := &pipeFailure{}
 
 	// Producer. Candidates enter jobs before ordered, so every candidate
-	// the finalizer waits on is guaranteed to reach a worker.
+	// the finalizer waits on is guaranteed to reach a worker. A panic in
+	// the candidate source fails this query, not the process: the
+	// deferred close of both channels doubles as the shutdown signal.
 	go func() {
 		defer close(jobs)
 		defer close(ordered)
+		defer func() {
+			if r := recover(); r != nil {
+				pipe.fail(newPanicError("core.parallel.producer", r))
+				halt()
+			}
+		}()
 		for {
+			faultinject.Fire(PointProducer)
 			cand, ok := src.next()
 			if !ok {
 				return
@@ -178,6 +196,19 @@ func (e *Engine) runParallel(mk sourceFactory, pq *prepQuery, opts Options, hk *
 		wg.Add(1)
 		go func(ws *Stats) {
 			defer wg.Done()
+			defer func() {
+				// Per-candidate panics are converted inside evalCandidate;
+				// this catches a panic outside that window (e.g. searcher
+				// setup). The dying worker must drain jobs and close every
+				// ready it takes, or the finalizer would block forever.
+				if r := recover(); r != nil {
+					pipe.fail(newPanicError("core.parallel.worker", r))
+					halt()
+					for c := range jobs {
+						close(c.ready)
+					}
+				}
+			}()
 			s := newSearcher(e, pq, ws, opts.CollectTrees)
 			defer s.release()
 			if rule2 {
@@ -199,36 +230,61 @@ func (e *Engine) runParallel(mk sourceFactory, pq *prepQuery, opts Options, hk *
 	}
 
 	// Finalizer: strictly in production order, so every θ a worker ever
-	// observes derives from a finalized prefix of earlier candidates.
+	// observes derives from a finalized prefix of earlier candidates. It
+	// runs on the caller's goroutine but inside its own recovery scope:
+	// a finalizer panic must still halt and drain the pipeline before
+	// the error surfaces, or producer and workers would leak.
 	lim := limiterFor(opts)
-	terminated := false
-	for c := range ordered {
-		if terminated {
-			continue // drain so the producer can unblock and exit
+	qerr := func() (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err = newPanicError("core.parallel.finalizer", r)
+			}
+		}()
+		terminated := false
+		for c := range ordered {
+			if terminated {
+				continue // drain so the producer can unblock and exit
+			}
+			<-c.ready
+			if c.err != nil {
+				// A worker panicked on this candidate; fail the query but
+				// keep draining so the pipeline shuts down cleanly.
+				err = c.err
+				terminated = true
+				halt()
+				continue
+			}
+			faultinject.Fire(PointFinalizer)
+			if c.bound >= hk.theta() {
+				terminated = true
+				halt()
+				continue
+			}
+			stats.PlacesRetrieved++
+			if lim.stop(stats) {
+				recordPartial(stats, c.bound)
+				terminated = true
+				halt()
+				continue
+			}
+			if c.pruned || math.IsInf(c.loose, 1) {
+				continue
+			}
+			// The worker ran under a stale (looser) threshold; the exact
+			// insertion check happens here, against the true Hk.
+			if f := e.Rank.Score(c.loose, c.dist); f < hk.theta() {
+				hk.add(Result{Place: c.place, Looseness: c.loose, Dist: c.dist, Score: f, Tree: c.tree})
+				theta.store(hk.theta())
+			}
 		}
-		<-c.ready
-		if c.bound >= hk.theta() {
-			terminated = true
-			halt()
-			continue
-		}
-		stats.PlacesRetrieved++
-		if lim.stop(stats) {
-			terminated = true
-			halt()
-			continue
-		}
-		if c.pruned || math.IsInf(c.loose, 1) {
-			continue
-		}
-		// The worker ran under a stale (looser) threshold; the exact
-		// insertion check happens here, against the true Hk.
-		if f := e.Rank.Score(c.loose, c.dist); f < hk.theta() {
-			hk.add(Result{Place: c.place, Looseness: c.loose, Dist: c.dist, Score: f, Tree: c.tree})
-			theta.store(hk.theta())
-		}
-	}
+		return err
+	}()
 	halt()
+	// Drain whatever the finalizer left behind (it drains fully on the
+	// normal path; after a finalizer panic candidates may remain).
+	for range ordered {
+	}
 	wg.Wait()
 	src.close()
 
@@ -238,12 +294,44 @@ func (e *Engine) runParallel(mk sourceFactory, pq *prepQuery, opts Options, hk *
 	// Worker stats may carry TimedOut/Cancelled only via Add's flag merge;
 	// they never set them — keep the flags the finalizer recorded.
 	stats.Add(prodStats)
-	return nil
+	if qerr == nil {
+		qerr = pipe.get()
+	}
+	return qerr
+}
+
+// pipeFailure records the first asynchronous pipeline error (a producer
+// or worker goroutine panic) for the finalizer to return.
+type pipeFailure struct {
+	mu  sync.Mutex
+	err error
+}
+
+func (p *pipeFailure) fail(err error) {
+	p.mu.Lock()
+	if p.err == nil {
+		p.err = err
+	}
+	p.mu.Unlock()
+}
+
+func (p *pipeFailure) get() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.err
 }
 
 // evalCandidate is the worker body: Pruning Rule 1, then TQSP
-// construction under the Rule-2 threshold from the shared θ.
+// construction under the Rule-2 threshold from the shared θ. A panic —
+// a bug in the hot path or an injected fault — is captured into the
+// candidate and forwarded to the finalizer, failing only this query.
 func (e *Engine) evalCandidate(s *searcher, c *candidate, rule1, rule2 bool, theta *atomicFloat64, ws *Stats) {
+	defer func() {
+		if r := recover(); r != nil {
+			c.err = newPanicError("core.parallel.worker", r)
+		}
+	}()
+	faultinject.Fire(PointWorker)
 	if rule1 && e.unqualified(c.place, s.pq, ws) {
 		c.pruned = true
 		return

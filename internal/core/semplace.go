@@ -4,6 +4,7 @@ import (
 	"math"
 	"sort"
 
+	"ksp/internal/faultinject"
 	"ksp/internal/rdf"
 )
 
@@ -84,6 +85,7 @@ const liveThetaEvery = 64
 // tree. s.lastLB / s.lastExact record what was learned about the true
 // looseness for the cross-query cache.
 func (s *searcher) getSemanticPlace(p uint32, lw float64) (float64, *Tree) {
+	faultinject.Fire(PointBFS)
 	s.stats.TQSPComputations++
 	g := s.e.G
 	dir := s.e.Dir

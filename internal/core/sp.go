@@ -15,12 +15,13 @@ import (
 // pruned (Pruning Rules 3 and 4); surviving places still pass through
 // Pruning Rules 1 and 2. Requires EnableAlpha (and EnableReach for
 // Rule 1).
-func (e *Engine) SP(q Query, opts Options) ([]Result, *Stats, error) {
+func (e *Engine) SP(q Query, opts Options) (results []Result, stats *Stats, err error) {
 	start := time.Now()
-	stats := &Stats{}
+	stats = &Stats{}
 	if e.Alpha == nil {
 		return nil, stats, fmt.Errorf("core: SP requires the α-radius index (EnableAlpha)")
 	}
+	defer guard("core.SP", &results, &err)
 	pq, err := e.prepare(q)
 	if err != nil {
 		return nil, stats, err
@@ -32,7 +33,8 @@ func (e *Engine) SP(q Query, opts Options) ([]Result, *Stats, error) {
 			return nil, stats, err
 		}
 	}
-	results := hk.sorted()
+	results = hk.sorted()
+	markExact(results, stats)
 	finishStats(stats, start)
 	return results, stats, nil
 }

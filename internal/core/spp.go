@@ -10,12 +10,13 @@ import (
 // queries before any TQSP construction) and Pruning Rule 2 (TQSP
 // construction aborts once its dynamic looseness lower bound reaches the
 // threshold Lw = f⁻¹(θ; S)). Requires EnableReach.
-func (e *Engine) SPP(q Query, opts Options) ([]Result, *Stats, error) {
+func (e *Engine) SPP(q Query, opts Options) (results []Result, stats *Stats, err error) {
 	start := time.Now()
-	stats := &Stats{}
+	stats = &Stats{}
 	if e.Reach == nil {
 		return nil, stats, fmt.Errorf("core: SPP requires the reachability index (EnableReach)")
 	}
+	defer guard("core.SPP", &results, &err)
 	pq, err := e.prepare(q)
 	if err != nil {
 		return nil, stats, err
@@ -27,7 +28,8 @@ func (e *Engine) SPP(q Query, opts Options) ([]Result, *Stats, error) {
 			return nil, stats, err
 		}
 	}
-	results := hk.sorted()
+	results = hk.sorted()
+	markExact(results, stats)
 	finishStats(stats, start)
 	return results, stats, nil
 }

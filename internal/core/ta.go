@@ -16,9 +16,10 @@ import (
 // combines them: each sorted access completes the other attribute on the
 // fly, and search stops when the kth candidate's score reaches
 // τ = f(L_last, S_last).
-func (e *Engine) TA(q Query, opts Options) ([]Result, *Stats, error) {
+func (e *Engine) TA(q Query, opts Options) (results []Result, stats *Stats, err error) {
 	start := time.Now()
-	stats := &Stats{}
+	stats = &Stats{}
+	defer guard("core.TA", &results, &err)
 	pq, err := e.prepare(q)
 	if err != nil {
 		return nil, stats, err
@@ -28,7 +29,8 @@ func (e *Engine) TA(q Query, opts Options) ([]Result, *Stats, error) {
 	if pq.answerable && q.K > 0 {
 		e.taLoop(pq, opts, hk, stats)
 	}
-	results := hk.sorted()
+	results = hk.sorted()
+	markExact(results, stats)
 	finishStats(stats, start)
 	return results, stats, nil
 }
@@ -61,6 +63,14 @@ func (e *Engine) taLoop(pq *prepQuery, opts Options, hk *topK, stats *Stats) {
 
 	for i := 0; !(looseDone && spatialDone); i++ {
 		if i%16 == 0 && lim.stop(stats) {
+			// TA's threshold τ = f(L_last, S_last) lower-bounds every
+			// unseen place; with no τ yet, nothing is guaranteed (bound 0
+			// leaves every result flagged degraded).
+			tau := 0.0
+			if lLast > math.Inf(-1) && sLast > math.Inf(-1) {
+				tau = e.Rank.Score(lLast, sLast)
+			}
+			recordPartial(stats, tau)
 			return
 		}
 		// Sorted access on the looseness list; spatial distance is the

@@ -16,10 +16,16 @@ import (
 //
 // The minimum looseness is returned alongside; it is +Inf (with no trees)
 // when p is unqualified for the keywords.
-func (e *Engine) TQSPSet(p uint32, keywords []string, limit int) ([]*Tree, float64, error) {
+func (e *Engine) TQSPSet(p uint32, keywords []string, limit int) (trees []*Tree, loose float64, err error) {
 	if int(p) >= e.G.NumVertices() {
 		return nil, 0, fmt.Errorf("core: vertex %d out of range", p)
 	}
+	defer func() {
+		if r := recover(); r != nil {
+			trees, loose = nil, 0
+			err = newPanicError("core.TQSPSet", r)
+		}
+	}()
 	pq, err := e.prepare(Query{Keywords: keywords})
 	if err != nil {
 		return nil, 0, err
@@ -101,7 +107,7 @@ func (e *Engine) TQSPSet(p uint32, keywords []string, limit int) ([]*Tree, float
 	if remaining > 0 {
 		return nil, math.Inf(1), nil
 	}
-	loose := 1.0
+	loose = 1.0
 	for i := 0; i < m; i++ {
 		loose += float64(minDist[i])
 	}
@@ -119,7 +125,7 @@ func (e *Engine) TQSPSet(p uint32, keywords []string, limit int) ([]*Tree, float
 		seen:    map[string]bool{},
 	}
 	en.enumerate(0, map[uint32]uint32{p: p})
-	trees := en.out
+	trees = en.out
 	sort.Slice(trees, func(i, j int) bool { return len(trees[i].Nodes) < len(trees[j].Nodes) })
 	return trees, loose, nil
 }

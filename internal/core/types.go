@@ -73,6 +73,11 @@ type Result struct {
 	Dist float64
 	// Score is f(L(Tp), S(q, p)).
 	Score float64
+	// Exact reports that this result provably belongs to the exact top-k
+	// at this exact rank. Always true after a complete run; after a
+	// partial (deadline/cancelled) run it holds exactly for the prefix
+	// whose scores stay below Stats.ScoreBound (see DESIGN.md §9).
+	Exact bool
 	// Tree is the materialized TQSP when Options.CollectTrees is set.
 	Tree *Tree
 }
@@ -134,6 +139,16 @@ type Stats struct {
 	TimedOut bool
 	// Cancelled reports that Options.Cancel fired before completion.
 	Cancelled bool
+	// Partial reports that evaluation stopped early (TimedOut or
+	// Cancelled) and the results are the best-so-far top-k rather than
+	// the proven answer. Per-result guarantees are in Result.Exact.
+	Partial bool
+	// ScoreBound is, after a partial run, a lower bound on the score of
+	// every place the algorithm did not finalize (the Lemma-1 floor of
+	// the next candidate at the moment evaluation stopped). Results
+	// scoring strictly below it are exact. Zero when Partial is false
+	// or no bound was established.
+	ScoreBound float64
 }
 
 // TotalTime returns SemanticTime + OtherTime.
@@ -161,5 +176,9 @@ func (s *Stats) Add(o *Stats) {
 	}
 	if o.Cancelled {
 		s.Cancelled = true
+	}
+	if o.Partial && (!s.Partial || o.ScoreBound < s.ScoreBound) {
+		s.Partial = true
+		s.ScoreBound = o.ScoreBound
 	}
 }

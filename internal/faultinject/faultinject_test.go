@@ -1,0 +1,101 @@
+package faultinject
+
+import (
+	"testing"
+	"time"
+)
+
+var (
+	testPointA = Register("test.a")
+	testPointB = Register("test.b")
+)
+
+func TestInactiveFireIsNoOp(t *testing.T) {
+	if Enabled() {
+		t.Fatal("plan active at test start")
+	}
+	Fire(testPointA) // must not panic or block
+}
+
+func TestAfterNAndTimes(t *testing.T) {
+	var hits int
+	p := NewPlan(1).Add(Fault{Point: testPointA, Action: Call, Func: func() { hits++ }, AfterN: 3, Times: 2})
+	Activate(p)
+	defer Deactivate()
+	for i := 0; i < 10; i++ {
+		Fire(testPointA)
+	}
+	if hits != 2 {
+		t.Fatalf("hits = %d, want 2 (AfterN=3, Times=2)", hits)
+	}
+	if got := p.Fired(testPointA); got != 2 {
+		t.Errorf("Fired = %d", got)
+	}
+	if got := p.Fired(testPointB); got != 0 {
+		t.Errorf("Fired(other) = %d", got)
+	}
+}
+
+func TestSeededProbabilityIsDeterministic(t *testing.T) {
+	run := func(seed int64) int64 {
+		p := NewPlan(seed).Add(Fault{Point: testPointA, Action: Call, Func: func() {}, Prob: 0.5})
+		Activate(p)
+		defer Deactivate()
+		for i := 0; i < 200; i++ {
+			Fire(testPointA)
+		}
+		return p.FiredTotal()
+	}
+	a, b := run(42), run(42)
+	if a != b {
+		t.Fatalf("same seed diverged: %d vs %d", a, b)
+	}
+	if a == 0 || a == 200 {
+		t.Fatalf("prob=0.5 fired %d/200 times", a)
+	}
+}
+
+func TestPanicAction(t *testing.T) {
+	Activate(NewPlan(1).Add(Fault{Point: testPointB, Action: Panic}))
+	defer Deactivate()
+	defer func() {
+		r := recover()
+		inj, ok := r.(*Injected)
+		if !ok || inj.Point != testPointB {
+			t.Fatalf("recovered %v, want *Injected at %s", r, testPointB)
+		}
+	}()
+	Fire(testPointB)
+	t.Fatal("unreachable: Fire must panic")
+}
+
+func TestStallAction(t *testing.T) {
+	Activate(NewPlan(1).Add(Fault{Point: testPointA, Action: Stall, StallFor: 30 * time.Millisecond}))
+	defer Deactivate()
+	start := time.Now()
+	Fire(testPointA)
+	if d := time.Since(start); d < 30*time.Millisecond {
+		t.Fatalf("stall lasted %v", d)
+	}
+}
+
+func TestAddUnregisteredPointPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Add on unregistered point did not panic")
+		}
+	}()
+	NewPlan(1).Add(Fault{Point: "test.nosuch", Action: Panic})
+}
+
+func TestPointsListed(t *testing.T) {
+	found := 0
+	for _, p := range Points() {
+		if p == testPointA || p == testPointB {
+			found++
+		}
+	}
+	if found != 2 {
+		t.Fatalf("Points() = %v missing test points", Points())
+	}
+}

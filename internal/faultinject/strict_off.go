@@ -1,0 +1,9 @@
+//go:build !faultinject
+
+package faultinject
+
+// strictPoints gates the registered-point assertion inside Fire. The
+// production build skips it: Fire must stay a nil check. Build with
+// -tags faultinject (scripts/check.sh vets this configuration) to make
+// a Fire call on an unregistered — e.g. typo'd — point panic loudly.
+const strictPoints = false

@@ -1,0 +1,7 @@
+//go:build faultinject
+
+package faultinject
+
+// strictPoints: see strict_off.go. This build verifies every Fire call
+// site names a registered point.
+const strictPoints = true

@@ -251,16 +251,21 @@ func ReadFrom(r io.Reader) (*MemIndex, error) {
 		return nil, errors.New("invindex: unsupported version")
 	}
 	numTerms := int(binary.LittleEndian.Uint32(hdr[8:]))
-	offBytes := make([]byte, 8*(numTerms+1))
-	if _, err := io.ReadFull(r, offBytes); err != nil {
+	offBytes, err := readFullCapped(r, 8*(int64(numTerms)+1))
+	if err != nil {
 		return nil, fmt.Errorf("invindex: reading offsets: %w", err)
 	}
 	offsets := make([]uint64, numTerms+1)
 	for i := range offsets {
 		offsets[i] = binary.LittleEndian.Uint64(offBytes[8*i:])
 	}
-	data := make([]byte, offsets[numTerms])
-	if _, err := io.ReadFull(r, data); err != nil {
+	for i := 1; i < len(offsets); i++ {
+		if offsets[i] < offsets[i-1] {
+			return nil, errors.New("invindex: corrupt offset table")
+		}
+	}
+	data, err := readFullCapped(r, int64(offsets[numTerms]))
+	if err != nil {
 		return nil, fmt.Errorf("invindex: reading postings: %w", err)
 	}
 	m := &MemIndex{lists: make([][]Posting, numTerms)}
@@ -276,6 +281,30 @@ func ReadFrom(r io.Reader) (*MemIndex, error) {
 		m.total += int64(len(pl))
 	}
 	return m, nil
+}
+
+// readFullCapped reads exactly n bytes, growing the buffer in bounded
+// chunks so that a corrupt length prefix fails as stream truncation
+// instead of one giant up-front allocation.
+func readFullCapped(r io.Reader, n int64) ([]byte, error) {
+	const chunk = 1 << 20
+	first := n
+	if first > chunk {
+		first = chunk
+	}
+	buf := make([]byte, 0, first)
+	for int64(len(buf)) < n {
+		c := n - int64(len(buf))
+		if c > chunk {
+			c = chunk
+		}
+		start := len(buf)
+		buf = append(buf, make([]byte, c)...)
+		if _, err := io.ReadFull(r, buf[start:]); err != nil {
+			return nil, err
+		}
+	}
+	return buf, nil
 }
 
 // DiskIndex reads posting lists on demand from a file produced by Write.

@@ -1,0 +1,168 @@
+package server
+
+import (
+	"sync"
+	"time"
+)
+
+// admission is the search admission controller: a weighted semaphore
+// over total pipeline width — a request evaluating with W workers holds
+// W units, so capacity bounds the engine's concurrent goroutine fan-out
+// rather than a bare request count — plus a bounded FIFO wait queue
+// with a per-request timeout. Requests beyond queue capacity shed
+// immediately (429); queued requests that outwait the timeout shed with
+// 503. Both carry Retry-After.
+type admission struct {
+	mu       sync.Mutex
+	capacity int
+	inUse    int
+	maxQueue int
+	waiters  []*admWaiter
+
+	// Cumulative counters for /stats (guarded by mu).
+	admitted        uint64
+	rejectedBusy    uint64 // queue full → 429
+	rejectedTimeout uint64 // queue wait expired → 503
+}
+
+type admWaiter struct {
+	weight int
+	ready  chan struct{} // closed when granted
+	// granted marks that release handed this waiter the semaphore; the
+	// waiter may have raced with its own timeout and must then keep the
+	// grant rather than leak the weight.
+	granted bool
+}
+
+type admitStatus int
+
+const (
+	admitOK admitStatus = iota
+	admitBusy
+	admitTimeout
+	admitGone // client disconnected while queued
+)
+
+func newAdmission(capacity, maxQueue int) *admission {
+	if capacity < 1 {
+		capacity = 1
+	}
+	if maxQueue < 0 {
+		maxQueue = 0
+	}
+	return &admission{capacity: capacity, maxQueue: maxQueue}
+}
+
+// acquire blocks until weight units are granted, the wait budget runs
+// out, or done closes. On admitOK the caller must call the returned
+// release exactly once.
+func (a *admission) acquire(done <-chan struct{}, weight int, wait time.Duration) (func(), admitStatus) {
+	if weight < 1 {
+		weight = 1
+	}
+	if weight > a.capacity {
+		// A request wider than the whole semaphore must still be
+		// admissible; it simply occupies everything.
+		weight = a.capacity
+	}
+
+	a.mu.Lock()
+	// FIFO: the fast path only applies with an empty queue, or late
+	// narrow requests would starve a wide waiter forever.
+	if len(a.waiters) == 0 && a.inUse+weight <= a.capacity {
+		a.inUse += weight
+		a.admitted++
+		a.mu.Unlock()
+		return func() { a.release(weight) }, admitOK
+	}
+	if len(a.waiters) >= a.maxQueue {
+		a.rejectedBusy++
+		a.mu.Unlock()
+		return nil, admitBusy
+	}
+	w := &admWaiter{weight: weight, ready: make(chan struct{})}
+	a.waiters = append(a.waiters, w)
+	a.mu.Unlock()
+
+	timer := time.NewTimer(wait)
+	defer timer.Stop()
+	select {
+	case <-w.ready:
+		return func() { a.release(weight) }, admitOK
+	case <-timer.C:
+		if a.abandon(w, true) {
+			return func() { a.release(weight) }, admitOK
+		}
+		return nil, admitTimeout
+	case <-done:
+		if a.abandon(w, false) {
+			return func() { a.release(weight) }, admitOK
+		}
+		return nil, admitGone
+	}
+}
+
+// abandon removes w from the queue after a timeout or disconnect. It
+// reports whether release granted w concurrently — the grant then
+// belongs to the caller.
+func (a *admission) abandon(w *admWaiter, timedOut bool) bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if w.granted {
+		return true
+	}
+	for i, q := range a.waiters {
+		if q == w {
+			a.waiters = append(a.waiters[:i], a.waiters[i+1:]...)
+			break
+		}
+	}
+	if timedOut {
+		a.rejectedTimeout++
+	}
+	return false
+}
+
+func (a *admission) release(weight int) {
+	a.mu.Lock()
+	a.inUse -= weight
+	for len(a.waiters) > 0 {
+		w := a.waiters[0]
+		if a.inUse+w.weight > a.capacity {
+			break
+		}
+		a.inUse += w.weight
+		a.admitted++
+		w.granted = true
+		a.waiters = a.waiters[1:]
+		close(w.ready)
+	}
+	a.mu.Unlock()
+}
+
+// AdmissionSection reports the admission controller in /stats.
+type AdmissionSection struct {
+	// Capacity is the total pipeline width (worker units) the server
+	// admits concurrently; InUse and Queued are instantaneous.
+	Capacity int `json:"capacity"`
+	InUse    int `json:"inUse"`
+	Queued   int `json:"queued"`
+	// Admitted counts granted requests; RejectedBusy counts 429s (queue
+	// full); RejectedTimeout counts 503s (queue wait expired).
+	Admitted        uint64 `json:"admitted"`
+	RejectedBusy    uint64 `json:"rejectedBusy"`
+	RejectedTimeout uint64 `json:"rejectedTimeout"`
+}
+
+func (a *admission) snapshot() AdmissionSection {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return AdmissionSection{
+		Capacity:        a.capacity,
+		InUse:           a.inUse,
+		Queued:          len(a.waiters),
+		Admitted:        a.admitted,
+		RejectedBusy:    a.rejectedBusy,
+		RejectedTimeout: a.rejectedTimeout,
+	}
+}

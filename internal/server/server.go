@@ -8,20 +8,40 @@
 //	GET /search?x=…&y=…&kw=a,b,c&k=5[&algo=SP][&trees=1]
 //	GET /describe?uri=…
 //	GET /stats
-//	GET /healthz
+//	GET /healthz  (liveness: the process serves)
+//	GET /readyz   (readiness: the dataset answers queries)
+//
+// Search requests pass an admission controller that bounds the total
+// evaluation width across concurrent requests; excess load is shed with
+// 429 (queue full) or 503 (queue wait expired), both carrying
+// Retry-After. A query that hits its deadline mid-evaluation returns
+// 200 with "partial": true and per-result exactness flags rather than
+// failing.
 package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
+	"log"
+	"math"
 	"net/http"
 	"runtime"
+	"runtime/debug"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"ksp"
+	"ksp/internal/faultinject"
 )
+
+// PointSearchAdmitted fires after a /search request clears admission
+// control, while it still holds its width grant — stalling here keeps
+// the semaphore occupied, which is how the overload tests saturate it.
+var PointSearchAdmitted = faultinject.Register("server.search.admitted")
 
 // Server handles kSP queries over one dataset.
 type Server struct {
@@ -37,6 +57,26 @@ type Server struct {
 	// MaxParallel caps the per-request ?parallel= parameter (and
 	// DefaultParallel); it defaults to GOMAXPROCS.
 	MaxParallel int
+
+	// AdmitCapacity is the total pipeline width (worker units summed over
+	// concurrent requests) admitted at once; a request evaluating with W
+	// workers holds max(1, W) units. 0 selects 2×GOMAXPROCS; negative
+	// disables admission control.
+	AdmitCapacity int
+	// AdmitQueue bounds how many requests may wait for admission; beyond
+	// it requests shed immediately with 429. 0 selects 16; negative
+	// disables queueing (full capacity → immediate 429).
+	AdmitQueue int
+	// QueueTimeout bounds how long a queued request waits before shedding
+	// with 503. 0 selects 1s.
+	QueueTimeout time.Duration
+	// ReadyTimeout bounds the /readyz self-check query. 0 selects 250ms.
+	ReadyTimeout time.Duration
+
+	admOnce sync.Once
+	adm     *admission
+	panics  atomic.Uint64
+	ready   atomic.Bool
 }
 
 // New returns a ready handler for the dataset.
@@ -48,22 +88,120 @@ func New(ds *ksp.Dataset) *Server {
 		Timeout:     10 * time.Second,
 		MaxParallel: runtime.GOMAXPROCS(0),
 	}
+	s.ready.Store(true)
 	s.mux.HandleFunc("/search", s.handleSearch)
 	s.mux.HandleFunc("/keyword", s.handleKeyword)
 	s.mux.HandleFunc("/nearest", s.handleNearest)
 	s.mux.HandleFunc("/describe", s.handleDescribe)
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/healthz", s.handleHealth)
+	s.mux.HandleFunc("/readyz", s.handleReady)
 	return s
 }
 
-// ServeHTTP implements http.Handler.
-func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+// ServeHTTP implements http.Handler. A panic anywhere below is contained
+// here: the request fails with 500, the stack is logged, and the process
+// keeps serving.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			s.panics.Add(1)
+			log.Printf("server: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
+			// Headers may already be out; WriteHeader then just logs a
+			// superfluous-call warning instead of corrupting the stream.
+			s.fail(w, http.StatusInternalServerError, "internal error")
+		}
+	}()
+	s.mux.ServeHTTP(w, r)
+}
 
-// SearchResponse is the /search payload.
+// SetReady flips /readyz; the server flips it off while draining during
+// shutdown so load balancers stop routing here before in-flight
+// requests finish.
+func (s *Server) SetReady(ready bool) { s.ready.Store(ready) }
+
+// PanicsRecovered reports how many request handlers have panicked and
+// been contained since the server started.
+func (s *Server) PanicsRecovered() uint64 { return s.panics.Load() }
+
+// admission lazily builds the controller from the exported knobs, which
+// callers set after New; the first admitted request freezes them.
+// It returns nil when AdmitCapacity is negative (admission disabled).
+func (s *Server) admission() *admission {
+	s.admOnce.Do(func() {
+		if s.AdmitCapacity < 0 {
+			return
+		}
+		capacity := s.AdmitCapacity
+		if capacity == 0 {
+			capacity = 2 * runtime.GOMAXPROCS(0)
+			if capacity < 2 {
+				capacity = 2
+			}
+		}
+		queue := s.AdmitQueue
+		switch {
+		case queue == 0:
+			queue = 16
+		case queue < 0:
+			queue = 0
+		}
+		s.adm = newAdmission(capacity, queue)
+	})
+	return s.adm
+}
+
+func (s *Server) queueTimeout() time.Duration {
+	if s.QueueTimeout > 0 {
+		return s.QueueTimeout
+	}
+	return time.Second
+}
+
+// admit passes the request through admission control. It returns the
+// release the handler must defer, or ok=false after writing the
+// shedding response (or nothing, for a vanished client).
+func (s *Server) admit(w http.ResponseWriter, r *http.Request, weight int) (release func(), ok bool) {
+	adm := s.admission()
+	if adm == nil {
+		return func() {}, true
+	}
+	wait := s.queueTimeout()
+	release, status := adm.acquire(r.Context().Done(), weight, wait)
+	switch status {
+	case admitOK:
+		return release, true
+	case admitBusy:
+		s.shed(w, http.StatusTooManyRequests, wait, "server is at capacity and the wait queue is full")
+	case admitTimeout:
+		s.shed(w, http.StatusServiceUnavailable, wait, "server is at capacity; queued %v without admission", wait)
+	case admitGone:
+		// Client disconnected while queued; nobody reads a response.
+	}
+	return nil, false
+}
+
+// shed writes a load-shedding error with a Retry-After hint derived
+// from the queue timeout (rounded up to a whole second, at least 1).
+func (s *Server) shed(w http.ResponseWriter, code int, wait time.Duration, format string, args ...interface{}) {
+	retry := int(math.Ceil(wait.Seconds()))
+	if retry < 1 {
+		retry = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(retry))
+	s.fail(w, code, format, args...)
+}
+
+// SearchResponse is the /search payload. Partial marks a response whose
+// evaluation stopped early (deadline or cancellation): Results is the
+// best-so-far top-k, each result flagged Exact when it provably belongs
+// to the exact answer, and ScoreLowerBound bounds every unreported
+// place's score from below.
 type SearchResponse struct {
-	Results []SearchResult `json:"results"`
-	Stats   QueryStats     `json:"stats"`
+	Results         []SearchResult `json:"results"`
+	Partial         bool           `json:"partial,omitempty"`
+	ScoreLowerBound float64        `json:"scoreLowerBound,omitempty"`
+	Stats           QueryStats     `json:"stats"`
 }
 
 // SearchResult is one semantic place.
@@ -74,7 +212,10 @@ type SearchResult struct {
 	Distance  float64    `json:"distance"`
 	X         float64    `json:"x"`
 	Y         float64    `json:"y"`
-	Tree      []TreeNode `json:"tree,omitempty"`
+	// Exact is meaningful on partial responses: true marks results
+	// guaranteed to sit at their exact rank of the exact top-k.
+	Exact bool       `json:"exact"`
+	Tree  []TreeNode `json:"tree,omitempty"`
 }
 
 // TreeNode is one vertex of a result tree.
@@ -114,16 +255,27 @@ func writeJSON(w http.ResponseWriter, v interface{}) {
 	json.NewEncoder(w).Encode(v)
 }
 
+// parseCoord parses a query coordinate, rejecting non-finite values —
+// NaN and ±Inf poison R-tree distance ordering, so they are a client
+// error, not a query.
+func parseCoord(s string) (float64, bool) {
+	f, err := strconv.ParseFloat(s, 64)
+	if err != nil || math.IsNaN(f) || math.IsInf(f, 0) {
+		return 0, false
+	}
+	return f, true
+}
+
 func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		s.fail(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
 	q := r.URL.Query()
-	x, errX := strconv.ParseFloat(q.Get("x"), 64)
-	y, errY := strconv.ParseFloat(q.Get("y"), 64)
-	if errX != nil || errY != nil {
-		s.fail(w, http.StatusBadRequest, "x and y must be numbers")
+	x, okX := parseCoord(q.Get("x"))
+	y, okY := parseCoord(q.Get("y"))
+	if !okX || !okY {
+		s.fail(w, http.StatusBadRequest, "x and y must be finite numbers")
 		return
 	}
 	var kws []string
@@ -166,6 +318,19 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	}
 	parallel = s.clampParallel(parallel)
 
+	// Admission weight is the evaluation's pipeline width: a serial
+	// query occupies one unit, a parallel one its worker count.
+	weight := parallel
+	if weight < 1 {
+		weight = 1
+	}
+	release, admitted := s.admit(w, r, weight)
+	if !admitted {
+		return
+	}
+	defer release()
+	faultinject.Fire(PointSearchAdmitted)
+
 	query := ksp.Query{Loc: ksp.Point{X: x, Y: y}, Keywords: kws, K: k}
 	opts := ksp.Options{
 		CollectTrees: trees,
@@ -176,7 +341,19 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	}
 	res, stats, err := s.ds.SearchWith(algo, query, opts)
 	if err != nil {
-		s.fail(w, http.StatusUnprocessableEntity, "%v", err)
+		var pe *ksp.PanicError
+		switch {
+		case errors.As(err, &pe):
+			// The query died to an internal fault; the engine contained
+			// it, so the process (and the dataset) keep serving.
+			s.panics.Add(1)
+			log.Printf("server: query panic (%s): %v\n%s", pe.Op, pe.Value, pe.Stack)
+			s.fail(w, http.StatusInternalServerError, "internal error evaluating query")
+		case errors.Is(err, ksp.ErrBadCoordinate):
+			s.fail(w, http.StatusBadRequest, "%v", err)
+		default:
+			s.fail(w, http.StatusUnprocessableEntity, "%v", err)
+		}
 		return
 	}
 	if stats.Cancelled && r.Context().Err() != nil {
@@ -184,6 +361,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	}
 	resp := SearchResponse{
 		Results: make([]SearchResult, 0, len(res)),
+		Partial: stats.Partial,
 		Stats: QueryStats{
 			Algorithm:         algo.String(),
 			Millis:            stats.TotalTime().Milliseconds(),
@@ -197,6 +375,9 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 			Cancelled:         stats.Cancelled,
 		},
 	}
+	if stats.Partial {
+		resp.ScoreLowerBound = stats.ScoreBound
+	}
 	for _, item := range res {
 		loc, _ := s.ds.Location(item.Place)
 		sr := SearchResult{
@@ -206,6 +387,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 			Distance:  item.Dist,
 			X:         loc.X,
 			Y:         loc.Y,
+			Exact:     item.Exact,
 		}
 		if item.Tree != nil {
 			for _, n := range item.Tree.Nodes {
@@ -280,8 +462,21 @@ func (s *Server) handleKeyword(w http.ResponseWriter, r *http.Request) {
 	if k > s.MaxK {
 		k = s.MaxK
 	}
+	// Keyword search is always serial; it weighs one unit.
+	release, admitted := s.admit(w, r, 1)
+	if !admitted {
+		return
+	}
+	defer release()
 	res, err := s.ds.KeywordSearch(kws, k)
 	if err != nil {
+		var pe *ksp.PanicError
+		if errors.As(err, &pe) {
+			s.panics.Add(1)
+			log.Printf("server: query panic (%s): %v\n%s", pe.Op, pe.Value, pe.Stack)
+			s.fail(w, http.StatusInternalServerError, "internal error evaluating query")
+			return
+		}
 		s.fail(w, http.StatusUnprocessableEntity, "%v", err)
 		return
 	}
@@ -294,6 +489,7 @@ func (s *Server) handleKeyword(w http.ResponseWriter, r *http.Request) {
 			Looseness: item.Looseness,
 			X:         loc.X,
 			Y:         loc.Y,
+			Exact:     item.Exact,
 		})
 	}
 	writeJSON(w, SearchResponse{Results: out, Stats: QueryStats{Algorithm: "keyword"}})
@@ -306,10 +502,10 @@ func (s *Server) handleNearest(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	q := r.URL.Query()
-	x, errX := strconv.ParseFloat(q.Get("x"), 64)
-	y, errY := strconv.ParseFloat(q.Get("y"), 64)
-	if errX != nil || errY != nil {
-		s.fail(w, http.StatusBadRequest, "x and y must be numbers")
+	x, okX := parseCoord(q.Get("x"))
+	y, okY := parseCoord(q.Get("y"))
+	if !okX || !okY {
+		s.fail(w, http.StatusBadRequest, "x and y must be finite numbers")
 		return
 	}
 	n := 5
@@ -332,6 +528,7 @@ func (s *Server) handleNearest(w http.ResponseWriter, r *http.Request) {
 			Distance: item.Dist,
 			X:        loc.X,
 			Y:        loc.Y,
+			Exact:    true,
 		})
 	}
 	writeJSON(w, SearchResponse{Results: out, Stats: QueryStats{Algorithm: "nearest"}})
@@ -370,10 +567,13 @@ func (s *Server) handleDescribe(w http.ResponseWriter, r *http.Request) {
 }
 
 // StatsResponse is the /stats payload: dataset summary plus, when the
-// looseness cache is enabled, its cumulative counters and hit rate.
+// looseness cache is enabled, its cumulative counters and hit rate,
+// plus the admission controller and panic containment counters.
 type StatsResponse struct {
 	ksp.DatasetStats
-	Cache *CacheSection `json:"cache,omitempty"`
+	Cache           *CacheSection     `json:"cache,omitempty"`
+	Admission       *AdmissionSection `json:"admission,omitempty"`
+	PanicsRecovered uint64            `json:"panicsRecovered"`
 }
 
 // CacheSection reports the looseness cache in /stats.
@@ -383,14 +583,46 @@ type CacheSection struct {
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	resp := StatsResponse{DatasetStats: s.ds.Stats()}
+	resp := StatsResponse{DatasetStats: s.ds.Stats(), PanicsRecovered: s.panics.Load()}
 	if cs, ok := s.ds.CacheStats(); ok {
 		resp.Cache = &CacheSection{CacheStats: cs, HitRate: cs.HitRate()}
+	}
+	if adm := s.admission(); adm != nil {
+		sec := adm.snapshot()
+		resp.Admission = &sec
 	}
 	writeJSON(w, resp)
 }
 
+// handleHealth is pure liveness: the process is up and serving HTTP.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusOK)
 	fmt.Fprintln(w, "ok")
+}
+
+// handleReady is readiness: the server is accepting work (not draining)
+// AND the dataset answers a trivial spatial query under a short
+// deadline. Load balancers poll this; liveness stays on /healthz.
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	if !s.ready.Load() {
+		s.fail(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	timeout := s.ReadyTimeout
+	if timeout <= 0 {
+		timeout = 250 * time.Millisecond
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		defer func() { recover() }() // a panicking self-check is "not ready", not a crash
+		s.ds.NearestPlaces(ksp.Point{}, 1)
+	}()
+	select {
+	case <-done:
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ready")
+	case <-time.After(timeout):
+		s.fail(w, http.StatusServiceUnavailable, "self-check query exceeded %v", timeout)
+	}
 }

@@ -1,0 +1,122 @@
+package store
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"ksp/internal/core"
+	"ksp/internal/gen"
+	"ksp/internal/invindex"
+	"ksp/internal/paperdata"
+	"ksp/internal/rdf"
+)
+
+// fixtureSnapshot is a small but fully featured snapshot (graph + α
+// index) for corruption testing.
+func fixtureSnapshot(t testing.TB) *Snapshot {
+	t.Helper()
+	g := gen.Generate(gen.DBpediaConfig(200, 5))
+	e := core.NewEngine(g, rdf.Outgoing)
+	e.EnableAlpha(2)
+	return &Snapshot{
+		Graph:       g,
+		AlphaRadius: 2,
+		Dir:         rdf.Outgoing,
+		AlphaPlace:  e.Alpha.PlaceIdx.(*invindex.MemIndex),
+		AlphaNode:   e.Alpha.NodeIdx.(*invindex.MemIndex),
+	}
+}
+
+func encode(t testing.TB, s *Snapshot, version uint32) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := writeVersion(&buf, s, version); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// Version-1 snapshots predate the CRC trailers; they must keep loading.
+func TestReadVersion1Compat(t *testing.T) {
+	s := fixtureSnapshot(t)
+	raw := encode(t, s, 1)
+	got, err := Read(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("v1 snapshot failed to load: %v", err)
+	}
+	if got.Graph.NumVertices() != s.Graph.NumVertices() || got.AlphaRadius != 2 {
+		t.Fatalf("v1 snapshot decoded wrong: %d vertices, α=%d",
+			got.Graph.NumVertices(), got.AlphaRadius)
+	}
+}
+
+// Any flipped bit in a v2 snapshot must surface as ErrCorrupt (or, for
+// flips inside length prefixes, at worst another error — never a
+// silently different dataset). Flips in the 8 header bytes are excluded:
+// they legitimately report bad magic / unsupported version instead.
+func TestReadDetectsBitFlips(t *testing.T) {
+	raw := encode(t, fixtureSnapshot(t), snapVersion)
+	if _, err := Read(bytes.NewReader(raw)); err != nil {
+		t.Fatalf("pristine snapshot failed: %v", err)
+	}
+	step := len(raw) / 97
+	if step < 1 {
+		step = 1
+	}
+	for pos := 8; pos < len(raw); pos += step {
+		mut := append([]byte(nil), raw...)
+		mut[pos] ^= 0x40
+		if _, err := Read(bytes.NewReader(mut)); err == nil {
+			t.Fatalf("flip at byte %d went undetected", pos)
+		}
+	}
+}
+
+func TestReadDetectsTruncation(t *testing.T) {
+	raw := encode(t, fixtureSnapshot(t), snapVersion)
+	for _, keep := range []int{len(raw) - 1, len(raw) / 2, 20, 9} {
+		_, err := Read(bytes.NewReader(raw[:keep]))
+		if !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("truncation to %d bytes: got %v, want ErrCorrupt", keep, err)
+		}
+	}
+}
+
+func TestReadCorruptIsNamedError(t *testing.T) {
+	raw := encode(t, fixtureSnapshot(t), snapVersion)
+	mut := append([]byte(nil), raw...)
+	mut[100] ^= 0xff // inside the vocabulary section
+	_, err := Read(bytes.NewReader(mut))
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("vocabulary corruption: got %v, want ErrCorrupt", err)
+	}
+}
+
+// FuzzRead asserts the loader never panics or over-allocates on
+// adversarial input — it may only return an error or a valid snapshot.
+func FuzzRead(f *testing.F) {
+	small := paperdata.Figure1()
+	var buf bytes.Buffer
+	if err := Write(&buf, &Snapshot{Graph: small.G, Dir: rdf.Outgoing}); err != nil {
+		f.Fatal(err)
+	}
+	raw := buf.Bytes()
+	f.Add(raw)
+	f.Add(raw[:len(raw)/2])
+	var v1 bytes.Buffer
+	if err := writeVersion(&v1, &Snapshot{Graph: small.G, Dir: rdf.Outgoing}, 1); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(v1.Bytes())
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<22 {
+			return
+		}
+		snap, err := Read(bytes.NewReader(data))
+		if err == nil && snap.Graph == nil {
+			t.Fatal("nil-graph snapshot without error")
+		}
+	})
+}

@@ -10,6 +10,11 @@
 // they cost milliseconds-to-seconds (Table 5 again) and rebuilding keeps
 // the format small and the loader simple.
 //
+// Format version 2 appends a CRC32 (IEEE) trailer to every section, so
+// a snapshot corrupted at rest (bit rot, torn write, truncation) fails
+// loading with ErrCorrupt instead of silently building a wrong index.
+// Version 1 files (no trailers) still load.
+//
 // The α-radius node postings are keyed by R-tree node IDs, which is safe
 // because the R-tree is rebuilt with deterministic STR bulk loading from
 // the same places with the same fanout, yielding identical node IDs
@@ -21,6 +26,8 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash"
+	"hash/crc32"
 	"io"
 	"math"
 	"os"
@@ -33,9 +40,17 @@ import (
 )
 
 const (
-	snapMagic   = 0x6B535053 // "kSPS"
-	snapVersion = 1
+	snapMagic = 0x6B535053 // "kSPS"
+	// snapVersion 2 added per-section CRC32 trailers; version 1 files
+	// (without them) remain loadable.
+	snapVersion = 2
 )
+
+// ErrCorrupt marks a snapshot that failed integrity checking: a section
+// CRC mismatch, a truncated stream, or structurally impossible data.
+// Detect with errors.Is; the fix is re-generating the snapshot, not
+// retrying the load.
+var ErrCorrupt = errors.New("store: corrupt snapshot")
 
 // Snapshot is the persisted state: the graph plus the expensive α-radius
 // index (nil when the source engine had none).
@@ -51,17 +66,26 @@ type Snapshot struct {
 }
 
 // Write serializes the snapshot.
-func Write(w io.Writer, s *Snapshot) error {
+func Write(w io.Writer, s *Snapshot) error { return writeVersion(w, s, snapVersion) }
+
+// writeVersion writes the given format version; version 1 (no CRC
+// trailers) exists so tests can prove old snapshots still load.
+func writeVersion(w io.Writer, s *Snapshot, version uint32) error {
 	bw := bufio.NewWriterSize(w, 1<<20)
-	h := newSectionWriter(bw)
+	cw := &crcWriter{w: bw, crc: crc32.NewIEEE(), on: version >= 2}
+	h := newSectionWriter(cw)
+	end := func() {
+		if h.err == nil {
+			h.err = cw.trailer()
+		}
+	}
 
+	// Header section.
 	h.u32(snapMagic)
-	h.u32(snapVersion)
-
+	h.u32(version)
 	g := s.Graph
 	n := g.NumVertices()
 	h.u32(uint32(n))
-
 	// Analyzer flags (bit 0: stopwords, bit 1: stemming) — queries on the
 	// restored graph must normalize keywords identically.
 	var flags uint32
@@ -72,17 +96,20 @@ func Write(w io.Writer, s *Snapshot) error {
 		flags |= 2
 	}
 	h.u32(flags)
+	end()
 
 	// Vocabulary.
 	h.u32(uint32(g.Vocab.Len()))
 	for t := 0; t < g.Vocab.Len(); t++ {
 		h.str(g.Vocab.Term(uint32(t)))
 	}
+	end()
 
 	// URIs.
 	for v := 0; v < n; v++ {
 		h.str(g.URI(uint32(v)))
 	}
+	end()
 
 	// Predicate table + adjacency with labels.
 	h.u32(uint32(g.NumPredNames()))
@@ -99,6 +126,7 @@ func Write(w io.Writer, s *Snapshot) error {
 			h.u32(preds[i])
 		}
 	}
+	end()
 
 	// Documents.
 	for v := 0; v < n; v++ {
@@ -108,6 +136,7 @@ func Write(w io.Writer, s *Snapshot) error {
 			h.u32(t)
 		}
 	}
+	end()
 
 	// Places.
 	places := g.Places()
@@ -118,18 +147,28 @@ func Write(w io.Writer, s *Snapshot) error {
 		h.f64(loc.X)
 		h.f64(loc.Y)
 	}
+	end()
 
-	// α index.
+	// α index metadata.
 	h.u32(uint32(s.AlphaRadius))
 	h.u32(uint32(s.Dir))
+	end()
 	if h.err != nil {
 		return h.err
 	}
 	if s.AlphaRadius > 0 {
-		if err := s.AlphaPlace.Write(bw); err != nil {
+		// The index serializers write through cw, so the trailers cover
+		// their bytes too.
+		if err := s.AlphaPlace.Write(cw); err != nil {
 			return err
 		}
-		if err := s.AlphaNode.Write(bw); err != nil {
+		if err := cw.trailer(); err != nil {
+			return err
+		}
+		if err := s.AlphaNode.Write(cw); err != nil {
+			return err
+		}
+		if err := cw.trailer(); err != nil {
 			return err
 		}
 	}
@@ -139,16 +178,26 @@ func Write(w io.Writer, s *Snapshot) error {
 // Read restores a snapshot written by Write.
 func Read(r io.Reader) (*Snapshot, error) {
 	br := bufio.NewReaderSize(r, 1<<20)
-	h := newSectionReader(br)
+	cr := &crcReader{r: br, crc: crc32.NewIEEE(), on: true}
+	h := newSectionReader(cr)
 
 	if h.u32() != snapMagic {
+		if h.err != nil {
+			return nil, h.end("header")
+		}
 		return nil, errors.New("store: bad magic")
 	}
-	if v := h.u32(); v != snapVersion {
-		return nil, fmt.Errorf("store: unsupported version %d", v)
+	version := h.u32()
+	if h.err == nil && (version < 1 || version > snapVersion) {
+		return nil, fmt.Errorf("store: unsupported version %d", version)
 	}
+	// Version 1 predates the trailers; checking switches off entirely.
+	cr.on = version >= 2
 	n := int(h.u32())
 	flags := h.u32()
+	if err := h.end("header"); err != nil {
+		return nil, err
+	}
 
 	b := rdf.NewBuilder()
 	b.Analyzer = text.Analyzer{
@@ -156,88 +205,132 @@ func Read(r io.Reader) (*Snapshot, error) {
 		Stemming:        flags&2 != 0,
 	}
 
+	// Counts are untrusted until their section's CRC verifies (and never
+	// trusted in v1 files), so slices grow capped-incrementally: a
+	// corrupt count runs out of stream bytes long before it exhausts
+	// memory.
 	vocabLen := int(h.u32())
-	terms := make([]uint32, vocabLen)
-	for t := 0; t < vocabLen; t++ {
-		terms[t] = b.Vocab.ID(h.str())
+	terms := make([]uint32, 0, capHint(vocabLen))
+	for t := 0; t < vocabLen && h.err == nil; t++ {
+		terms = append(terms, b.Vocab.ID(h.str()))
+	}
+	if err := h.end("vocabulary"); err != nil {
+		return nil, err
 	}
 
-	ids := make([]uint32, n)
-	for v := 0; v < n; v++ {
-		ids[v] = b.AddBareVertex(h.str())
+	ids := make([]uint32, 0, capHint(n))
+	for v := 0; v < n && h.err == nil; v++ {
+		ids = append(ids, b.AddBareVertex(h.str()))
+	}
+	if err := h.end("uris"); err != nil {
+		return nil, err
 	}
 
 	numPreds := int(h.u32())
-	preds := make([]string, numPreds)
-	for i := range preds {
-		preds[i] = h.str()
+	preds := make([]string, 0, capHint(numPreds))
+	for i := 0; i < numPreds && h.err == nil; i++ {
+		preds = append(preds, h.str())
 	}
 	h.u32() // edge count (informational)
-	if h.err != nil {
-		return nil, h.err
-	}
-	for v := 0; v < n; v++ {
+	for v := 0; v < n && h.err == nil; v++ {
 		deg := int(h.u32())
-		for i := 0; i < deg; i++ {
+		for i := 0; i < deg && h.err == nil; i++ {
 			o := h.u32()
 			p := h.u32()
 			if h.err != nil {
-				return nil, h.err
+				break
 			}
 			if int(o) >= n || int(p) >= numPreds {
-				return nil, errors.New("store: corrupt adjacency")
+				return nil, fmt.Errorf("%w: adjacency references out-of-range vertex or predicate", ErrCorrupt)
 			}
 			b.AddEdge(ids[v], ids[o], preds[p])
 		}
 	}
+	if err := h.end("adjacency"); err != nil {
+		return nil, err
+	}
 
-	for v := 0; v < n; v++ {
+	for v := 0; v < n && h.err == nil; v++ {
 		dl := int(h.u32())
-		for i := 0; i < dl; i++ {
+		for i := 0; i < dl && h.err == nil; i++ {
 			t := h.u32()
 			if h.err != nil {
-				return nil, h.err
+				break
 			}
 			if int(t) >= vocabLen {
-				return nil, errors.New("store: corrupt document")
+				return nil, fmt.Errorf("%w: document references out-of-range term", ErrCorrupt)
 			}
 			b.AddTermID(ids[v], terms[t])
 		}
 	}
+	if err := h.end("documents"); err != nil {
+		return nil, err
+	}
 
 	numPlaces := int(h.u32())
-	for i := 0; i < numPlaces; i++ {
+	for i := 0; i < numPlaces && h.err == nil; i++ {
 		p := h.u32()
 		x := h.f64()
 		y := h.f64()
 		if h.err != nil {
-			return nil, h.err
+			break
 		}
 		if int(p) >= n {
-			return nil, errors.New("store: corrupt place")
+			return nil, fmt.Errorf("%w: place references out-of-range vertex", ErrCorrupt)
 		}
 		b.SetLocation(ids[p], geo.Point{X: x, Y: y})
+	}
+	if err := h.end("places"); err != nil {
+		return nil, err
 	}
 
 	s := &Snapshot{}
 	s.AlphaRadius = int(h.u32())
 	s.Dir = rdf.Direction(h.u32())
-	if h.err != nil {
-		return nil, h.err
+	if err := h.end("alpha metadata"); err != nil {
+		return nil, err
 	}
 	s.Graph = b.Build()
 	if s.AlphaRadius > 0 {
 		var err error
-		s.AlphaPlace, err = invindex.ReadFrom(br)
+		s.AlphaPlace, err = invindex.ReadFrom(cr)
 		if err != nil {
-			return nil, fmt.Errorf("store: α place index: %w", err)
+			return nil, alphaErr("α place index", err)
 		}
-		s.AlphaNode, err = invindex.ReadFrom(br)
+		if err := cr.verify("α place index"); err != nil {
+			return nil, err
+		}
+		s.AlphaNode, err = invindex.ReadFrom(cr)
 		if err != nil {
-			return nil, fmt.Errorf("store: α node index: %w", err)
+			return nil, alphaErr("α node index", err)
+		}
+		if err := cr.verify("α node index"); err != nil {
+			return nil, err
 		}
 	}
 	return s, nil
+}
+
+// alphaErr wraps an α-index decoding failure, folding stream truncation
+// into ErrCorrupt like every other section.
+func alphaErr(section string, err error) error {
+	if errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+		return fmt.Errorf("%w: truncated in %s", ErrCorrupt, section)
+	}
+	return fmt.Errorf("store: %s: %w", section, err)
+}
+
+// capHint bounds the initial capacity reserved for an untrusted element
+// count.
+func capHint(n int) int {
+	const max = 1 << 16
+	if n < 0 {
+		return 0
+	}
+	if n > max {
+		return max
+	}
+	return n
 }
 
 // SaveFile writes the snapshot to path.
@@ -276,15 +369,77 @@ func (s *Snapshot) AlphaIndex() *alpha.Index {
 	}
 }
 
+// --- integrity wrappers ---
+
+// crcWriter sums every byte written through it; trailer emits the
+// running CRC32 (the four trailer bytes themselves are not summed) and
+// starts the next section.
+type crcWriter struct {
+	w   io.Writer
+	crc hash.Hash32
+	on  bool
+}
+
+func (c *crcWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	if c.on && n > 0 {
+		c.crc.Write(p[:n])
+	}
+	return n, err
+}
+
+func (c *crcWriter) trailer() error {
+	if !c.on {
+		return nil
+	}
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], c.crc.Sum32())
+	c.crc.Reset()
+	_, err := c.w.Write(b[:])
+	return err
+}
+
+// crcReader mirrors crcWriter: it sums bytes read through it, and
+// verify consumes a trailer (read raw, off the sum) and compares.
+type crcReader struct {
+	r   io.Reader
+	crc hash.Hash32
+	on  bool
+}
+
+func (c *crcReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	if c.on && n > 0 {
+		c.crc.Write(p[:n])
+	}
+	return n, err
+}
+
+func (c *crcReader) verify(section string) error {
+	if !c.on {
+		return nil
+	}
+	sum := c.crc.Sum32()
+	c.crc.Reset()
+	var b [4]byte
+	if _, err := io.ReadFull(c.r, b[:]); err != nil {
+		return fmt.Errorf("%w: truncated at %s trailer", ErrCorrupt, section)
+	}
+	if stored := binary.LittleEndian.Uint32(b[:]); stored != sum {
+		return fmt.Errorf("%w: %s crc mismatch (stored %08x, computed %08x)", ErrCorrupt, section, stored, sum)
+	}
+	return nil
+}
+
 // --- primitive encoding helpers ---
 
 type sectionWriter struct {
-	w   *bufio.Writer
+	w   io.Writer
 	err error
 	buf [8]byte
 }
 
-func newSectionWriter(w *bufio.Writer) *sectionWriter { return &sectionWriter{w: w} }
+func newSectionWriter(w io.Writer) *sectionWriter { return &sectionWriter{w: w} }
 
 func (h *sectionWriter) u32(v uint32) {
 	if h.err != nil {
@@ -307,16 +462,28 @@ func (h *sectionWriter) str(s string) {
 	if h.err != nil {
 		return
 	}
-	_, h.err = h.w.WriteString(s)
+	_, h.err = io.WriteString(h.w, s)
 }
 
 type sectionReader struct {
-	r   *bufio.Reader
+	r   *crcReader
 	err error
 	buf [8]byte
 }
 
-func newSectionReader(r *bufio.Reader) *sectionReader { return &sectionReader{r: r} }
+func newSectionReader(r *crcReader) *sectionReader { return &sectionReader{r: r} }
+
+// end closes a section: decode errors surface (truncation folded into
+// ErrCorrupt), then the section's CRC trailer is verified.
+func (h *sectionReader) end(section string) error {
+	if h.err != nil {
+		if errors.Is(h.err, io.EOF) || errors.Is(h.err, io.ErrUnexpectedEOF) {
+			return fmt.Errorf("%w: truncated in %s", ErrCorrupt, section)
+		}
+		return h.err
+	}
+	return h.r.verify(section)
+}
 
 func (h *sectionReader) u32() uint32 {
 	if h.err != nil {
@@ -346,7 +513,7 @@ func (h *sectionReader) str() string {
 		return ""
 	}
 	if n > maxStrLen {
-		h.err = errors.New("store: oversized string")
+		h.err = fmt.Errorf("%w: oversized string", ErrCorrupt)
 		return ""
 	}
 	buf := make([]byte, n)

@@ -22,8 +22,10 @@
 package ksp
 
 import (
+	"errors"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"runtime"
 	"sort"
@@ -63,6 +65,22 @@ type Options = core.Options
 
 // CacheStats summarizes the cross-query looseness cache.
 type CacheStats = core.CacheStats
+
+// PanicError reports a panic recovered during query evaluation: the
+// query failed, but the dataset and the process are intact. Detect it
+// with errors.As to distinguish an internal fault (HTTP 500 territory)
+// from a bad request.
+type PanicError = core.PanicError
+
+// ErrBadCoordinate rejects queries carrying NaN or infinite coordinates
+// (or a NaN distance cap) before they reach the spatial index, whose
+// comparisons silently misbehave on non-finite values. Detect with
+// errors.Is.
+var ErrBadCoordinate = errors.New("ksp: coordinates must be finite")
+
+func finite(f float64) bool { return !math.IsNaN(f) && !math.IsInf(f, 0) }
+
+func finitePoint(p Point) bool { return finite(p.X) && finite(p.Y) }
 
 // Ranking is the aggregate scoring function f(looseness, distance).
 type Ranking = core.Ranking
@@ -243,6 +261,12 @@ func (d *Dataset) Search(q Query) ([]Result, error) {
 // SearchWith answers q with an explicit algorithm and returns its cost
 // statistics.
 func (d *Dataset) SearchWith(algo Algorithm, q Query, opts Options) ([]Result, *Stats, error) {
+	if !finitePoint(q.Loc) {
+		return nil, &Stats{}, fmt.Errorf("%w: query location (%v, %v)", ErrBadCoordinate, q.Loc.X, q.Loc.Y)
+	}
+	if math.IsNaN(opts.MaxDist) {
+		return nil, &Stats{}, fmt.Errorf("%w: MaxDist is NaN", ErrBadCoordinate)
+	}
 	switch algo {
 	case AlgoBSP:
 		return d.engine.BSP(q, opts)
@@ -373,8 +397,12 @@ func (d *Dataset) KeywordSearch(keywords []string, k int) ([]Result, error) {
 }
 
 // NearestPlaces returns up to n places in ascending Euclidean distance
-// from loc, irrespective of keywords.
+// from loc, irrespective of keywords. Non-finite coordinates yield no
+// results (R-tree distance ordering is undefined on them).
 func (d *Dataset) NearestPlaces(loc Point, n int) []Result {
+	if !finitePoint(loc) {
+		return nil
+	}
 	br := d.engine.Tree.NewBrowser(loc)
 	var out []Result
 	for len(out) < n {
@@ -389,7 +417,11 @@ func (d *Dataset) NearestPlaces(loc Point, n int) []Result {
 
 // PlacesWithin returns the places inside the axis-aligned rectangle
 // spanned by the two corner points, in ascending vertex-ID order.
+// Non-finite corners yield no results.
 func (d *Dataset) PlacesWithin(a, b Point) []uint32 {
+	if !finitePoint(a) || !finitePoint(b) {
+		return nil
+	}
 	r := geo.RectFromPoint(a).ExpandPoint(b)
 	items := d.engine.Tree.Search(r, nil)
 	out := make([]uint32, len(items))

@@ -1,6 +1,7 @@
 package ksp
 
 import (
+	"errors"
 	"math"
 	"strings"
 	"testing"
@@ -482,5 +483,28 @@ func TestWeightedRankingConfig(t *testing.T) {
 	want := 0.9*res[0].Looseness + 0.1*res[0].Dist
 	if math.Abs(res[0].Score-want) > 1e-9 {
 		t.Errorf("score %v, want %v", res[0].Score, want)
+	}
+}
+
+// Non-finite coordinates must be rejected (or yield nothing) at every
+// query entry point before they can poison R-tree comparisons.
+func TestNonFiniteCoordinatesRejected(t *testing.T) {
+	ds := openFixture(t, DefaultConfig())
+	nan, inf := math.NaN(), math.Inf(1)
+	for _, loc := range []Point{{X: nan, Y: 0}, {X: 0, Y: inf}, {X: nan, Y: nan}} {
+		_, _, err := ds.SearchWith(AlgoSP, Query{Loc: loc, Keywords: []string{"roman"}, K: 2}, Options{})
+		if !errors.Is(err, ErrBadCoordinate) {
+			t.Errorf("SearchWith(%v): err = %v, want ErrBadCoordinate", loc, err)
+		}
+		if got := ds.NearestPlaces(loc, 3); got != nil {
+			t.Errorf("NearestPlaces(%v) = %v, want nil", loc, got)
+		}
+		if got := ds.PlacesWithin(loc, Point{X: 1, Y: 1}); got != nil {
+			t.Errorf("PlacesWithin(%v) = %v, want nil", loc, got)
+		}
+	}
+	_, _, err := ds.SearchWith(AlgoSP, Query{Loc: Point{}, Keywords: []string{"roman"}, K: 1}, Options{MaxDist: nan})
+	if !errors.Is(err, ErrBadCoordinate) {
+		t.Errorf("NaN MaxDist: err = %v, want ErrBadCoordinate", err)
 	}
 }
