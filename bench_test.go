@@ -125,3 +125,28 @@ func BenchmarkSearchSP(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkSearchObsDisabled and BenchmarkSearchObsEnabled are the
+// observability-overhead guard: the same query with metrics off (the
+// nil fast path) and with a registry attached. CI runs both so a
+// regression in either path shows up as a diverging pair.
+func BenchmarkSearchObsDisabled(b *testing.B) { benchSearchObs(b, false) }
+
+// BenchmarkSearchObsEnabled measures the instrumented path: per-query
+// Stats flush into the registry plus the live R-tree access hook.
+func BenchmarkSearchObsEnabled(b *testing.B) { benchSearchObs(b, true) }
+
+func benchSearchObs(b *testing.B, metrics bool) {
+	ds := apiDataset(b)
+	if metrics {
+		ds.EnableMetrics(NewRegistry())
+	}
+	q := Query{Loc: Point{X: 5, Y: 5}, Keywords: []string{"alpha", "gamma"}, K: 5}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ds.Search(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

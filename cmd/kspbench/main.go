@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"ksp/internal/bench"
+	"ksp/internal/obs"
 )
 
 func main() {
@@ -48,6 +49,12 @@ func main() {
 
 	s := bench.NewSuite(*scale, *queries, *seed, os.Stdout)
 	s.BSPDeadline = *deadline
+	// The registry rides along for -json: the document then carries the
+	// run's cumulative engine counters next to the report tables.
+	reg := obs.NewRegistry()
+	if *jsonOut != "" {
+		s.Metrics = reg
+	}
 	start := time.Now()
 	ids := []string{*exp}
 	if *exp == "all" {
@@ -98,7 +105,7 @@ func main() {
 			defer f.Close()
 			w = f
 		}
-		if err := bench.WriteJSON(w, meta, all); err != nil {
+		if err := bench.WriteJSONMetrics(w, meta, all, reg.Snapshot()); err != nil {
 			log.Fatal(err)
 		}
 		if *jsonOut != "-" {

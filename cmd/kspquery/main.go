@@ -36,6 +36,7 @@ func main() {
 		workload = flag.String("workload", "", "run every query in this file instead of -at/-kw")
 		trees    = flag.Bool("trees", false, "print the semantic-place trees")
 		stats    = flag.Bool("stats", false, "print per-query cost statistics")
+		trace    = flag.Bool("trace", false, "print the evaluation's span tree (timed phases and per-candidate work)")
 		semOnly  = flag.Bool("semantic-only", false, "rank by looseness alone, ignoring location (-at not needed)")
 		allTrees = flag.Int("all-trees", 0, "print up to N tied tightest trees per result (footnote 2 option 2)")
 		maxDist  = flag.Float64("max-dist", 0, "restrict results to this radius around -at (0 = unlimited)")
@@ -94,7 +95,13 @@ func main() {
 		log.Fatal(err)
 	}
 	q := ksp.Query{Loc: loc, Keywords: splitList(*kw), K: *k}
-	res, qstats, err := ds.SearchWith(algo, q, ksp.Options{CollectTrees: *trees, MaxDist: *maxDist})
+	opts := ksp.Options{CollectTrees: *trees, MaxDist: *maxDist}
+	var tr *ksp.Trace
+	if *trace {
+		tr = ksp.NewTrace("kspquery")
+		opts.Trace = tr
+	}
+	res, qstats, err := ds.SearchWith(algo, q, opts)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -102,6 +109,27 @@ func main() {
 	printTiedTrees(ds, res, q.Keywords, *allTrees)
 	if *stats {
 		printStats(qstats)
+	}
+	if tr != nil {
+		tr.Finish()
+		fmt.Println("trace:")
+		printSpan(tr.JSON(), 1)
+	}
+}
+
+// printSpan renders one span and its children, indented by depth.
+func printSpan(s *ksp.SpanJSON, depth int) {
+	var attrs []string
+	for _, a := range s.Attrs {
+		attrs = append(attrs, a.Key+"="+a.Value)
+	}
+	line := fmt.Sprintf("%s%s %dµs", strings.Repeat("  ", depth), s.Name, s.DurationMicros)
+	if len(attrs) > 0 {
+		line += " [" + strings.Join(attrs, " ") + "]"
+	}
+	fmt.Println(line)
+	for _, c := range s.Children {
+		printSpan(c, depth+1)
 	}
 }
 

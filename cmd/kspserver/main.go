@@ -5,10 +5,11 @@
 //	kspserver -data data.nt -addr :8080
 //	kspserver -snapshot data.snap -addr :8080
 //
-// Endpoints: /search, /describe, /stats, /healthz (see internal/server).
-// Example:
+// Endpoints: /search, /describe, /stats, /metrics, /debug/queries,
+// /healthz (see internal/server). Example:
 //
 //	curl 'localhost:8080/search?x=43.5&y=4.7&kw=ancient,roman&k=5&trees=1'
+//	curl 'localhost:8080/metrics'
 package main
 
 import (
@@ -16,7 +17,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	_ "net/http/pprof" // registered on the side listener only (-pprof)
 	"os"
@@ -29,8 +30,6 @@ import (
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("kspserver: ")
 	var (
 		data     = flag.String("data", "", "N-Triples dataset to load")
 		snapshot = flag.String("snapshot", "", "snapshot produced by Dataset.Save (faster startup)")
@@ -46,17 +45,24 @@ func main() {
 		admitQueue = flag.Int("admit-queue", 0, "requests that may queue for admission before shedding 429 (0 = 16, negative = no queue)")
 		queueWait  = flag.Duration("queue-wait", time.Second, "longest a request queues for admission before shedding 503")
 		drain      = flag.Duration("drain", 15*time.Second, "in-flight request drain budget on SIGTERM/SIGINT")
+
+		logLevel  = flag.String("log-level", "info", "log level: debug | info | warn | error (debug includes per-request access logs)")
+		logFormat = flag.String("log-format", "text", "log format: text | json")
 	)
 	flag.Parse()
+
+	logger, err := buildLogger(os.Stderr, *logLevel, *logFormat)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "kspserver:", err)
+		os.Exit(2)
+	}
+	slog.SetDefault(logger)
 
 	cfg := ksp.DefaultConfig()
 	cfg.AlphaRadius = *alphaR
 	cfg.LoosenessCacheEntries = *cache
 
-	var (
-		ds  *ksp.Dataset
-		err error
-	)
+	var ds *ksp.Dataset
 	start := time.Now()
 	switch {
 	case *snapshot != "":
@@ -64,28 +70,30 @@ func main() {
 	case *data != "":
 		ds, err = ksp.OpenFile(*data, cfg)
 	default:
-		log.Fatal("need -data or -snapshot")
+		fatal(logger, "need -data or -snapshot")
 	}
 	if err != nil {
-		log.Fatal(err)
+		fatal(logger, err.Error())
 	}
 	st := ds.Stats()
-	fmt.Printf("loaded %d vertices, %d edges, %d places in %v\n",
-		st.Vertices, st.Edges, st.Places, time.Since(start).Round(time.Millisecond))
+	logger.Info("dataset loaded",
+		"vertices", st.Vertices, "edges", st.Edges, "places", st.Places,
+		"loadTime", time.Since(start).Round(time.Millisecond).String())
 
 	if *pprof != "" {
 		// The profiling endpoints stay off the public listener: pprof's
 		// init registers on http.DefaultServeMux, which only this side
 		// server exposes.
 		go func() {
-			fmt.Printf("pprof on http://%s/debug/pprof/\n", *pprof)
+			logger.Info("pprof listening", "addr", *pprof)
 			if err := http.ListenAndServe(*pprof, nil); err != nil {
-				log.Printf("pprof listener: %v", err)
+				logger.Error("pprof listener failed", "error", err.Error())
 			}
 		}()
 	}
 
 	s := server.New(ds)
+	s.Logger = logger
 	s.MaxK = *maxK
 	s.Timeout = *timeout
 	s.DefaultParallel = s.MaxParallel
@@ -99,7 +107,7 @@ func main() {
 	srv := &http.Server{Addr: *addr, Handler: s}
 	errc := make(chan error, 1)
 	go func() {
-		fmt.Printf("listening on %s\n", *addr)
+		logger.Info("listening", "addr", *addr)
 		errc <- srv.ListenAndServe()
 	}()
 
@@ -110,17 +118,39 @@ func main() {
 	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
 	select {
 	case err := <-errc:
-		log.Fatal(err)
+		fatal(logger, err.Error())
 	case sig := <-sigc:
-		fmt.Printf("received %v, draining for up to %v\n", sig, *drain)
+		logger.Info("draining", "signal", sig.String(), "budget", drain.String())
 		s.SetReady(false)
 		ctx, cancel := context.WithTimeout(context.Background(), *drain)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {
-			log.Fatalf("drain incomplete: %v", err)
+			fatal(logger, "drain incomplete: "+err.Error())
 		}
 		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
-			log.Fatal(err)
+			fatal(logger, err.Error())
 		}
 	}
+}
+
+// buildLogger constructs the process logger from the -log-level and
+// -log-format flags.
+func buildLogger(w *os.File, level, format string) (*slog.Logger, error) {
+	var lvl slog.Level
+	if err := lvl.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q: want debug, info, warn, or error", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	}
+	return nil, fmt.Errorf("bad -log-format %q: want text or json", format)
+}
+
+func fatal(logger *slog.Logger, msg string) {
+	logger.Error(msg)
+	os.Exit(1)
 }

@@ -15,6 +15,7 @@ import (
 	"ksp/internal/core"
 	"ksp/internal/gen"
 	"ksp/internal/geo"
+	"ksp/internal/obs"
 	"ksp/internal/rdf"
 )
 
@@ -31,6 +32,11 @@ type Suite struct {
 	BSPDeadline time.Duration
 	// Out receives the reports.
 	Out io.Writer
+	// Metrics, when non-nil, is attached to every engine the suite
+	// builds, so a run's cumulative engine counters (TQSP computations,
+	// pruning hits, cache traffic, …) can be exported next to the
+	// report tables. Set before the first experiment.
+	Metrics *obs.Registry
 
 	data map[string]*benchData
 }
@@ -80,6 +86,11 @@ func (s *Suite) Data(name string) *benchData {
 	e := core.NewEngine(g, rdf.Outgoing)
 	e.EnableReach()
 	e.EnableAlpha(3)
+	if s.Metrics != nil {
+		// Registration is idempotent, so both datasets share one set of
+		// instruments; WithAlpha clones inherit them from the base engine.
+		e.EnableMetrics(s.Metrics)
+	}
 	d := &benchData{
 		name:    name,
 		g:       g,

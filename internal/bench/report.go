@@ -9,6 +9,8 @@ import (
 	"path/filepath"
 	"strings"
 	"text/tabwriter"
+
+	"ksp/internal/obs"
 )
 
 // Report is one printable experiment table.
@@ -102,16 +104,24 @@ type RunMeta struct {
 
 // jsonDoc is the top-level shape WriteJSON emits.
 type jsonDoc struct {
-	Meta    RunMeta   `json:"meta"`
-	Reports []*Report `json:"reports"`
+	Meta    RunMeta           `json:"meta"`
+	Reports []*Report         `json:"reports"`
+	Metrics []obs.MetricPoint `json:"metrics,omitempty"`
 }
 
 // WriteJSON emits the reports plus run metadata as one indented JSON
 // document — the machine-readable counterpart of Print/WriteCSV.
 func WriteJSON(w io.Writer, meta RunMeta, reports []*Report) error {
+	return WriteJSONMetrics(w, meta, reports, nil)
+}
+
+// WriteJSONMetrics is WriteJSON plus the run's cumulative engine
+// metrics (from Suite.Metrics), so a benchmark document carries the
+// evaluation counters behind its tables.
+func WriteJSONMetrics(w io.Writer, meta RunMeta, reports []*Report, metrics []obs.MetricPoint) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(jsonDoc{Meta: meta, Reports: reports})
+	return enc.Encode(jsonDoc{Meta: meta, Reports: reports, Metrics: metrics})
 }
 
 // slug compresses a title into a file-name fragment.

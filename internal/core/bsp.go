@@ -12,8 +12,13 @@ import (
 func (e *Engine) BSP(q Query, opts Options) (results []Result, stats *Stats, err error) {
 	start := time.Now()
 	stats = &Stats{}
+	defer e.noteOutcome(algoBSP, stats, &err)
 	defer guard("core.BSP", &results, &err)
+	root := opts.Trace.Root()
+	root.SetStr("algo", "BSP")
+	prep := root.Child("prepare")
 	pq, err := e.prepare(q)
+	prep.End()
 	if err != nil {
 		return nil, stats, err
 	}

@@ -49,6 +49,10 @@ type Engine struct {
 	// (EnableLoosenessCache); shared by WithAlpha clones — L(Tp) depends
 	// only on the graph, direction and keyword set, never on α.
 	loose *looseCache
+	// metrics is the optional cumulative instrument bundle
+	// (EnableMetrics); nil keeps query evaluation free of any
+	// observability cost. Shared by WithAlpha clones.
+	metrics *engineMetrics
 }
 
 // enginePools recycles allocation-heavy per-query state.

@@ -13,8 +13,13 @@ import (
 func (e *Engine) KeywordTopK(keywords []string, k int, opts Options) (results []Result, stats *Stats, err error) {
 	start := time.Now()
 	stats = &Stats{}
+	defer e.noteOutcome(algoKeyword, stats, &err)
 	defer guard("core.KeywordTopK", &results, &err)
+	root := opts.Trace.Root()
+	root.SetStr("algo", "keyword")
+	prep := root.Child("prepare")
 	pq, err := e.prepare(Query{Keywords: keywords, K: k})
+	prep.End()
 	if err != nil {
 		return nil, stats, err
 	}
@@ -22,6 +27,8 @@ func (e *Engine) KeywordTopK(keywords []string, k int, opts Options) (results []
 	var out []Result
 	if pq.answerable && k > 0 {
 		lim := limiterFor(opts)
+		lspan := root.Child("loose-stream")
+		defer lspan.End()
 		semStart := time.Now()
 		ls := newLooseStream(e, pq, stats)
 		for len(out) < k {

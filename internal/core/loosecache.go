@@ -140,17 +140,20 @@ func (s *searcher) semanticPlace(p uint32, lw float64) (float64, *Tree) {
 		if ent.exact {
 			lc.hits.Add(1)
 			s.stats.CacheHits++
+			s.curSpan.SetStr("cache", "hit")
 			return ent.loose, nil
 		}
 		if ent.loose >= lw {
 			lc.boundHits.Add(1)
 			s.stats.CacheBoundHits++
 			s.stats.PrunedDynamicBound++
+			s.curSpan.SetStr("cache", "bound")
 			return math.Inf(1), nil
 		}
 	}
 	lc.misses.Add(1)
 	s.stats.CacheMisses++
+	s.curSpan.SetStr("cache", "miss")
 	loose, tree := s.getSemanticPlace(p, lw)
 	lc.store(key, s.lastLB, s.lastExact)
 	return loose, tree

@@ -65,6 +65,7 @@ func (e *Engine) run(mk sourceFactory, pq *prepQuery, opts Options, hk *topK, st
 // candidate can improve the top-k), otherwise apply the selected pruning
 // rules, construct the TQSP, and offer the result to Hk.
 func (e *Engine) runSerial(mk sourceFactory, pq *prepQuery, opts Options, hk *topK, stats *Stats, rule1, rule2 bool) error {
+	root := opts.Trace.Root()
 	src, err := mk(stats, hk.theta)
 	if err != nil {
 		return err
@@ -92,22 +93,35 @@ func (e *Engine) runSerial(mk sourceFactory, pq *prepQuery, opts Options, hk *to
 			return nil
 		}
 		faultinject.Fire(PointSerialCandidate)
+		cs := root.Child("candidate")
+		cs.SetInt("place", int64(cand.place))
+		cs.SetFloat("dist", cand.dist)
 		if rule1 && e.unqualified(cand.place, pq, stats) {
+			cs.SetStr("pruned", "rule1")
+			cs.End()
 			continue
 		}
 		lw := math.Inf(1)
 		if rule2 {
 			lw = e.Rank.LoosenessThreshold(hk.theta(), cand.dist)
 		}
+		s.curSpan = cs
 		semStart := time.Now()
 		loose, tree := s.semanticPlace(cand.place, lw)
 		stats.SemanticTime += time.Since(semStart)
+		s.curSpan = nil
 		if math.IsInf(loose, 1) {
+			cs.SetStr("outcome", "rejected")
+			cs.End()
 			continue
 		}
 		if f := e.Rank.Score(loose, cand.dist); f < hk.theta() {
 			hk.add(Result{Place: cand.place, Looseness: loose, Dist: cand.dist, Score: f, Tree: tree})
+			cs.SetStr("outcome", "accepted")
+		} else {
+			cs.SetStr("outcome", "below-threshold")
 		}
+		cs.End()
 	}
 }
 
@@ -129,6 +143,7 @@ const pipelineDepth = 4
 //	            re-applies the exact termination and insertion checks
 //	            against the true Hk, and publishes θ to the atomic.
 func (e *Engine) runParallel(mk sourceFactory, pq *prepQuery, opts Options, hk *topK, stats *Stats, workers int, rule1, rule2 bool) error {
+	root := opts.Trace.Root()
 	theta := &atomicFloat64{}
 	theta.store(math.Inf(1))
 
@@ -151,6 +166,9 @@ func (e *Engine) runParallel(mk sourceFactory, pq *prepQuery, opts Options, hk *
 	// the candidate source fails this query, not the process: the
 	// deferred close of both channels doubles as the shutdown signal.
 	go func() {
+		ps := root.Child("produce")
+		var produced int64
+		defer func() { ps.SetInt("candidates", produced); ps.End() }()
 		defer close(jobs)
 		defer close(ordered)
 		defer func() {
@@ -174,6 +192,7 @@ func (e *Engine) runParallel(mk sourceFactory, pq *prepQuery, opts Options, hk *
 			c := new(candidate)
 			*c = cand
 			c.ready = make(chan struct{})
+			produced++
 			select {
 			case jobs <- c:
 			case <-stop:
@@ -194,8 +213,11 @@ func (e *Engine) runParallel(mk sourceFactory, pq *prepQuery, opts Options, hk *
 		ws := &Stats{}
 		workerStats[w] = ws
 		wg.Add(1)
-		go func(ws *Stats) {
+		go func(ws *Stats, w int) {
 			defer wg.Done()
+			wspan := root.Child("worker")
+			wspan.SetInt("idx", int64(w))
+			defer wspan.End()
 			defer func() {
 				// Per-candidate panics are converted inside evalCandidate;
 				// this catches a panic outside that window (e.g. searcher
@@ -223,10 +245,19 @@ func (e *Engine) runParallel(mk sourceFactory, pq *prepQuery, opts Options, hk *
 					continue
 				default:
 				}
+				cs := wspan.Child("candidate")
+				cs.SetInt("place", int64(c.place))
+				cs.SetFloat("dist", c.dist)
+				s.curSpan = cs
 				e.evalCandidate(s, c, rule1, rule2, theta, ws)
+				s.curSpan = nil
+				if c.pruned {
+					cs.SetStr("pruned", "rule1")
+				}
+				cs.End()
 				close(c.ready)
 			}
-		}(ws)
+		}(ws, w)
 	}
 
 	// Finalizer: strictly in production order, so every θ a worker ever
@@ -235,7 +266,9 @@ func (e *Engine) runParallel(mk sourceFactory, pq *prepQuery, opts Options, hk *
 	// a finalizer panic must still halt and drain the pipeline before
 	// the error surfaces, or producer and workers would leak.
 	lim := limiterFor(opts)
+	fin := root.Child("finalize")
 	qerr := func() (err error) {
+		defer fin.End()
 		defer func() {
 			if r := recover(); r != nil {
 				err = newPanicError("core.parallel.finalizer", r)

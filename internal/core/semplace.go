@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"ksp/internal/faultinject"
+	"ksp/internal/obs"
 	"ksp/internal/rdf"
 )
 
@@ -37,6 +38,12 @@ type searcher struct {
 	// the current candidate's spatial distance, set per call.
 	liveTheta *atomicFloat64
 	liveDist  float64
+
+	// curSpan is the trace span of the candidate currently being
+	// evaluated (nil when tracing is off); semanticPlace annotates it and
+	// getSemanticPlace hangs its "tqsp" child under it. Set by the loop
+	// that owns this searcher, per candidate.
+	curSpan *obs.Span
 
 	// lastLB reports, after a getSemanticPlace call, what is known about
 	// the true looseness: the exact value when construction completed
@@ -87,6 +94,8 @@ const liveThetaEvery = 64
 func (s *searcher) getSemanticPlace(p uint32, lw float64) (float64, *Tree) {
 	faultinject.Fire(PointBFS)
 	s.stats.TQSPComputations++
+	tq := s.curSpan.Child("tqsp")
+	defer tq.End()
 	g := s.e.G
 	dir := s.e.Dir
 	sc := s.scratch
@@ -132,6 +141,7 @@ func (s *searcher) getSemanticPlace(p uint32, lw float64) (float64, *Tree) {
 			s.stats.PrunedDynamicBound++
 			sc.queue = q
 			s.lastLB, s.lastExact = lb, false
+			tq.SetStr("outcome", "pruned-rule2")
 			return math.Inf(1), nil
 		}
 
@@ -172,6 +182,7 @@ func (s *searcher) getSemanticPlace(p uint32, lw float64) (float64, *Tree) {
 		// The BFS exhausted p's reachable set without covering every
 		// keyword: p is unqualified, exactly and permanently.
 		s.lastLB, s.lastExact = math.Inf(1), true
+		tq.SetStr("outcome", "unqualified")
 		return math.Inf(1), nil
 	}
 	loose := 1 + foundSum

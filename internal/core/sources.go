@@ -61,8 +61,11 @@ func (s *spSource) next() (candidate, bool) {
 			return candidate{place: ent.place, dist: ent.dist, bound: ent.bound}, true
 		}
 
-		// Node: expand children under Pruning Rules 3 and 4.
+		// Node: expand children under Pruning Rules 3 and 4. SP walks the
+		// tree through its own queue rather than a Browser, so the live
+		// node-access metric is fed directly here.
 		s.stats.RTreeNodeAccesses++
+		s.e.noteRTreeAccess()
 		n := ent.node
 		th := s.theta()
 		if n.Leaf {

@@ -18,11 +18,16 @@ import (
 func (e *Engine) SP(q Query, opts Options) (results []Result, stats *Stats, err error) {
 	start := time.Now()
 	stats = &Stats{}
+	defer e.noteOutcome(algoSP, stats, &err)
 	if e.Alpha == nil {
 		return nil, stats, fmt.Errorf("core: SP requires the α-radius index (EnableAlpha)")
 	}
 	defer guard("core.SP", &results, &err)
+	root := opts.Trace.Root()
+	root.SetStr("algo", "SP")
+	prep := root.Child("prepare")
 	pq, err := e.prepare(q)
+	prep.End()
 	if err != nil {
 		return nil, stats, err
 	}

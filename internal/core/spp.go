@@ -13,11 +13,16 @@ import (
 func (e *Engine) SPP(q Query, opts Options) (results []Result, stats *Stats, err error) {
 	start := time.Now()
 	stats = &Stats{}
+	defer e.noteOutcome(algoSPP, stats, &err)
 	if e.Reach == nil {
 		return nil, stats, fmt.Errorf("core: SPP requires the reachability index (EnableReach)")
 	}
 	defer guard("core.SPP", &results, &err)
+	root := opts.Trace.Root()
+	root.SetStr("algo", "SPP")
+	prep := root.Child("prepare")
 	pq, err := e.prepare(q)
+	prep.End()
 	if err != nil {
 		return nil, stats, err
 	}

@@ -19,8 +19,13 @@ import (
 func (e *Engine) TA(q Query, opts Options) (results []Result, stats *Stats, err error) {
 	start := time.Now()
 	stats = &Stats{}
+	defer e.noteOutcome(algoTA, stats, &err)
 	defer guard("core.TA", &results, &err)
+	root := opts.Trace.Root()
+	root.SetStr("algo", "TA")
+	prep := root.Child("prepare")
 	pq, err := e.prepare(q)
+	prep.End()
 	if err != nil {
 		return nil, stats, err
 	}
@@ -36,9 +41,14 @@ func (e *Engine) TA(q Query, opts Options) (results []Result, stats *Stats, err 
 }
 
 func (e *Engine) taLoop(pq *prepQuery, opts Options, hk *topK, stats *Stats) {
+	root := opts.Trace.Root()
 	s := newSearcher(e, pq, stats, opts.CollectTrees)
 	defer s.release()
 	lim := limiterFor(opts)
+	// One span covers the looseness-ordered list (built here, consumed
+	// throughout the loop); spatial candidates get individual spans.
+	lspan := root.Child("loose-stream")
+	defer lspan.End()
 	ls := newLooseStream(e, pq, stats)
 	br := e.Tree.NewBrowser(pq.loc.Loc)
 	defer func() { stats.RTreeNodeAccesses += br.NodeAccesses }()
@@ -101,9 +111,15 @@ func (e *Engine) taLoop(pq *prepQuery, opts Options, hk *topK, stats *Stats) {
 			sLast = dist
 			stats.PlacesRetrieved++
 			if !seen[it.ID] {
+				cs := root.Child("candidate")
+				cs.SetInt("place", int64(it.ID))
+				cs.SetFloat("dist", dist)
+				s.curSpan = cs
 				semStart := time.Now()
 				loose, tree := s.semanticPlace(it.ID, math.Inf(1))
 				stats.SemanticTime += time.Since(semStart)
+				s.curSpan = nil
+				cs.End()
 				if !math.IsInf(loose, 1) {
 					score(it.ID, loose, dist, tree)
 				} else {

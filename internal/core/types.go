@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"ksp/internal/geo"
+	"ksp/internal/obs"
 )
 
 // Query is a kSP query: a location, a set of keywords, and the number of
@@ -49,6 +50,12 @@ type Options struct {
 	// HTTP client disconnecting: pass Request.Context().Done()). Partial
 	// statistics are reported with Stats.Cancelled set.
 	Cancel <-chan struct{}
+	// Trace, when non-nil, receives a tree of timed spans covering the
+	// query's phases (prepare, place browsing, per-candidate TQSP
+	// construction, pruning decisions; producer/worker/finalize stages of
+	// a parallel run). All span calls are nil-safe, so a nil Trace costs
+	// nothing. The caller owns the trace and calls Finish/JSON on it.
+	Trace *obs.Trace
 }
 
 // workers resolves Options.Parallelism to a worker count.

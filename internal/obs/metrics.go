@@ -1,0 +1,431 @@
+// Package obs is the observability layer of the kSP system: a
+// lock-cheap metrics registry with Prometheus text exposition, a
+// per-query span tracer, a ring buffer of recent queries, and sampled
+// runtime gauges. Everything is stdlib-only.
+//
+// The package is built around two invariants the hot paths depend on:
+//
+//   - Nil-safety: every instrument method (Counter.Add, Gauge.Set,
+//     Histogram.Observe, Span.Child, …) is a no-op on a nil receiver,
+//     so instrumentation sites call unconditionally and disabling
+//     observability means leaving the pointers nil.
+//   - Zero allocation when disabled: the nil paths allocate nothing and
+//     take only typed scalar arguments (no interface boxing), which a
+//     testing.AllocsPerRun guard in internal/core enforces.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one metric dimension, e.g. {Key: "rule", Value: "2"}.
+// Label sets are fixed at registration; there is no dynamic lookup on
+// the record path, so recording stays a single atomic operation.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// Counter is a monotonically increasing metric.
+type Counter struct{ v atomic.Int64 }
+
+// Add increments the counter by n. No-op on a nil receiver.
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Inc increments the counter by one. No-op on a nil receiver.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count (zero for a nil receiver).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a settable instantaneous value.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v. No-op on a nil receiver.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// Value returns the current value (zero for a nil receiver).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a fixed-bucket distribution: observation counts per
+// upper bound plus a running sum, all maintained with atomics.
+type Histogram struct {
+	bounds []float64 // ascending upper bounds; +Inf is implicit
+	counts []atomic.Int64
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits, CAS-added
+}
+
+// Observe records one value. No-op on a nil receiver.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// First bucket whose upper bound is >= v (le semantics).
+	idx := sort.SearchFloat64s(h.bounds, v)
+	h.counts[idx].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// DefLatencyBuckets are the default upper bounds (seconds) of a query
+// latency histogram: 100µs to 10s, roughly ×2.5 steps.
+var DefLatencyBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// metric kinds for exposition.
+const (
+	kindCounter = "counter"
+	kindGauge   = "gauge"
+	kindHist    = "histogram"
+)
+
+// series is one label combination inside a family, bound to exactly one
+// value source.
+type series struct {
+	labels    []Label
+	labelText string // pre-rendered `{k="v",…}` or ""
+	counter   *Counter
+	gauge     *Gauge
+	fn        func() float64 // CounterFunc / GaugeFunc
+	hist      *Histogram
+}
+
+func (s *series) value() float64 {
+	switch {
+	case s.counter != nil:
+		return float64(s.counter.Value())
+	case s.gauge != nil:
+		return s.gauge.Value()
+	case s.fn != nil:
+		return s.fn()
+	}
+	return 0
+}
+
+// family groups every series sharing one metric name.
+type family struct {
+	name   string
+	help   string
+	kind   string
+	series []*series
+}
+
+// Registry holds metric families and renders them in Prometheus text
+// exposition format. Registration takes a mutex; recording on the
+// returned instruments is lock-free. Re-registering an identical
+// (name, labels) pair returns the existing instrument, so independent
+// components may share one registry without coordination.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+func validName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		alpha := r == '_' || r == ':' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z')
+		if !alpha && !(i > 0 && r >= '0' && r <= '9') {
+			return false
+		}
+	}
+	return true
+}
+
+// renderLabels produces the canonical `{k="v",…}` fragment; labels are
+// sorted by key so equal sets compare equal as strings.
+func renderLabels(labels []Label, extra ...Label) string {
+	all := append(append([]Label(nil), labels...), extra...)
+	if len(all) == 0 {
+		return ""
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].Key < all[j].Key })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range all {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// register resolves (name, kind, labels) to its series, creating family
+// and series on first use. Kind conflicts panic: they are programming
+// errors a test catches immediately.
+func (r *Registry) register(name, help, kind string, labels []Label) *series {
+	if !validName(name) {
+		panic("obs: invalid metric name " + name)
+	}
+	for _, l := range labels {
+		if !validName(l.Key) {
+			panic("obs: invalid label name " + l.Key + " on " + name)
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.families[name]
+	if f == nil {
+		f = &family{name: name, help: help, kind: kind}
+		r.families[name] = f
+	} else if f.kind != kind {
+		panic(fmt.Sprintf("obs: metric %s registered as %s and %s", name, f.kind, kind))
+	}
+	text := renderLabels(labels)
+	for _, s := range f.series {
+		if s.labelText == text {
+			return s
+		}
+	}
+	s := &series{labels: append([]Label(nil), labels...), labelText: text}
+	f.series = append(f.series, s)
+	return s
+}
+
+// Counter registers (or finds) a counter.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	s := r.register(name, help, kindCounter, labels)
+	if s.counter == nil && s.fn == nil {
+		s.counter = &Counter{}
+	}
+	return s.counter
+}
+
+// CounterFunc registers a counter whose value is read from fn at
+// exposition time — for components that already maintain their own
+// monotone counters (e.g. the admission controller).
+func (r *Registry) CounterFunc(name, help string, fn func() float64, labels ...Label) {
+	s := r.register(name, help, kindCounter, labels)
+	if s.counter == nil && s.fn == nil {
+		s.fn = fn
+	}
+}
+
+// Gauge registers (or finds) a gauge.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	s := r.register(name, help, kindGauge, labels)
+	if s.gauge == nil && s.fn == nil {
+		s.gauge = &Gauge{}
+	}
+	return s.gauge
+}
+
+// GaugeFunc registers a gauge evaluated at exposition time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	s := r.register(name, help, kindGauge, labels)
+	if s.gauge == nil && s.fn == nil {
+		s.fn = fn
+	}
+}
+
+// Histogram registers (or finds) a histogram with the given ascending
+// bucket upper bounds (nil selects DefLatencyBuckets).
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Label) *Histogram {
+	s := r.register(name, help, kindHist, labels)
+	if s.hist == nil {
+		if buckets == nil {
+			buckets = DefLatencyBuckets
+		}
+		bounds := append([]float64(nil), buckets...)
+		sort.Float64s(bounds)
+		s.hist = &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+	}
+	return s.hist
+}
+
+// sortedFamilies snapshots the family list in name order.
+func (r *Registry) sortedFamilies() []*family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// formatValue renders a sample value the way Prometheus expects.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	case v == math.Trunc(v) && math.Abs(v) < 1e15:
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// WriteText renders the registry in Prometheus text exposition format
+// (version 0.0.4): one # HELP and # TYPE line per family, then one
+// sample line per series (histograms expand into cumulative _bucket
+// lines plus _sum and _count).
+func (r *Registry) WriteText(w io.Writer) error {
+	for _, f := range r.sortedFamilies() {
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, f.help); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+			return err
+		}
+		for _, s := range f.series {
+			if s.hist != nil {
+				if err := writeHistogram(w, f.name, s); err != nil {
+					return err
+				}
+				continue
+			}
+			if _, err := fmt.Fprintf(w, "%s%s %s\n", f.name, s.labelText, formatValue(s.value())); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeHistogram(w io.Writer, name string, s *series) error {
+	h := s.hist
+	// Counts are read per bucket while observations may land
+	// concurrently; cumulative sums stay internally consistent because
+	// each bucket is read once, low to high.
+	var cum int64
+	for i, ub := range h.bounds {
+		cum += h.counts[i].Load()
+		le := renderLabels(s.labels, Label{Key: "le", Value: formatValue(ub)})
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, le, cum); err != nil {
+			return err
+		}
+	}
+	cum += h.counts[len(h.bounds)].Load()
+	le := renderLabels(s.labels, Label{Key: "le", Value: "+Inf"})
+	if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, le, cum); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, s.labelText, formatValue(h.Sum())); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", name, s.labelText, cum)
+	return err
+}
+
+// MetricPoint is one sample of the registry, the JSON-friendly
+// counterpart of a text exposition line. kspbench embeds these in its
+// -json reports so benchmark baselines and production /metrics scrapes
+// share one schema (the Name values are the Prometheus metric names).
+type MetricPoint struct {
+	Name   string            `json:"name"`
+	Labels map[string]string `json:"labels,omitempty"`
+	Value  float64           `json:"value"`
+}
+
+// Snapshot returns every sample as MetricPoints, histograms expanded
+// into _bucket/_sum/_count points exactly like the text format.
+func (r *Registry) Snapshot() []MetricPoint {
+	var out []MetricPoint
+	add := func(name string, labels []Label, extra []Label, v float64) {
+		var m map[string]string
+		if len(labels)+len(extra) > 0 {
+			m = make(map[string]string, len(labels)+len(extra))
+			for _, l := range labels {
+				m[l.Key] = l.Value
+			}
+			for _, l := range extra {
+				m[l.Key] = l.Value
+			}
+		}
+		out = append(out, MetricPoint{Name: name, Labels: m, Value: v})
+	}
+	for _, f := range r.sortedFamilies() {
+		for _, s := range f.series {
+			if s.hist == nil {
+				add(f.name, s.labels, nil, s.value())
+				continue
+			}
+			h := s.hist
+			var cum int64
+			for i, ub := range h.bounds {
+				cum += h.counts[i].Load()
+				add(f.name+"_bucket", s.labels, []Label{{Key: "le", Value: formatValue(ub)}}, float64(cum))
+			}
+			cum += h.counts[len(h.bounds)].Load()
+			add(f.name+"_bucket", s.labels, []Label{{Key: "le", Value: "+Inf"}}, float64(cum))
+			add(f.name+"_sum", s.labels, nil, h.Sum())
+			add(f.name+"_count", s.labels, nil, float64(cum))
+		}
+	}
+	return out
+}

@@ -1,0 +1,216 @@
+package obs
+
+import (
+	"math"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// expoLine matches one Prometheus text exposition sample line.
+var expoLine = regexp.MustCompile(
+	`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? (NaN|[+-]?Inf|[-+0-9.eE]+)$`)
+
+func expo(t *testing.T, r *Registry) string {
+	t.Helper()
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+func TestWriteTextWellFormed(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("test_ops_total", "Ops.", Label{Key: "kind", Value: "a"}).Add(3)
+	r.Counter("test_ops_total", "Ops.", Label{Key: "kind", Value: "b"}).Add(1)
+	r.Gauge("test_depth", "Depth.").Set(2.5)
+	r.GaugeFunc("test_live", "Live.", func() float64 { return 7 })
+	h := r.Histogram("test_latency_seconds", "Latency.", []float64{0.1, 1}, Label{Key: "algo", Value: `we"ird\`})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	out := expo(t, r)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	types := map[string]string{}
+	var lastFamily string
+	for _, ln := range lines {
+		if strings.HasPrefix(ln, "# HELP ") {
+			continue
+		}
+		if strings.HasPrefix(ln, "# TYPE ") {
+			parts := strings.Fields(ln)
+			if len(parts) != 4 {
+				t.Fatalf("bad TYPE line %q", ln)
+			}
+			types[parts[2]] = parts[3]
+			lastFamily = parts[2]
+			continue
+		}
+		if !expoLine.MatchString(ln) {
+			t.Errorf("malformed sample line %q", ln)
+		}
+		if !strings.HasPrefix(ln, lastFamily) {
+			t.Errorf("sample %q outside its family block %q", ln, lastFamily)
+		}
+	}
+	if types["test_ops_total"] != "counter" || types["test_depth"] != "gauge" ||
+		types["test_latency_seconds"] != "histogram" {
+		t.Fatalf("TYPE lines wrong: %v", types)
+	}
+	for _, want := range []string{
+		`test_ops_total{kind="a"} 3`,
+		`test_ops_total{kind="b"} 1`,
+		"test_depth 2.5",
+		"test_live 7",
+		`le="+Inf"`,
+		"test_latency_seconds_count",
+		"test_latency_seconds_sum",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramCumulativeBuckets(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h_seconds", "", []float64{1, 2, 3})
+	for _, v := range []float64{0.5, 1, 1.5, 2.5, 99} {
+		h.Observe(v)
+	}
+	out := expo(t, r)
+	wantCum := map[string]int{`le="1"`: 2, `le="2"`: 3, `le="3"`: 4, `le="+Inf"`: 5}
+	prev := -1
+	for _, ln := range strings.Split(strings.TrimSpace(out), "\n") {
+		if !strings.HasPrefix(ln, "h_seconds_bucket") {
+			continue
+		}
+		fields := strings.Fields(ln)
+		n, err := strconv.Atoi(fields[len(fields)-1])
+		if err != nil {
+			t.Fatalf("bucket value in %q: %v", ln, err)
+		}
+		if n < prev {
+			t.Errorf("buckets not cumulative: %q after %d", ln, prev)
+		}
+		prev = n
+		for le, want := range wantCum {
+			if strings.Contains(ln, le) && n != want {
+				t.Errorf("%s: got %d want %d", le, n, want)
+			}
+		}
+	}
+	if h.Count() != 5 || math.Abs(h.Sum()-104.5) > 1e-9 {
+		t.Errorf("count=%d sum=%g", h.Count(), h.Sum())
+	}
+}
+
+func TestRegistrationIdempotent(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("same_total", "x", Label{Key: "l", Value: "1"})
+	b := r.Counter("same_total", "x", Label{Key: "l", Value: "1"})
+	if a != b {
+		t.Fatal("identical registration returned distinct counters")
+	}
+	c := r.Counter("same_total", "x", Label{Key: "l", Value: "2"})
+	if a == c {
+		t.Fatal("distinct label sets share a counter")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("kind conflict did not panic")
+		}
+	}()
+	r.Gauge("same_total", "x")
+}
+
+func TestSnapshotMatchesText(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", "", Label{Key: "x", Value: "y"}).Add(4)
+	r.Histogram("h_seconds", "", []float64{1}).Observe(0.5)
+	snap := r.Snapshot()
+	byName := map[string]MetricPoint{}
+	for _, p := range snap {
+		byName[p.Name+renderLabels(nil, labelsOf(p)...)] = p
+	}
+	if p := byName[`c_total{x="y"}`]; p.Value != 4 {
+		t.Fatalf("counter snapshot = %+v", byName)
+	}
+	found := false
+	for _, p := range snap {
+		if p.Name == "h_seconds_count" && p.Value == 1 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("histogram count missing from snapshot: %+v", snap)
+	}
+}
+
+func labelsOf(p MetricPoint) []Label {
+	var out []Label
+	for k, v := range p.Labels {
+		out = append(out, Label{Key: k, Value: v})
+	}
+	return out
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("conc_total", "")
+	h := r.Histogram("conc_seconds", "", []float64{1})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				h.Observe(0.5)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 || h.Count() != 8000 || math.Abs(h.Sum()-4000) > 1e-6 {
+		t.Fatalf("lost updates: c=%d count=%d sum=%g", c.Value(), h.Count(), h.Sum())
+	}
+}
+
+// The nil paths are the disabled-observability hot path: they must not
+// allocate. internal/core has the engine-level counterpart of this
+// guard.
+func TestNilInstrumentsZeroAlloc(t *testing.T) {
+	var (
+		c  *Counter
+		g  *Gauge
+		h  *Histogram
+		sp *Span
+		tr *Trace
+		qr *QueryRing
+	)
+	n := testing.AllocsPerRun(1000, func() {
+		c.Add(5)
+		c.Inc()
+		_ = c.Value()
+		g.Set(1.5)
+		h.Observe(0.25)
+		child := sp.Child("x")
+		child.SetInt("k", 42)
+		child.SetStr("k", "v")
+		child.SetFloat("k", 1.5)
+		child.End()
+		root := tr.Root()
+		root.End()
+		tr.Finish()
+		_ = tr.JSON()
+		qr.Add(QueryRecord{})
+		_ = qr.Snapshot()
+	})
+	if n != 0 {
+		t.Fatalf("nil instrument path allocates %v allocs/op, want 0", n)
+	}
+}

@@ -1,0 +1,58 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"time"
+)
+
+// runtimeSampler caches runtime.ReadMemStats: the call stops the world
+// briefly, so scrapes (and /stats) share one sample per interval
+// instead of paying per gauge per scrape.
+type runtimeSampler struct {
+	mu       sync.Mutex
+	last     time.Time
+	interval time.Duration
+	ms       runtime.MemStats
+}
+
+func (s *runtimeSampler) sample() *runtime.MemStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if time.Since(s.last) >= s.interval {
+		runtime.ReadMemStats(&s.ms)
+		s.last = time.Now()
+	}
+	return &s.ms
+}
+
+// RegisterRuntimeMetrics wires goroutine and heap gauges into reg, so
+// goroutine or memory leaks show up on /metrics long before they take
+// the process down — the production-side complement of the test
+// suite's goroutine-leak TestMain. Memory numbers are sampled at most
+// once per second; the goroutine count is always live (it is a cheap
+// atomic read).
+func RegisterRuntimeMetrics(reg *Registry) {
+	reg.GaugeFunc("ksp_runtime_goroutines",
+		"Current number of goroutines.",
+		func() float64 { return float64(runtime.NumGoroutine()) })
+	s := &runtimeSampler{interval: time.Second}
+	reg.GaugeFunc("ksp_runtime_heap_alloc_bytes",
+		"Bytes of allocated heap objects (sampled, <=1Hz).",
+		func() float64 { return float64(s.sample().HeapAlloc) })
+	reg.GaugeFunc("ksp_runtime_heap_objects",
+		"Number of allocated heap objects (sampled, <=1Hz).",
+		func() float64 { return float64(s.sample().HeapObjects) })
+	reg.GaugeFunc("ksp_runtime_sys_bytes",
+		"Total bytes obtained from the OS (sampled, <=1Hz).",
+		func() float64 { return float64(s.sample().Sys) })
+	reg.GaugeFunc("ksp_runtime_next_gc_bytes",
+		"Heap size that triggers the next GC cycle (sampled, <=1Hz).",
+		func() float64 { return float64(s.sample().NextGC) })
+	reg.CounterFunc("ksp_runtime_gc_cycles_total",
+		"Completed GC cycles (sampled, <=1Hz).",
+		func() float64 { return float64(s.sample().NumGC) })
+	reg.GaugeFunc("ksp_runtime_gomaxprocs",
+		"GOMAXPROCS of the serving process.",
+		func() float64 { return float64(runtime.GOMAXPROCS(0)) })
+}

@@ -1,0 +1,253 @@
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Trace records the timed phase tree of one query evaluation. A Trace
+// is created per request (only when asked for — tracing is opt-in per
+// query), handed to the engine, and rendered to JSON afterwards.
+//
+// Concurrency: span creation and field writes lock the trace, so the
+// parallel pipeline's producer, workers and finalizer may all open
+// spans on one trace. Reading (JSON) must happen after the query
+// completes.
+//
+// Every method is nil-safe: with a nil *Trace (tracing off) the whole
+// span API degenerates to no-ops without allocating.
+type Trace struct {
+	mu      sync.Mutex
+	start   time.Time
+	root    *Span
+	limit   int
+	spans   int
+	dropped int64
+}
+
+// DefaultSpanLimit bounds the spans of one trace; a query evaluating
+// thousands of candidates keeps its trace at a bounded size and the
+// overflow is reported in Dropped.
+const DefaultSpanLimit = 1024
+
+// NewTrace starts a trace whose root span has the given name.
+func NewTrace(name string) *Trace {
+	t := &Trace{start: time.Now(), limit: DefaultSpanLimit}
+	t.root = &Span{t: t, name: name}
+	t.spans = 1
+	return t
+}
+
+// Root returns the root span (nil on a nil trace).
+func (t *Trace) Root() *Span {
+	if t == nil {
+		return nil
+	}
+	return t.root
+}
+
+// Finish ends the root span (children left open keep their recorded
+// end of zero duration-so-far; the engine ends its spans itself).
+func (t *Trace) Finish() {
+	if t == nil {
+		return
+	}
+	t.root.End()
+}
+
+// Dropped reports how many spans the limit discarded.
+func (t *Trace) Dropped() int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// Attr is one key=value annotation on a span.
+type Attr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// Span is one timed phase. Spans form a tree under the trace root;
+// each span is written by the goroutine that opened it.
+type Span struct {
+	t        *Trace
+	name     string
+	start    time.Duration // offset from trace start
+	end      time.Duration // zero until End
+	ended    bool
+	attrs    []Attr
+	children []*Span
+}
+
+// Child opens a sub-span. On a nil receiver (tracing off) or past the
+// trace's span limit it returns nil, which the rest of the API accepts.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	t := s.t
+	c := &Span{t: t, name: name, start: time.Since(t.start)}
+	t.mu.Lock()
+	if t.spans >= t.limit {
+		t.dropped++
+		t.mu.Unlock()
+		return nil
+	}
+	t.spans++
+	s.children = append(s.children, c)
+	t.mu.Unlock()
+	return c
+}
+
+// End closes the span. Safe to call more than once; later calls keep
+// the first recorded end.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	t := s.t
+	t.mu.Lock()
+	if !s.ended {
+		s.ended = true
+		s.end = time.Since(t.start)
+	}
+	t.mu.Unlock()
+}
+
+// setAttr appends one annotation under the trace lock.
+func (s *Span) setAttr(key, value string) {
+	t := s.t
+	t.mu.Lock()
+	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
+	t.mu.Unlock()
+}
+
+// SetStr annotates the span with a string value. The typed Set
+// variants take scalars, never interface{}: a call on a nil span must
+// not box its argument, or the disabled path would allocate.
+func (s *Span) SetStr(key, value string) {
+	if s == nil {
+		return
+	}
+	s.setAttr(key, value)
+}
+
+// SetInt annotates the span with an integer value.
+func (s *Span) SetInt(key string, v int64) {
+	if s == nil {
+		return
+	}
+	s.setAttr(key, strconv.FormatInt(v, 10))
+}
+
+// SetFloat annotates the span with a float value.
+func (s *Span) SetFloat(key string, v float64) {
+	if s == nil {
+		return
+	}
+	s.setAttr(key, strconv.FormatFloat(v, 'g', -1, 64))
+}
+
+// SpanJSON is the wire form of a span tree: offsets and durations in
+// microseconds from the trace start, attributes as key=value pairs.
+type SpanJSON struct {
+	Name           string      `json:"name"`
+	StartMicros    int64       `json:"startMicros"`
+	DurationMicros int64       `json:"durationMicros"`
+	Attrs          []Attr      `json:"attrs,omitempty"`
+	Children       []*SpanJSON `json:"children,omitempty"`
+	// Dropped, set on the root only, counts spans lost to the trace's
+	// span limit.
+	Dropped int64 `json:"droppedSpans,omitempty"`
+}
+
+// JSON renders the completed trace (nil for a nil trace). Call after
+// the query has finished; it takes the trace lock once.
+func (t *Trace) JSON() *SpanJSON {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := exportSpan(t.root)
+	out.Dropped = t.dropped
+	return out
+}
+
+func exportSpan(s *Span) *SpanJSON {
+	end := s.end
+	if !s.ended {
+		// An unended span (e.g. abandoned by a halted pipeline stage)
+		// reports zero duration rather than a bogus wall-clock read.
+		end = s.start
+	}
+	out := &SpanJSON{
+		Name:           s.name,
+		StartMicros:    s.start.Microseconds(),
+		DurationMicros: (end - s.start).Microseconds(),
+		Attrs:          s.attrs,
+	}
+	for _, c := range s.children {
+		out.Children = append(out.Children, exportSpan(c))
+	}
+	return out
+}
+
+// --- context plumbing ---
+
+type ctxKey int
+
+const (
+	traceKey ctxKey = iota
+	ridKey
+)
+
+// ContextWithTrace attaches a trace to ctx.
+func ContextWithTrace(ctx context.Context, t *Trace) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, traceKey, t)
+}
+
+// TraceFromContext returns the attached trace, or nil.
+func TraceFromContext(ctx context.Context) *Trace {
+	t, _ := ctx.Value(traceKey).(*Trace)
+	return t
+}
+
+// ContextWithRequestID attaches a request ID to ctx.
+func ContextWithRequestID(ctx context.Context, rid string) context.Context {
+	return context.WithValue(ctx, ridKey, rid)
+}
+
+// RequestIDFromContext returns the attached request ID, or "".
+func RequestIDFromContext(ctx context.Context) string {
+	rid, _ := ctx.Value(ridKey).(string)
+	return rid
+}
+
+var ridCounter atomic.Uint64
+
+// NewRequestID returns a short unique request identifier: 6 random
+// bytes plus a process-local sequence number, so IDs stay unique even
+// if the random source ever repeats.
+func NewRequestID() string {
+	var b [6]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// Fall back to the counter alone; uniqueness within the process
+		// still holds.
+		return fmt.Sprintf("req-%d", ridCounter.Add(1))
+	}
+	return hex.EncodeToString(b[:]) + "-" + strconv.FormatUint(ridCounter.Add(1), 36)
+}

@@ -19,6 +19,7 @@ type Browser struct {
 	q            geo.Point
 	h            nnHeap
 	NodeAccesses int64
+	onAccess     func() // copied from RTree.OnNodeAccess at construction
 }
 
 type nnEntry struct {
@@ -43,7 +44,7 @@ func (h *nnHeap) Pop() interface{} {
 
 // NewBrowser starts an incremental nearest-neighbour scan from q.
 func (t *RTree) NewBrowser(q geo.Point) *Browser {
-	b := &Browser{q: q}
+	b := &Browser{q: q, onAccess: t.OnNodeAccess}
 	if t.size > 0 {
 		b.h = append(b.h, nnEntry{distSq: t.root.Rect.MinDistSq(q), node: t.root})
 	}
@@ -60,6 +61,9 @@ func (b *Browser) Next() (it Item, dist float64, ok bool) {
 			return e.item, math.Sqrt(e.distSq), true
 		}
 		b.NodeAccesses++
+		if b.onAccess != nil {
+			b.onAccess()
+		}
 		if e.node.Leaf {
 			for _, item := range e.node.Items {
 				heap.Push(&b.h, nnEntry{distSq: b.q.DistSq(item.Loc), item: item})

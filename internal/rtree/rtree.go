@@ -50,6 +50,13 @@ type RTree struct {
 	minEntries int
 	nextNodeID uint32
 	height     int
+
+	// OnNodeAccess, when non-nil, is invoked once per node expansion during
+	// read traversals (Browser.Next, Search). It lets an observability layer
+	// keep a live cumulative access counter without the tree depending on
+	// it; per-query accounting stays on Browser.NodeAccesses. Set it before
+	// concurrent use and make the callback safe for concurrent calls.
+	OnNodeAccess func()
 }
 
 // New returns an empty R-tree with node capacity maxEntries (minimum fill
@@ -338,6 +345,9 @@ func (t *RTree) Search(r geo.Rect, dst []Item) []Item {
 	walk = func(n *Node) {
 		if !n.Rect.Intersects(r) && !(n == t.root && t.size == 0) {
 			return
+		}
+		if t.OnNodeAccess != nil {
+			t.OnNodeAccess()
 		}
 		if n.Leaf {
 			for _, it := range n.Items {

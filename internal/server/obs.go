@@ -1,0 +1,179 @@
+package server
+
+import (
+	"log/slog"
+	"net/http"
+	"time"
+
+	"ksp/internal/obs"
+)
+
+// knownPaths is the endpoint allowlist for per-path metric labels.
+// Request paths outside it collapse to "other" so arbitrary client URLs
+// cannot mint unbounded label values.
+var knownPaths = []string{
+	"/search", "/keyword", "/nearest", "/describe",
+	"/stats", "/metrics", "/debug/queries", "/healthz", "/readyz",
+}
+
+func pathLabel(p string) string {
+	for _, k := range knownPaths {
+		if p == k {
+			return k
+		}
+	}
+	return "other"
+}
+
+// serverMetrics holds the HTTP-layer instruments. Per-path instruments
+// are pre-registered over the allowlist, so the request path never
+// touches the registry's lock. All note methods are nil-safe: a Server
+// built without New (zero value) serves unmetered.
+type serverMetrics struct {
+	requests map[string]*obs.Counter
+	latency  map[string]*obs.Histogram
+	partial  *obs.Counter
+}
+
+func (m *serverMetrics) noteRequest(path string, dur time.Duration) {
+	if m == nil {
+		return
+	}
+	p := pathLabel(path)
+	m.requests[p].Inc()
+	m.latency[p].Observe(dur.Seconds())
+}
+
+func (m *serverMetrics) notePartial() {
+	if m == nil {
+		return
+	}
+	m.partial.Inc()
+}
+
+// registerMetrics registers the server's instruments in reg. Admission
+// series read through the atomic admission pointer rather than
+// s.admission() so that a scrape arriving before the first request does
+// not freeze the admission knobs mid-configuration.
+func (s *Server) registerMetrics(reg *obs.Registry) {
+	m := &serverMetrics{
+		requests: make(map[string]*obs.Counter),
+		latency:  make(map[string]*obs.Histogram),
+	}
+	for _, p := range append(append([]string(nil), knownPaths...), "other") {
+		lbl := obs.Label{Key: "path", Value: p}
+		m.requests[p] = reg.Counter("ksp_server_requests_total",
+			"HTTP requests served, by endpoint.", lbl)
+		m.latency[p] = reg.Histogram("ksp_server_request_duration_seconds",
+			"HTTP request latency in seconds, by endpoint.", nil, lbl)
+	}
+	m.partial = reg.Counter("ksp_server_partial_responses_total",
+		"Search responses returned partial after a deadline or cancellation.")
+	reg.CounterFunc("ksp_server_panics_recovered_total",
+		"Request handler panics contained by the server.",
+		func() float64 { return float64(s.panics.Load()) })
+
+	snap := func() AdmissionSection {
+		if adm := s.admPtr.Load(); adm != nil {
+			return adm.snapshot()
+		}
+		return AdmissionSection{}
+	}
+	reg.GaugeFunc("ksp_server_admission_capacity",
+		"Total evaluation width the admission controller grants at once.",
+		func() float64 { return float64(snap().Capacity) })
+	reg.GaugeFunc("ksp_server_admission_in_use",
+		"Evaluation width currently held by admitted requests.",
+		func() float64 { return float64(snap().InUse) })
+	reg.GaugeFunc("ksp_server_admission_queue_depth",
+		"Requests currently queued for admission.",
+		func() float64 { return float64(snap().Queued) })
+	reg.CounterFunc("ksp_server_admission_admitted_total",
+		"Requests admitted past the admission controller.",
+		func() float64 { return float64(snap().Admitted) })
+	reg.CounterFunc("ksp_server_admission_rejected_total",
+		"Requests shed because the wait queue was full.",
+		func() float64 { return float64(snap().RejectedBusy) },
+		obs.Label{Key: "reason", Value: "busy"})
+	reg.CounterFunc("ksp_server_admission_rejected_total",
+		"Requests shed after queueing past the wait timeout.",
+		func() float64 { return float64(snap().RejectedTimeout) },
+		obs.Label{Key: "reason", Value: "timeout"})
+	s.sm = m
+}
+
+// statusWriter captures the response status for access logs and the
+// query ring; a handler that never calls WriteHeader implies 200.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func (w *statusWriter) status() int {
+	if w.code == 0 {
+		return http.StatusOK
+	}
+	return w.code
+}
+
+// log returns the structured logger: the Logger knob, or the process
+// default.
+func (s *Server) log() *slog.Logger {
+	if s.Logger != nil {
+		return s.Logger
+	}
+	return slog.Default()
+}
+
+// Registry exposes the server's metrics registry so embedding programs
+// (the CLI daemon, tests) can add their own instruments or scrape
+// without HTTP.
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// wantTrace reports whether the request asked for a span trace.
+func wantTrace(r *http.Request) bool {
+	t := r.URL.Query().Get("trace")
+	return t == "1" || t == "true"
+}
+
+// handleMetrics serves the registry in Prometheus text exposition
+// format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if s.reg == nil {
+		s.fail(w, http.StatusNotFound, "metrics disabled")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.reg.WriteText(w)
+}
+
+// DebugQueriesResponse is the /debug/queries payload: the most recent
+// queries, newest first, with their traces when the client asked for
+// one.
+type DebugQueriesResponse struct {
+	Queries []obs.QueryRecord `json:"queries"`
+}
+
+func (s *Server) handleDebugQueries(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, DebugQueriesResponse{Queries: s.ring.Snapshot()})
+}
+
+// recordQuery stamps and stores one finished query in the debug ring.
+func (s *Server) recordQuery(rec obs.QueryRecord) {
+	rec.Time = time.Now()
+	s.ring.Add(rec)
+}

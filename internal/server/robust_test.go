@@ -201,8 +201,8 @@ func TestPanicContainment(t *testing.T) {
 	}
 	var st StatsResponse
 	getJSON(t, srv.URL+"/stats", &st)
-	if st.PanicsRecovered != 1 {
-		t.Errorf("panicsRecovered = %d, want 1", st.PanicsRecovered)
+	if st.Server.PanicsRecovered != 1 {
+		t.Errorf("panicsRecovered = %d, want 1", st.Server.PanicsRecovered)
 	}
 }
 

@@ -5,9 +5,11 @@
 //
 // Endpoints:
 //
-//	GET /search?x=…&y=…&kw=a,b,c&k=5[&algo=SP][&trees=1]
+//	GET /search?x=…&y=…&kw=a,b,c&k=5[&algo=SP][&trees=1][&trace=1]
 //	GET /describe?uri=…
 //	GET /stats
+//	GET /metrics        (Prometheus text exposition)
+//	GET /debug/queries  (ring buffer of recent queries, newest first)
 //	GET /healthz  (liveness: the process serves)
 //	GET /readyz   (readiness: the dataset answers queries)
 //
@@ -17,13 +19,19 @@
 // Retry-After. A query that hits its deadline mid-evaluation returns
 // 200 with "partial": true and per-result exactness flags rather than
 // failing.
+//
+// Every request gets a request ID (client-supplied X-Request-ID or
+// generated), echoed in the response header, threaded through the
+// request context, and attached to structured logs. ?trace=1 on /search
+// additionally records a span tree of the evaluation and returns it in
+// the response.
 package server
 
 import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"log"
+	"log/slog"
 	"math"
 	"net/http"
 	"runtime"
@@ -36,6 +44,7 @@ import (
 
 	"ksp"
 	"ksp/internal/faultinject"
+	"ksp/internal/obs"
 )
 
 // PointSearchAdmitted fires after a /search request clears admission
@@ -72,14 +81,25 @@ type Server struct {
 	QueueTimeout time.Duration
 	// ReadyTimeout bounds the /readyz self-check query. 0 selects 250ms.
 	ReadyTimeout time.Duration
+	// Logger receives structured request, query, and panic logs; nil
+	// selects slog.Default(). Access logs are emitted at Debug so the
+	// default Info level stays quiet under normal traffic.
+	Logger *slog.Logger
 
 	admOnce sync.Once
 	adm     *admission
+	admPtr  atomic.Pointer[admission]
 	panics  atomic.Uint64
 	ready   atomic.Bool
+
+	reg  *obs.Registry
+	ring *obs.QueryRing
+	sm   *serverMetrics
 }
 
-// New returns a ready handler for the dataset.
+// New returns a ready handler for the dataset. It builds the server's
+// metrics registry (engine, HTTP, admission, and runtime instruments)
+// and the /debug/queries ring buffer.
 func New(ds *ksp.Dataset) *Server {
 	s := &Server{
 		ds:          ds,
@@ -87,32 +107,59 @@ func New(ds *ksp.Dataset) *Server {
 		MaxK:        100,
 		Timeout:     10 * time.Second,
 		MaxParallel: runtime.GOMAXPROCS(0),
+		reg:         obs.NewRegistry(),
+		ring:        obs.NewQueryRing(64),
 	}
 	s.ready.Store(true)
+	ds.EnableMetrics(s.reg)
+	obs.RegisterRuntimeMetrics(s.reg)
+	s.registerMetrics(s.reg)
 	s.mux.HandleFunc("/search", s.handleSearch)
 	s.mux.HandleFunc("/keyword", s.handleKeyword)
 	s.mux.HandleFunc("/nearest", s.handleNearest)
 	s.mux.HandleFunc("/describe", s.handleDescribe)
 	s.mux.HandleFunc("/stats", s.handleStats)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.mux.HandleFunc("/debug/queries", s.handleDebugQueries)
 	s.mux.HandleFunc("/healthz", s.handleHealth)
 	s.mux.HandleFunc("/readyz", s.handleReady)
 	return s
 }
 
-// ServeHTTP implements http.Handler. A panic anywhere below is contained
-// here: the request fails with 500, the stack is logged, and the process
-// keeps serving.
+// ServeHTTP implements http.Handler. The wrapper owns the cross-cutting
+// concerns: request-ID assignment, trace setup, per-path metrics,
+// access logging, and panic containment — a panic anywhere below fails
+// the request with 500 while the process keeps serving.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	rid := r.Header.Get("X-Request-ID")
+	if rid == "" {
+		rid = obs.NewRequestID()
+	}
+	ctx := obs.ContextWithRequestID(r.Context(), rid)
+	if wantTrace(r) {
+		ctx = obs.ContextWithTrace(ctx, obs.NewTrace(r.URL.Path))
+	}
+	r = r.WithContext(ctx)
+	w.Header().Set("X-Request-ID", rid)
+	sw := &statusWriter{ResponseWriter: w}
 	defer func() {
 		if rec := recover(); rec != nil {
 			s.panics.Add(1)
-			log.Printf("server: panic serving %s %s: %v\n%s", r.Method, r.URL.Path, rec, debug.Stack())
+			s.log().Error("panic serving request",
+				"requestID", rid, "method", r.Method, "path", r.URL.Path,
+				"panic", fmt.Sprint(rec), "stack", string(debug.Stack()))
 			// Headers may already be out; WriteHeader then just logs a
 			// superfluous-call warning instead of corrupting the stream.
-			s.fail(w, http.StatusInternalServerError, "internal error")
+			s.fail(sw, http.StatusInternalServerError, "internal error")
 		}
+		dur := time.Since(start)
+		s.sm.noteRequest(r.URL.Path, dur)
+		s.log().Debug("request",
+			"requestID", rid, "method", r.Method, "path", r.URL.Path,
+			"status", sw.status(), "durationMicros", dur.Microseconds())
 	}()
-	s.mux.ServeHTTP(w, r)
+	s.mux.ServeHTTP(sw, r)
 }
 
 // SetReady flips /readyz; the server flips it off while draining during
@@ -147,6 +194,9 @@ func (s *Server) admission() *admission {
 			queue = 0
 		}
 		s.adm = newAdmission(capacity, queue)
+		// Metric closures read through admPtr: they must not force
+		// construction (a scrape would freeze half-configured knobs).
+		s.admPtr.Store(s.adm)
 	})
 	return s.adm
 }
@@ -202,6 +252,9 @@ type SearchResponse struct {
 	Partial         bool           `json:"partial,omitempty"`
 	ScoreLowerBound float64        `json:"scoreLowerBound,omitempty"`
 	Stats           QueryStats     `json:"stats"`
+	// Trace is the evaluation's span tree, present when the request
+	// carried ?trace=1.
+	Trace *obs.SpanJSON `json:"trace,omitempty"`
 }
 
 // SearchResult is one semantic place.
@@ -226,10 +279,13 @@ type TreeNode struct {
 	Keywords int    `json:"matchedKeywords"`
 }
 
-// QueryStats summarizes the evaluation cost.
+// QueryStats summarizes the evaluation cost. Micros is the precise
+// latency (the same number the latency histogram observes, in seconds);
+// Millis survives for clients written against the older payload.
 type QueryStats struct {
 	Algorithm         string `json:"algorithm"`
 	Millis            int64  `json:"millis"`
+	Micros            int64  `json:"micros"`
 	TQSPComputations  int64  `json:"tqspComputations"`
 	RTreeNodeAccesses int64  `json:"rtreeNodeAccesses"`
 	Parallelism       int    `json:"parallelism,omitempty"`
@@ -332,39 +388,72 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	faultinject.Fire(PointSearchAdmitted)
 
 	query := ksp.Query{Loc: ksp.Point{X: x, Y: y}, Keywords: kws, K: k}
+	tr := obs.TraceFromContext(r.Context())
 	opts := ksp.Options{
 		CollectTrees: trees,
 		Deadline:     s.Timeout,
 		Parallelism:  parallel,
+		Trace:        tr,
 		// A disconnected client must not keep burning the Timeout budget.
 		Cancel: r.Context().Done(),
 	}
+	rec := obs.QueryRecord{
+		ID:          obs.RequestIDFromContext(r.Context()),
+		Endpoint:    "/search",
+		Algo:        algo.String(),
+		Keywords:    strings.Join(kws, ","),
+		K:           k,
+		Parallelism: parallel,
+	}
 	res, stats, err := s.ds.SearchWith(algo, query, opts)
+	if tr != nil {
+		tr.Finish()
+		rec.Trace = tr.JSON()
+	}
+	if stats != nil {
+		rec.DurationMicros = stats.TotalTime().Microseconds()
+		rec.Partial = stats.Partial
+	}
 	if err != nil {
+		rec.Error = err.Error()
 		var pe *ksp.PanicError
 		switch {
 		case errors.As(err, &pe):
 			// The query died to an internal fault; the engine contained
 			// it, so the process (and the dataset) keep serving.
 			s.panics.Add(1)
-			log.Printf("server: query panic (%s): %v\n%s", pe.Op, pe.Value, pe.Stack)
+			s.log().Error("query panic",
+				"requestID", rec.ID, "op", pe.Op,
+				"panic", fmt.Sprint(pe.Value), "stack", string(pe.Stack))
+			rec.Status = http.StatusInternalServerError
 			s.fail(w, http.StatusInternalServerError, "internal error evaluating query")
 		case errors.Is(err, ksp.ErrBadCoordinate):
+			rec.Status = http.StatusBadRequest
 			s.fail(w, http.StatusBadRequest, "%v", err)
 		default:
+			rec.Status = http.StatusUnprocessableEntity
 			s.fail(w, http.StatusUnprocessableEntity, "%v", err)
 		}
+		s.recordQuery(rec)
 		return
 	}
 	if stats.Cancelled && r.Context().Err() != nil {
-		return // client is gone; nobody reads the response
+		rec.Status = 499 // client closed request; nobody reads a response
+		s.recordQuery(rec)
+		return
 	}
+	if stats.Partial {
+		s.sm.notePartial()
+	}
+	rec.Status = http.StatusOK
+	s.recordQuery(rec)
 	resp := SearchResponse{
 		Results: make([]SearchResult, 0, len(res)),
 		Partial: stats.Partial,
 		Stats: QueryStats{
 			Algorithm:         algo.String(),
 			Millis:            stats.TotalTime().Milliseconds(),
+			Micros:            stats.TotalTime().Microseconds(),
 			TQSPComputations:  stats.TQSPComputations,
 			RTreeNodeAccesses: stats.RTreeNodeAccesses,
 			Parallelism:       parallel,
@@ -374,6 +463,9 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 			TimedOut:          stats.TimedOut,
 			Cancelled:         stats.Cancelled,
 		},
+	}
+	if tr != nil {
+		resp.Trace = rec.Trace
 	}
 	if stats.Partial {
 		resp.ScoreLowerBound = stats.ScoreBound
@@ -468,18 +560,36 @@ func (s *Server) handleKeyword(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer release()
+	rec := obs.QueryRecord{
+		ID:       obs.RequestIDFromContext(r.Context()),
+		Endpoint: "/keyword",
+		Algo:     "keyword",
+		Keywords: strings.Join(kws, ","),
+		K:        k,
+	}
+	begin := time.Now()
 	res, err := s.ds.KeywordSearch(kws, k)
+	rec.DurationMicros = time.Since(begin).Microseconds()
 	if err != nil {
+		rec.Error = err.Error()
 		var pe *ksp.PanicError
 		if errors.As(err, &pe) {
 			s.panics.Add(1)
-			log.Printf("server: query panic (%s): %v\n%s", pe.Op, pe.Value, pe.Stack)
+			s.log().Error("query panic",
+				"requestID", rec.ID, "op", pe.Op,
+				"panic", fmt.Sprint(pe.Value), "stack", string(pe.Stack))
+			rec.Status = http.StatusInternalServerError
+			s.recordQuery(rec)
 			s.fail(w, http.StatusInternalServerError, "internal error evaluating query")
 			return
 		}
+		rec.Status = http.StatusUnprocessableEntity
+		s.recordQuery(rec)
 		s.fail(w, http.StatusUnprocessableEntity, "%v", err)
 		return
 	}
+	rec.Status = http.StatusOK
+	s.recordQuery(rec)
 	out := make([]SearchResult, 0, len(res))
 	for _, item := range res {
 		loc, _ := s.ds.Location(item.Place)
@@ -566,14 +676,18 @@ func (s *Server) handleDescribe(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, resp)
 }
 
-// StatsResponse is the /stats payload: dataset summary plus, when the
-// looseness cache is enabled, its cumulative counters and hit rate,
-// plus the admission controller and panic containment counters.
+// StatsResponse is the /stats payload. Each section is its own named
+// object, populated independently of the others: the dataset summary is
+// always present, optional subsystems (cache, admission) appear only
+// when enabled, and the metrics snapshot mirrors what /metrics exports.
 type StatsResponse struct {
-	ksp.DatasetStats
-	Cache           *CacheSection     `json:"cache,omitempty"`
-	Admission       *AdmissionSection `json:"admission,omitempty"`
-	PanicsRecovered uint64            `json:"panicsRecovered"`
+	Dataset        ksp.DatasetStats  `json:"dataset"`
+	Cache          *CacheSection     `json:"cache,omitempty"`
+	Admission      *AdmissionSection `json:"admission,omitempty"`
+	FaultInjection FaultSection      `json:"faultInjection"`
+	Runtime        RuntimeSection    `json:"runtime"`
+	Server         ServerSection     `json:"server"`
+	Metrics        []ksp.MetricPoint `json:"metrics,omitempty"`
 }
 
 // CacheSection reports the looseness cache in /stats.
@@ -582,14 +696,59 @@ type CacheSection struct {
 	HitRate float64 `json:"hitRate"`
 }
 
+// FaultSection reports the fault-injection framework: whether a plan is
+// active and which points this build registers (empty without the
+// faultinject tag).
+type FaultSection struct {
+	Active bool     `json:"active"`
+	Points []string `json:"points"`
+}
+
+// RuntimeSection reports process-level health numbers.
+type RuntimeSection struct {
+	Goroutines     int    `json:"goroutines"`
+	GOMAXPROCS     int    `json:"gomaxprocs"`
+	HeapAllocBytes uint64 `json:"heapAllocBytes"`
+	HeapObjects    uint64 `json:"heapObjects"`
+	GCCycles       uint32 `json:"gcCycles"`
+}
+
+// ServerSection reports the HTTP layer itself.
+type ServerSection struct {
+	Ready           bool   `json:"ready"`
+	PanicsRecovered uint64 `json:"panicsRecovered"`
+}
+
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	resp := StatsResponse{DatasetStats: s.ds.Stats(), PanicsRecovered: s.panics.Load()}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	resp := StatsResponse{
+		Dataset: s.ds.Stats(),
+		FaultInjection: FaultSection{
+			Active: faultinject.Enabled(),
+			Points: faultinject.Points(),
+		},
+		Runtime: RuntimeSection{
+			Goroutines:     runtime.NumGoroutine(),
+			GOMAXPROCS:     runtime.GOMAXPROCS(0),
+			HeapAllocBytes: ms.HeapAlloc,
+			HeapObjects:    ms.HeapObjects,
+			GCCycles:       ms.NumGC,
+		},
+		Server: ServerSection{
+			Ready:           s.ready.Load(),
+			PanicsRecovered: s.panics.Load(),
+		},
+	}
 	if cs, ok := s.ds.CacheStats(); ok {
 		resp.Cache = &CacheSection{CacheStats: cs, HitRate: cs.HitRate()}
 	}
 	if adm := s.admission(); adm != nil {
 		sec := adm.snapshot()
 		resp.Admission = &sec
+	}
+	if s.reg != nil {
+		resp.Metrics = s.reg.Snapshot()
 	}
 	writeJSON(w, resp)
 }

@@ -203,10 +203,19 @@ func TestNearestEndpoint(t *testing.T) {
 
 func TestStatsAndHealth(t *testing.T) {
 	srv := testServer(t)
-	var st ksp.DatasetStats
+	var st StatsResponse
 	getJSON(t, srv.URL+"/stats", &st)
-	if st.Places != 2 || st.Vertices == 0 {
-		t.Errorf("stats = %+v", st)
+	if st.Dataset.Places != 2 || st.Dataset.Vertices == 0 {
+		t.Errorf("stats = %+v", st.Dataset)
+	}
+	if st.Runtime.Goroutines == 0 || st.Runtime.GOMAXPROCS == 0 {
+		t.Errorf("runtime section not populated: %+v", st.Runtime)
+	}
+	if !st.Server.Ready {
+		t.Errorf("server section: ready = false on a serving instance")
+	}
+	if len(st.Metrics) == 0 {
+		t.Error("metrics snapshot missing from /stats")
 	}
 	resp := getJSON(t, srv.URL+"/healthz", nil)
 	if resp.StatusCode != http.StatusOK {

@@ -35,6 +35,7 @@ import (
 	"ksp/internal/geo"
 	"ksp/internal/invindex"
 	"ksp/internal/nt"
+	"ksp/internal/obs"
 	"ksp/internal/rdf"
 	"ksp/internal/store"
 	"ksp/internal/text"
@@ -65,6 +66,29 @@ type Options = core.Options
 
 // CacheStats summarizes the cross-query looseness cache.
 type CacheStats = core.CacheStats
+
+// Registry is a metrics registry: engines and servers record into it,
+// and it renders in Prometheus text exposition format (WriteText) or as
+// JSON-friendly samples (Snapshot). See Dataset.EnableMetrics.
+type Registry = obs.Registry
+
+// MetricPoint is one metric sample from Registry.Snapshot.
+type MetricPoint = obs.MetricPoint
+
+// NewRegistry returns an empty metrics registry.
+func NewRegistry() *Registry { return obs.NewRegistry() }
+
+// Trace records the timed span tree of one query. Create one with
+// NewTrace, pass it via Options.Trace, and render it with its JSON
+// method after the query returns. A nil Trace disables tracing at zero
+// cost.
+type Trace = obs.Trace
+
+// SpanJSON is the rendered form of a Trace.
+type SpanJSON = obs.SpanJSON
+
+// NewTrace starts a query trace whose root span has the given name.
+func NewTrace(name string) *Trace { return obs.NewTrace(name) }
 
 // PanicError reports a panic recovered during query evaluation: the
 // query failed, but the dataset and the process are intact. Detect it
@@ -343,6 +367,13 @@ func LoadSnapshot(path string, cfg Config) (*Dataset, error) {
 // and entry count; ok is false when Config.LoosenessCacheEntries left
 // the cache disabled.
 func (d *Dataset) CacheStats() (CacheStats, bool) { return d.engine.CacheStats() }
+
+// EnableMetrics registers the engine's instruments (query counters and
+// latency histograms per algorithm, TQSP and pruning counters, looseness
+// cache and R-tree access counters) in reg and starts recording into
+// them. Call once, before serving queries; a dataset without metrics
+// enabled evaluates queries with zero observability overhead.
+func (d *Dataset) EnableMetrics(reg *Registry) { d.engine.EnableMetrics(reg) }
 
 // URI returns the URI (or blank-node label) of a vertex from a Result or
 // Tree.
