@@ -170,10 +170,13 @@ type measured struct {
 	Wall       time.Duration // mean per query, measured around the call
 	TQSP       float64       // mean per query
 	NodeAccess float64
+	BFS        float64       // mean BFS vertex visits per query
 	Results    []core.Result // concatenated results (for figure 8)
 	TimedOut   int
 	// Looseness-cache counters, summed over the workload.
 	CacheHits, CacheBoundHits, CacheMisses int64
+	// Window-scheduler kills (screen + deferred), summed over the workload.
+	WindowKilled int64
 }
 
 func (m measured) total() time.Duration { return m.Semantic + m.Other }
@@ -208,6 +211,8 @@ func (s *Suite) runWorkload(e *core.Engine, a algoRunner, qs []core.Query, opts 
 	out.Wall = wall / time.Duration(n)
 	out.TQSP = float64(agg.TQSPComputations) / float64(n)
 	out.NodeAccess = float64(agg.RTreeNodeAccesses) / float64(n)
+	out.BFS = float64(agg.BFSVertexVisits) / float64(n)
+	out.WindowKilled = agg.WindowScreenKilled + agg.WindowDeferredKilled
 	out.CacheHits = agg.CacheHits
 	out.CacheBoundHits = agg.CacheBoundHits
 	out.CacheMisses = agg.CacheMisses

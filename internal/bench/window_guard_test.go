@@ -1,0 +1,62 @@
+package bench
+
+import (
+	"io"
+	"testing"
+	"time"
+
+	"ksp/internal/core"
+)
+
+// TestWindowGuard is the CI regression gate for the windowed candidate
+// scheduler: against the classic window=1 loop, the adaptive policy must
+// (a) construct no more TQSPs anywhere and at least 20% fewer for SPP on
+// Yago-like at k=10 — both deterministic — and (b) cost at most 10% more
+// aggregate wall-clock, taking the best of three runs per cell so a
+// noisy CI neighbour doesn't fail the build.
+func TestWindowGuard(t *testing.T) {
+	s := NewSuite(12000, 10, 1, io.Discard)
+	const guardK = 10
+
+	bestOf := func(e *core.Engine, a algoRunner, qs []core.Query, opts core.Options) measured {
+		t.Helper()
+		var best measured
+		for i := 0; i < 3; i++ {
+			m, err := s.runWorkload(e, a, qs, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if i == 0 || m.Wall < best.Wall {
+				best = m
+			}
+		}
+		return best
+	}
+
+	var serialWall, adaptiveWall time.Duration
+	for _, name := range []string{DBpediaLike, YagoLike} {
+		d := s.Data(name)
+		qs := d.workload(classO, s.Queries, defaultM, guardK)
+		for _, a := range []algoRunner{runSPP, runSP} {
+			serial := bestOf(d.base, a, qs, core.Options{Window: 1})
+			adaptive := bestOf(d.base, a, qs, core.Options{})
+			serialWall += serial.Wall
+			adaptiveWall += adaptive.Wall
+			if adaptive.TQSP > serial.TQSP {
+				t.Errorf("%s on %s: adaptive window constructs more TQSPs than window=1: %.2f vs %.2f",
+					a.name, name, adaptive.TQSP, serial.TQSP)
+			}
+			if name == YagoLike && a.name == "SPP" && adaptive.TQSP > 0.8*serial.TQSP {
+				t.Errorf("SPP on %s: adaptive TQSP %.2f not at least 20%% below window=1's %.2f",
+					name, adaptive.TQSP, serial.TQSP)
+			}
+			t.Logf("%s on %s: window=1 %.3fms / %.2f TQSP, adaptive %.3fms / %.2f TQSP (killed %d)",
+				a.name, name, float64(serial.Wall.Nanoseconds())/1e6, serial.TQSP,
+				float64(adaptive.Wall.Nanoseconds())/1e6, adaptive.TQSP, adaptive.WindowKilled)
+		}
+	}
+	if float64(adaptiveWall) > 1.10*float64(serialWall) {
+		t.Errorf("adaptive windowing regressed aggregate wall-clock >10%%: %v vs %v at window=1",
+			adaptiveWall, serialWall)
+	}
+}

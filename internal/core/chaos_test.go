@@ -21,6 +21,7 @@ var corePoints = []string{
 	PointWorker,
 	PointFinalizer,
 	PointBFS,
+	PointWindowFill,
 }
 
 func TestChaosPointsRegistered(t *testing.T) {
@@ -233,6 +234,47 @@ func TestChaosCancelViaOptions(t *testing.T) {
 				t.Fatalf("%s par=%d: cancel fired but Stats.Cancelled false", point, par)
 			}
 			assertSoundPrefix(t, point, got, stats, want)
+			settleGoroutines(t, before)
+		}
+	}
+}
+
+// TestChaosCancelMidWindow closes the query's own Cancel channel from
+// inside a window fill, so cancellation lands between the bulk pop and
+// the evaluation of that window's survivors — the window scheduler must
+// still hand back a sound partial prefix and leak nothing. The last fill
+// can legitimately precede the final emission (a fully screen-killed
+// window ends the stream before any cancel poll), so the Cancelled flag
+// is not required, only soundness.
+func TestChaosCancelMidWindow(t *testing.T) {
+	g := gen.Generate(gen.YagoConfig(900, 45))
+	qg := gen.NewQueryGen(g, rdf.Outgoing, 46)
+	e := NewEngine(g, rdf.Outgoing)
+	e.EnableReach()
+	e.EnableAlpha(3)
+	loc, kws := qg.Original(3)
+	q := Query{Loc: loc, Keywords: kws, K: 5}
+	want, _, err := e.SP(q, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	before := runtime.NumGoroutine()
+	for _, win := range []int{0, 2, 64} { // adaptive, tiny, one-shot
+		for _, par := range []int{1, 4} {
+			cancel := make(chan struct{})
+			var once sync.Once
+			plan := faultinject.NewPlan(7).Add(faultinject.Fault{
+				Point: PointWindowFill, Action: faultinject.Call, AfterN: 1,
+				Func: func() { once.Do(func() { close(cancel) }) },
+			})
+			faultinject.Activate(plan)
+			got, stats, err := e.SP(q, Options{Parallelism: par, Window: win, Cancel: cancel})
+			faultinject.Deactivate()
+			if err != nil {
+				t.Fatalf("window=%d par=%d: %v", win, par, err)
+			}
+			assertSoundPrefix(t, "mid-window", got, stats, want)
 			settleGoroutines(t, before)
 		}
 	}

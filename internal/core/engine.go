@@ -53,12 +53,22 @@ type Engine struct {
 	// (EnableMetrics); nil keeps query evaluation free of any
 	// observability cost. Shared by WithAlpha clones.
 	metrics *engineMetrics
+	// winTotals accumulates the window scheduler's lifetime counters
+	// (WindowStats). A pointer so WithAlpha's `clone := *e` shares it and
+	// never copies the atomics.
+	winTotals *windowTotals
 }
 
 // enginePools recycles allocation-heavy per-query state.
 type enginePools struct {
 	mq      sync.Pool // *denseMQ
 	scratch sync.Pool // *bfsScratch
+	// termSeen and vertSeen recycle the small dedup sets of prepare
+	// (term-ID space) and the TA loop (vertex-ID space). Two pools
+	// because the two ID spaces differ in size and seenSet reallocates
+	// on a size change.
+	termSeen sync.Pool // *seenSet
+	vertSeen sync.Pool // *seenSet
 }
 
 func (p *enginePools) getMQ(n int) *denseMQ {
@@ -89,6 +99,47 @@ func (p *enginePools) putScratch(s *bfsScratch) {
 		p.scratch.Put(s)
 	}
 }
+
+func getSeen(pool *sync.Pool, n int) *seenSet {
+	s, _ := pool.Get().(*seenSet)
+	if s == nil {
+		s = &seenSet{}
+	}
+	s.reset(n)
+	return s
+}
+
+func putSeen(pool *sync.Pool, s *seenSet) {
+	if s != nil {
+		pool.Put(s)
+	}
+}
+
+// seenSet is an epoch-stamped membership set over a dense uint32 ID
+// space — the pooled replacement for the per-query map[uint32]bool
+// dedup sets: recycling skips both the map allocation and any clearing
+// (the epoch bump invalidates every stale stamp at once).
+type seenSet struct {
+	stamp []uint32
+	epoch uint32
+}
+
+func (s *seenSet) reset(n int) {
+	if len(s.stamp) != n {
+		s.stamp = make([]uint32, n)
+		s.epoch = 0
+	}
+	s.epoch++
+	if s.epoch == 0 { // stamp wrap: clear once every 2^32 queries
+		for i := range s.stamp {
+			s.stamp[i] = 0
+		}
+		s.epoch = 1
+	}
+}
+
+func (s *seenSet) has(id uint32) bool { return s.stamp[id] == s.epoch }
+func (s *seenSet) add(id uint32)      { s.stamp[id] = s.epoch }
 
 // denseMQ is the map Mq.ψ (Table 2) materialized as epoch-stamped dense
 // arrays indexed by vertex ID: the TQSP hot loop replaces a hash lookup
@@ -178,12 +229,13 @@ func NewEngine(g *rdf.Graph, dir rdf.Direction) *Engine {
 		items[i] = rtree.Item{ID: p, Loc: g.Loc(p)}
 	}
 	return &Engine{
-		G:     g,
-		Tree:  rtree.Bulk(items, rtree.DefaultMaxEntries),
-		Doc:   invindex.FromGraph(g),
-		Dir:   dir,
-		Rank:  ProductRanking{},
-		pools: &enginePools{},
+		G:         g,
+		Tree:      rtree.Bulk(items, rtree.DefaultMaxEntries),
+		Doc:       invindex.FromGraph(g),
+		Dir:       dir,
+		Rank:      ProductRanking{},
+		pools:     &enginePools{},
+		winTotals: &windowTotals{},
 	}
 }
 
@@ -252,6 +304,26 @@ type prepQuery struct {
 	// answerable is false when some keyword is absent from every document;
 	// no qualified semantic place can exist then.
 	answerable bool
+	// qv caches the α-radius query view for terms, loaded at most once
+	// per query (SP's stream and the window screens share it). Guarded by
+	// qvLoaded, not a mutex: queryView is only called on the query's main
+	// goroutine before the pipeline spawns.
+	qv       *alpha.QueryView
+	qvErr    error
+	qvLoaded bool
+}
+
+// queryView lazily loads the α-radius view for pq's keyword set,
+// returning (nil, nil) when the α index is absent. Call before the
+// parallel pipeline spawns; the cached view is read-only afterwards.
+func (pq *prepQuery) queryView(e *Engine) (*alpha.QueryView, error) {
+	if !pq.qvLoaded {
+		pq.qvLoaded = true
+		if e.Alpha != nil {
+			pq.qv, pq.qvErr = e.Alpha.LoadQuery(pq.terms)
+		}
+	}
+	return pq.qv, pq.qvErr
 }
 
 // termSig packs the sorted term IDs into a collision-free string key.
@@ -285,7 +357,7 @@ var errTooManyKeywords = fmt.Errorf("core: more than %d query keywords", MaxKeyw
 func (e *Engine) prepare(q Query) (*prepQuery, error) {
 	faultinject.Fire(PointPrepare)
 	pq := &prepQuery{loc: q, answerable: true}
-	seen := make(map[uint32]bool)
+	seen := getSeen(&e.pools.termSeen, e.G.Vocab.Len())
 	for _, kw := range q.Keywords {
 		for _, tok := range e.G.Analyze(kw) {
 			id, ok := e.G.Vocab.Lookup(tok)
@@ -293,13 +365,14 @@ func (e *Engine) prepare(q Query) (*prepQuery, error) {
 				pq.answerable = false
 				continue
 			}
-			if seen[id] {
+			if seen.has(id) {
 				continue
 			}
-			seen[id] = true
+			seen.add(id)
 			pq.terms = append(pq.terms, id)
 		}
 	}
+	putSeen(&e.pools.termSeen, seen)
 	if len(pq.terms) > MaxKeywords {
 		return nil, errTooManyKeywords
 	}

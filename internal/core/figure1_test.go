@@ -77,10 +77,13 @@ func TestFigure1Examples5And6(t *testing.T) {
 }
 
 // Example 8: for the top-1 query at q1, SPP aborts the TQSP construction
-// of p2 via the dynamic bound (LB reaches 3 > Lw ≈ 1.03).
+// of p2 via the dynamic bound (LB reaches 3 > Lw ≈ 1.03). Window is
+// pinned to 1: the example narrates the classic one-at-a-time loop, and
+// the windowed scheduler would (correctly) defer-kill p2 before its TQSP
+// even starts, changing the counters the example quotes.
 func TestExample8DynamicBoundPrunesP2(t *testing.T) {
 	f, e := fixtureEngine(t, 3)
-	res, stats, err := e.SPP(Query{Loc: f.Q1, Keywords: f.Keywords, K: 1}, Options{})
+	res, stats, err := e.SPP(Query{Loc: f.Q1, Keywords: f.Keywords, K: 1}, Options{Window: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -54,6 +54,14 @@ type sourceFactory func(st *Stats, theta func() float64) (candSource, error)
 // serial or parallel per opts.Parallelism. rule1/rule2 select which
 // pruning rules the consumer applies.
 func (e *Engine) run(mk sourceFactory, pq *prepQuery, opts Options, hk *topK, stats *Stats, rule1, rule2 bool) error {
+	// Windowed scheduling (DESIGN.md §11) wraps the candidate source;
+	// Options.Window == 1 bypasses the layer entirely, reproducing the
+	// classic loop bit-for-bit. With a window, Rule 1 moves into the
+	// fill-time screens, so the consumer loops must not re-apply it.
+	if w, adaptive := resolveWindow(opts); w != 1 {
+		mk = e.windowFactory(mk, pq, w, adaptive, rule1, rule2)
+		rule1 = false
+	}
 	if w := opts.workers(); w > 1 {
 		return e.runParallel(mk, pq, opts, hk, stats, w, rule1, rule2)
 	}

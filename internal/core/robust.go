@@ -22,6 +22,8 @@ var (
 	PointFinalizer = faultinject.Register("core.parallel.finalizer")
 	// PointBFS fires at the start of every TQSP construction.
 	PointBFS = faultinject.Register("core.bfs")
+	// PointWindowFill fires per bulk pop of the windowed scheduler.
+	PointWindowFill = faultinject.Register("core.window.fill")
 )
 
 // PanicError reports a panic recovered during query evaluation. One

@@ -2,10 +2,25 @@ package core
 
 import (
 	"container/heap"
+	"math"
 
 	"ksp/internal/alpha"
 	"ksp/internal/geo"
+	"ksp/internal/rtree"
 )
+
+// bulkSpatial and peekSpatial are the optional spatial-source extensions
+// the windowed scheduler exploits: one bulk pop amortizing the heap
+// bookkeeping over a whole window, and a peek at the next distance that
+// serves as the window's resume bound. The R-tree browser provides both;
+// a source without them falls back to one-at-a-time popping.
+type bulkSpatial interface {
+	NextK(k int, out []rtree.ItemDist) []rtree.ItemDist
+}
+
+type peekSpatial interface {
+	PeekDist() (float64, bool)
+}
 
 // streamSource adapts the incremental nearest-place stream (R-tree or
 // grid browser) to the candidate pipeline for BSP and SPP: candidates
@@ -17,6 +32,7 @@ type streamSource struct {
 	rank    Ranking
 	maxDist float64
 	stats   *Stats
+	ibuf    []rtree.ItemDist // NextK scratch, reused across window fills
 }
 
 func (s *streamSource) next() (candidate, bool) {
@@ -31,6 +47,50 @@ func (s *streamSource) next() (candidate, bool) {
 }
 
 func (s *streamSource) close() { s.stats.RTreeNodeAccesses += s.br.Accesses() }
+
+// fillWindow bulk-pops up to w places in ascending distance order. The
+// resume bound is MinScore of the browser's next (unpopped) distance:
+// the stream is distance-ordered, so it lower-bounds every candidate
+// beyond the window. +Inf means exhausted — including the case where the
+// stream crossed MaxDist, after which no in-range place remains.
+func (s *streamSource) fillWindow(w int, buf []windowCand) ([]windowCand, float64) {
+	bk, ok := s.br.(bulkSpatial)
+	if !ok {
+		// One-at-a-time fallback for spatial sources without NextK.
+		for len(buf) < w {
+			c, next := s.next()
+			if !next {
+				return buf, math.Inf(1)
+			}
+			buf = append(buf, windowCand{place: c.place, dist: c.dist, bound: c.bound})
+		}
+		resume := math.Inf(1)
+		if pk, ok := s.br.(peekSpatial); ok {
+			if d, more := pk.PeekDist(); more && !(s.maxDist > 0 && d > s.maxDist) {
+				resume = s.rank.MinScore(d)
+			}
+		} else if n := len(buf); n > 0 {
+			resume = buf[n-1].bound // bounds are non-decreasing along the stream
+		}
+		return buf, resume
+	}
+	s.ibuf = bk.NextK(w, s.ibuf[:0])
+	for _, id := range s.ibuf {
+		if s.maxDist > 0 && id.Dist > s.maxDist {
+			return buf, math.Inf(1)
+		}
+		buf = append(buf, windowCand{place: id.Item.ID, dist: id.Dist, bound: s.rank.MinScore(id.Dist)})
+	}
+	resume := math.Inf(1)
+	if pk, ok := s.br.(peekSpatial); ok {
+		if d, more := pk.PeekDist(); more && !(s.maxDist > 0 && d > s.maxDist) {
+			resume = s.rank.MinScore(d)
+		}
+	} else if n := len(buf); n == w && n > 0 {
+		resume = buf[n-1].bound
+	}
+	return buf, resume
+}
 
 // spSource drives SP's best-first traversal (Algorithm 4): one priority
 // queue holds R-tree nodes and places keyed by their α-bounds on the
@@ -100,3 +160,23 @@ func (s *spSource) next() (candidate, bool) {
 }
 
 func (s *spSource) close() {}
+
+// fillWindow pops up to w places in ascending α-bound order. The resume
+// bound is the head of the priority queue, which lower-bounds every
+// remaining entry (places and unexpanded subtrees alike). When next
+// terminated on θ the discarded head was already >= θ, so the queue head
+// still lower-bounds the (dead) remainder and the scheduler ends the
+// stream on its own resume >= θ test.
+func (s *spSource) fillWindow(w int, buf []windowCand) ([]windowCand, float64) {
+	for len(buf) < w {
+		c, ok := s.next()
+		if !ok {
+			break
+		}
+		buf = append(buf, windowCand{place: c.place, dist: c.dist, bound: c.bound})
+	}
+	if s.pqueue.Len() == 0 {
+		return buf, math.Inf(1)
+	}
+	return buf, s.pqueue[0].bound
+}

@@ -81,7 +81,7 @@ func (h *spHeap) Pop() interface{} {
 }
 
 func (e *Engine) spLoop(pq *prepQuery, opts Options, hk *topK, stats *Stats) error {
-	qv, err := e.Alpha.LoadQuery(pq.terms)
+	qv, err := pq.queryView(e)
 	if err != nil {
 		return err
 	}

@@ -53,16 +53,17 @@ func (e *Engine) taLoop(pq *prepQuery, opts Options, hk *topK, stats *Stats) {
 	br := e.Tree.NewBrowser(pq.loc.Loc)
 	defer func() { stats.RTreeNodeAccesses += br.NodeAccesses }()
 
-	seen := make(map[uint32]bool)
+	seen := getSeen(&e.pools.vertSeen, e.G.NumVertices())
+	defer putSeen(&e.pools.vertSeen, seen)
 	lLast := math.Inf(-1) // last looseness from the keyword-first list
 	sLast := math.Inf(-1) // last distance from the spatial list
 	looseDone, spatialDone := false, false
 
 	score := func(p uint32, loose, dist float64, tree *Tree) {
-		if seen[p] {
+		if seen.has(p) {
 			return
 		}
-		seen[p] = true
+		seen.add(p)
 		if opts.MaxDist > 0 && dist > opts.MaxDist {
 			return // outside the query radius
 		}
@@ -110,7 +111,7 @@ func (e *Engine) taLoop(pq *prepQuery, opts Options, hk *topK, stats *Stats) {
 			}
 			sLast = dist
 			stats.PlacesRetrieved++
-			if !seen[it.ID] {
+			if !seen.has(it.ID) {
 				cs := root.Child("candidate")
 				cs.SetInt("place", int64(it.ID))
 				cs.SetFloat("dist", dist)
@@ -123,7 +124,7 @@ func (e *Engine) taLoop(pq *prepQuery, opts Options, hk *topK, stats *Stats) {
 				if !math.IsInf(loose, 1) {
 					score(it.ID, loose, dist, tree)
 				} else {
-					seen[it.ID] = true
+					seen.add(it.ID)
 				}
 			}
 		}

@@ -46,6 +46,17 @@ type Options struct {
 	// serial run (see DESIGN.md §8). 0 or 1 runs the classic serial
 	// loops; negative selects GOMAXPROCS. TA is always serial.
 	Parallelism int
+	// Window sets the candidate-window size of the windowed, bound-ordered
+	// scheduler in BSP/SPP/SP (DESIGN.md §11): the spatial stream is
+	// consumed in bulk pops of W places, each window is screened with
+	// zero-BFS bounds, and survivors are evaluated best-lower-bound first
+	// so θ drops early. 1 runs the classic one-candidate-at-a-time loops
+	// (bit-for-bit legacy behavior); >= 2 fixes the window at that size;
+	// 0 (the default) or negative selects the adaptive policy (grow while
+	// the screen kill-rate is high, shrink near termination). Results are
+	// identical under every setting — only the work counters change. TA
+	// and keyword search ignore it.
+	Window int
 	// Cancel aborts evaluation early when the channel is closed (e.g. an
 	// HTTP client disconnecting: pass Request.Context().Done()). Partial
 	// statistics are reported with Stats.Cancelled set.
@@ -137,6 +148,16 @@ type Stats struct {
 	CacheHits      int64
 	CacheBoundHits int64
 	CacheMisses    int64
+	// WindowsFilled counts bulk pops by the windowed scheduler;
+	// WindowCandidates counts places that entered a window;
+	// WindowScreenKilled counts candidates discarded by the zero-BFS
+	// screens at fill time; WindowDeferredKilled counts screen survivors
+	// later invalidated by a θ drop before evaluation. All zero when
+	// Options.Window is 1.
+	WindowsFilled        int64
+	WindowCandidates     int64
+	WindowScreenKilled   int64
+	WindowDeferredKilled int64
 	// SemanticTime is the time spent constructing TQSPs; OtherTime is the
 	// remaining runtime (spatial search, reachability queries, bounds) —
 	// the two bar segments of the paper's runtime figures.
@@ -176,6 +197,10 @@ func (s *Stats) Add(o *Stats) {
 	s.CacheHits += o.CacheHits
 	s.CacheBoundHits += o.CacheBoundHits
 	s.CacheMisses += o.CacheMisses
+	s.WindowsFilled += o.WindowsFilled
+	s.WindowCandidates += o.WindowCandidates
+	s.WindowScreenKilled += o.WindowScreenKilled
+	s.WindowDeferredKilled += o.WindowDeferredKilled
 	s.SemanticTime += o.SemanticTime
 	s.OtherTime += o.OtherTime
 	if o.TimedOut {

@@ -1,7 +1,6 @@
 package rtree
 
 import (
-	"container/heap"
 	"math"
 
 	"ksp/internal/geo"
@@ -17,7 +16,7 @@ import (
 // "# of R-tree nodes accessed" (Figures 3(c), 4(c), 7(b)).
 type Browser struct {
 	q            geo.Point
-	h            nnHeap
+	h            []nnEntry
 	NodeAccesses int64
 	onAccess     func() // copied from RTree.OnNodeAccess at construction
 }
@@ -28,18 +27,11 @@ type nnEntry struct {
 	item   Item
 }
 
-type nnHeap []nnEntry
-
-func (h nnHeap) Len() int            { return len(h) }
-func (h nnHeap) Less(i, j int) bool  { return h[i].distSq < h[j].distSq }
-func (h nnHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *nnHeap) Push(x interface{}) { *h = append(*h, x.(nnEntry)) }
-func (h *nnHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+// ItemDist pairs an item with its exact Euclidean distance from the query
+// point; NextK reports batches of results in this form.
+type ItemDist struct {
+	Item Item
+	Dist float64
 }
 
 // NewBrowser starts an incremental nearest-neighbour scan from q.
@@ -48,33 +40,59 @@ func (t *RTree) NewBrowser(q geo.Point) *Browser {
 	if t.size > 0 {
 		b.h = append(b.h, nnEntry{distSq: t.root.Rect.MinDistSq(q), node: t.root})
 	}
-	heap.Init(&b.h)
 	return b
 }
 
 // Next returns the next item in non-decreasing distance order along with
 // its exact Euclidean distance. ok is false when the tree is exhausted.
 func (b *Browser) Next() (it Item, dist float64, ok bool) {
-	for b.h.Len() > 0 {
-		e := heap.Pop(&b.h).(nnEntry)
+	for len(b.h) > 0 {
+		e := b.pop()
 		if e.node == nil {
 			return e.item, math.Sqrt(e.distSq), true
 		}
-		b.NodeAccesses++
-		if b.onAccess != nil {
-			b.onAccess()
-		}
-		if e.node.Leaf {
-			for _, item := range e.node.Items {
-				heap.Push(&b.h, nnEntry{distSq: b.q.DistSq(item.Loc), item: item})
-			}
-		} else {
-			for _, ch := range e.node.Children {
-				heap.Push(&b.h, nnEntry{distSq: ch.Rect.MinDistSq(b.q), node: ch})
-			}
-		}
+		b.expand(e.node)
 	}
 	return Item{}, 0, false
+}
+
+// NextK pops up to k further items in non-decreasing distance order,
+// appending them to out (which may be nil) and returning the extended
+// slice. It is the bulk form of Next used by windowed candidate
+// scheduling: one call amortizes the heap bookkeeping over the whole
+// batch and leaves PeekDist as the lower bound for every item not yet
+// popped. Fewer than k entries are appended when the tree runs out; on
+// an exhausted or empty tree out is returned unchanged, matching Next's
+// zero-value exhaustion contract.
+func (b *Browser) NextK(k int, out []ItemDist) []ItemDist {
+	for k > 0 && len(b.h) > 0 {
+		e := b.pop()
+		if e.node == nil {
+			out = append(out, ItemDist{Item: e.item, Dist: math.Sqrt(e.distSq)})
+			k--
+			continue
+		}
+		b.expand(e.node)
+	}
+	return out
+}
+
+// expand replaces a node entry with its children (or items) on the heap,
+// counting the node access.
+func (b *Browser) expand(n *Node) {
+	b.NodeAccesses++
+	if b.onAccess != nil {
+		b.onAccess()
+	}
+	if n.Leaf {
+		for _, item := range n.Items {
+			b.push(nnEntry{distSq: b.q.DistSq(item.Loc), item: item})
+		}
+	} else {
+		for _, ch := range n.Children {
+			b.push(nnEntry{distSq: ch.Rect.MinDistSq(b.q), node: ch})
+		}
+	}
 }
 
 // Accesses returns NodeAccesses; it lets the browser satisfy the engine's
@@ -82,12 +100,68 @@ func (b *Browser) Next() (it Item, dist float64, ok bool) {
 func (b *Browser) Accesses() int64 { return b.NodeAccesses }
 
 // PeekDist returns the lower bound on the distance of the next item without
-// consuming it, and ok=false when the scan is exhausted. BSP uses this for
-// its termination test on node entries (Algorithm 1 line 7 applies the
-// threshold to nodes as well as places).
+// consuming it, and (0, false) when the scan is exhausted. BSP uses this
+// for its termination test on node entries (Algorithm 1 line 7 applies the
+// threshold to nodes as well as places); windowed scheduling uses it as the
+// resume bound covering everything beyond the current window.
 func (b *Browser) PeekDist() (dist float64, ok bool) {
-	if b.h.Len() == 0 {
+	if len(b.h) == 0 {
 		return 0, false
 	}
 	return math.Sqrt(b.h[0].distSq), true
+}
+
+// The sift helpers below replicate container/heap's algorithm exactly
+// (including its child-selection tie-break), so the pop order — and with
+// it every distance-tie resolution the engine observes — is bit-for-bit
+// what the container/heap-based implementation produced, without the
+// interface boxing.
+
+func (b *Browser) push(e nnEntry) {
+	b.h = append(b.h, e)
+	b.up(len(b.h) - 1)
+}
+
+func (b *Browser) pop() nnEntry {
+	n := len(b.h) - 1
+	b.h[0], b.h[n] = b.h[n], b.h[0]
+	e := b.h[n]
+	b.h = b.h[:n]
+	if n > 0 {
+		b.down(0)
+	}
+	return e
+}
+
+func (b *Browser) up(j int) {
+	h := b.h
+	for {
+		i := (j - 1) / 2 // parent
+		if i == j || !(h[j].distSq < h[i].distSq) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		j = i
+	}
+}
+
+func (b *Browser) down(i0 int) {
+	h := b.h
+	n := len(h)
+	i := i0
+	for {
+		j1 := 2*i + 1
+		if j1 >= n || j1 < 0 { // j1 < 0 after int overflow
+			break
+		}
+		j := j1 // left child
+		if j2 := j1 + 1; j2 < n && h[j2].distSq < h[j1].distSq {
+			j = j2 // = 2*i + 2  // right child
+		}
+		if !(h[j].distSq < h[i].distSq) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
 }

@@ -38,6 +38,7 @@ func TestInjectionPointRegistry(t *testing.T) {
 		core.PointWorker,
 		core.PointFinalizer,
 		core.PointBFS,
+		core.PointWindowFill,
 		PointSearchAdmitted,
 	}
 	sort.Strings(want)

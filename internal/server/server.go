@@ -66,6 +66,14 @@ type Server struct {
 	// MaxParallel caps the per-request ?parallel= parameter (and
 	// DefaultParallel); it defaults to GOMAXPROCS.
 	MaxParallel int
+	// DefaultWindow is the candidate-window directive used when a request
+	// carries no ?window= parameter: 0 selects the engine's adaptive
+	// policy, 1 the classic one-place-at-a-time loop, W>=2 a fixed batch.
+	DefaultWindow int
+	// MaxWindow caps the per-request ?window= parameter (and
+	// DefaultWindow) to bound the per-query candidate buffer; it defaults
+	// to 1024.
+	MaxWindow int
 
 	// AdmitCapacity is the total pipeline width (worker units summed over
 	// concurrent requests) admitted at once; a request evaluating with W
@@ -92,6 +100,9 @@ type Server struct {
 	panics  atomic.Uint64
 	ready   atomic.Bool
 
+	flights       *flightGroup
+	sharedFlights atomic.Uint64
+
 	reg  *obs.Registry
 	ring *obs.QueryRing
 	sm   *serverMetrics
@@ -107,6 +118,7 @@ func New(ds *ksp.Dataset) *Server {
 		MaxK:        100,
 		Timeout:     10 * time.Second,
 		MaxParallel: runtime.GOMAXPROCS(0),
+		flights:     newFlightGroup(),
 		reg:         obs.NewRegistry(),
 		ring:        obs.NewQueryRing(64),
 	}
@@ -259,12 +271,12 @@ type SearchResponse struct {
 
 // SearchResult is one semantic place.
 type SearchResult struct {
-	URI       string     `json:"uri"`
-	Score     float64    `json:"score"`
-	Looseness float64    `json:"looseness"`
-	Distance  float64    `json:"distance"`
-	X         float64    `json:"x"`
-	Y         float64    `json:"y"`
+	URI       string  `json:"uri"`
+	Score     float64 `json:"score"`
+	Looseness float64 `json:"looseness"`
+	Distance  float64 `json:"distance"`
+	X         float64 `json:"x"`
+	Y         float64 `json:"y"`
 	// Exact is meaningful on partial responses: true marks results
 	// guaranteed to sit at their exact rank of the exact top-k.
 	Exact bool       `json:"exact"`
@@ -289,11 +301,18 @@ type QueryStats struct {
 	TQSPComputations  int64  `json:"tqspComputations"`
 	RTreeNodeAccesses int64  `json:"rtreeNodeAccesses"`
 	Parallelism       int    `json:"parallelism,omitempty"`
-	CacheHits         int64  `json:"cacheHits,omitempty"`
-	CacheBoundHits    int64  `json:"cacheBoundHits,omitempty"`
-	CacheMisses       int64  `json:"cacheMisses,omitempty"`
-	TimedOut          bool   `json:"timedOut"`
-	Cancelled         bool   `json:"cancelled,omitempty"`
+	// Window echoes the effective window directive (0 = adaptive); the
+	// counters below reconcile as evaluated = candidates − killed.
+	Window               int   `json:"window"`
+	WindowsFilled        int64 `json:"windowsFilled,omitempty"`
+	WindowCandidates     int64 `json:"windowCandidates,omitempty"`
+	WindowScreenKilled   int64 `json:"windowScreenKilled,omitempty"`
+	WindowDeferredKilled int64 `json:"windowDeferredKilled,omitempty"`
+	CacheHits            int64 `json:"cacheHits,omitempty"`
+	CacheBoundHits       int64 `json:"cacheBoundHits,omitempty"`
+	CacheMisses          int64 `json:"cacheMisses,omitempty"`
+	TimedOut             bool  `json:"timedOut"`
+	Cancelled            bool  `json:"cancelled,omitempty"`
 }
 
 type apiError struct {
@@ -373,6 +392,15 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	parallel = s.clampParallel(parallel)
+	window := s.DefaultWindow
+	if ws := q.Get("window"); ws != "" {
+		var err error
+		if window, err = strconv.Atoi(ws); err != nil || window < 0 {
+			s.fail(w, http.StatusBadRequest, "window must be a non-negative integer (0 = adaptive)")
+			return
+		}
+	}
+	window = s.clampWindow(window)
 
 	// Admission weight is the evaluation's pipeline width: a serial
 	// query occupies one unit, a parallel one its worker count.
@@ -384,7 +412,6 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	if !admitted {
 		return
 	}
-	defer release()
 	faultinject.Fire(PointSearchAdmitted)
 
 	query := ksp.Query{Loc: ksp.Point{X: x, Y: y}, Keywords: kws, K: k}
@@ -393,6 +420,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		CollectTrees: trees,
 		Deadline:     s.Timeout,
 		Parallelism:  parallel,
+		Window:       window,
 		Trace:        tr,
 		// A disconnected client must not keep burning the Timeout budget.
 		Cancel: r.Context().Done(),
@@ -405,7 +433,49 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		K:           k,
 		Parallelism: parallel,
 	}
-	res, stats, err := s.ds.SearchWith(algo, query, opts)
+	var res []ksp.Result
+	var stats *ksp.Stats
+	var err error
+	// Traced requests want their own span tree, so they never share a
+	// flight; everything else coalesces with any concurrent identical
+	// query already evaluating.
+	if tr == nil && s.flights != nil {
+		f, leader := s.flights.join(flightKey(algo, x, y, kws, k, trees, parallel, window))
+		if leader {
+			defer release()
+			// Leave the flight when this client disconnects mid-run: with
+			// no followers left the flight cancels, otherwise the
+			// survivors keep the evaluation going.
+			go func() {
+				select {
+				case <-r.Context().Done():
+				case <-f.done:
+				}
+				s.flights.leave(f)
+			}()
+			opts.Cancel = f.cancel
+			res, stats, err = s.ds.SearchWith(algo, query, opts)
+			s.flights.finish(f, res, stats, err)
+		} else {
+			// Follower: hand the admission width back while waiting — the
+			// shared evaluation is already paid for by the leader's grant.
+			release()
+			s.sharedFlights.Add(1)
+			select {
+			case <-f.done:
+				s.flights.leave(f)
+				res, stats, err = f.res, f.stats, f.err
+			case <-r.Context().Done():
+				s.flights.leave(f)
+				rec.Status = 499 // client closed request while waiting
+				s.recordQuery(rec)
+				return
+			}
+		}
+	} else {
+		defer release()
+		res, stats, err = s.ds.SearchWith(algo, query, opts)
+	}
 	if tr != nil {
 		tr.Finish()
 		rec.Trace = tr.JSON()
@@ -451,17 +521,22 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		Results: make([]SearchResult, 0, len(res)),
 		Partial: stats.Partial,
 		Stats: QueryStats{
-			Algorithm:         algo.String(),
-			Millis:            stats.TotalTime().Milliseconds(),
-			Micros:            stats.TotalTime().Microseconds(),
-			TQSPComputations:  stats.TQSPComputations,
-			RTreeNodeAccesses: stats.RTreeNodeAccesses,
-			Parallelism:       parallel,
-			CacheHits:         stats.CacheHits,
-			CacheBoundHits:    stats.CacheBoundHits,
-			CacheMisses:       stats.CacheMisses,
-			TimedOut:          stats.TimedOut,
-			Cancelled:         stats.Cancelled,
+			Algorithm:            algo.String(),
+			Millis:               stats.TotalTime().Milliseconds(),
+			Micros:               stats.TotalTime().Microseconds(),
+			TQSPComputations:     stats.TQSPComputations,
+			RTreeNodeAccesses:    stats.RTreeNodeAccesses,
+			Parallelism:          parallel,
+			Window:               window,
+			WindowsFilled:        stats.WindowsFilled,
+			WindowCandidates:     stats.WindowCandidates,
+			WindowScreenKilled:   stats.WindowScreenKilled,
+			WindowDeferredKilled: stats.WindowDeferredKilled,
+			CacheHits:            stats.CacheHits,
+			CacheBoundHits:       stats.CacheBoundHits,
+			CacheMisses:          stats.CacheMisses,
+			TimedOut:             stats.TimedOut,
+			Cancelled:            stats.Cancelled,
 		},
 	}
 	if tr != nil {
@@ -494,6 +569,23 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		resp.Results = append(resp.Results, sr)
 	}
 	writeJSON(w, resp)
+}
+
+// clampWindow bounds a requested window directive to [0, MaxWindow];
+// 0 (adaptive) passes through, outsized fixed windows clamp so a client
+// cannot demand an arbitrarily large candidate buffer.
+func (s *Server) clampWindow(w int) int {
+	max := s.MaxWindow
+	if max < 1 {
+		max = 1024
+	}
+	if w > max {
+		return max
+	}
+	if w < 0 {
+		return 0
+	}
+	return w
 }
 
 // clampParallel bounds a requested pipeline width to [0, MaxParallel].
@@ -683,6 +775,7 @@ func (s *Server) handleDescribe(w http.ResponseWriter, r *http.Request) {
 type StatsResponse struct {
 	Dataset        ksp.DatasetStats  `json:"dataset"`
 	Cache          *CacheSection     `json:"cache,omitempty"`
+	Window         *WindowSection    `json:"window,omitempty"`
 	Admission      *AdmissionSection `json:"admission,omitempty"`
 	FaultInjection FaultSection      `json:"faultInjection"`
 	Runtime        RuntimeSection    `json:"runtime"`
@@ -694,6 +787,14 @@ type StatsResponse struct {
 type CacheSection struct {
 	ksp.CacheStats
 	HitRate float64 `json:"hitRate"`
+}
+
+// WindowSection reports the windowed candidate scheduler in /stats; it
+// appears once the first windowed query has filled a batch. KillRate is
+// the fraction of popped candidates screened out before any TQSP work.
+type WindowSection struct {
+	ksp.WindowStats
+	KillRate float64 `json:"killRate"`
 }
 
 // FaultSection reports the fault-injection framework: whether a plan is
@@ -717,6 +818,9 @@ type RuntimeSection struct {
 type ServerSection struct {
 	Ready           bool   `json:"ready"`
 	PanicsRecovered uint64 `json:"panicsRecovered"`
+	// SharedFlights counts /search requests served from another request's
+	// in-flight evaluation instead of running their own.
+	SharedFlights uint64 `json:"sharedFlights"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -738,10 +842,18 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Server: ServerSection{
 			Ready:           s.ready.Load(),
 			PanicsRecovered: s.panics.Load(),
+			SharedFlights:   s.sharedFlights.Load(),
 		},
 	}
 	if cs, ok := s.ds.CacheStats(); ok {
 		resp.Cache = &CacheSection{CacheStats: cs, HitRate: cs.HitRate()}
+	}
+	if ws := s.ds.WindowStats(); ws.Fills > 0 {
+		sec := WindowSection{WindowStats: ws}
+		if ws.Candidates > 0 {
+			sec.KillRate = float64(ws.ScreenKilled+ws.DeferredKilled) / float64(ws.Candidates)
+		}
+		resp.Window = &sec
 	}
 	if adm := s.admission(); adm != nil {
 		sec := adm.snapshot()

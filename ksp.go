@@ -67,6 +67,10 @@ type Options = core.Options
 // CacheStats summarizes the cross-query looseness cache.
 type CacheStats = core.CacheStats
 
+// WindowStats carries the windowed candidate scheduler's lifetime
+// totals. See Dataset.WindowStats.
+type WindowStats = core.WindowStats
+
 // Registry is a metrics registry: engines and servers record into it,
 // and it renders in Prometheus text exposition format (WriteText) or as
 // JSON-friendly samples (Snapshot). See Dataset.EnableMetrics.
@@ -367,6 +371,12 @@ func LoadSnapshot(path string, cfg Config) (*Dataset, error) {
 // and entry count; ok is false when Config.LoosenessCacheEntries left
 // the cache disabled.
 func (d *Dataset) CacheStats() (CacheStats, bool) { return d.engine.CacheStats() }
+
+// WindowStats reports the windowed candidate scheduler's lifetime
+// totals: fills, candidates popped, and how many were killed before a
+// TQSP construction. All zeros until a windowed query runs (every query
+// is windowed unless Options.Window is 1).
+func (d *Dataset) WindowStats() WindowStats { return d.engine.WindowStats() }
 
 // EnableMetrics registers the engine's instruments (query counters and
 // latency histograms per algorithm, TQSP and pruning counters, looseness
