@@ -73,7 +73,9 @@ func main() {
 			log.Fatal(err)
 		}
 		for _, r := range reports {
-			r.Print(tables)
+			if err := r.Print(tables); err != nil {
+				log.Fatal(err)
+			}
 		}
 		all = append(all, reports...)
 		if *csvDir != "" {
@@ -81,6 +83,7 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
+			//ksplint:ignore droppederr -- tables is os.Stdout/Stderr; process-stream diagnostics
 			fmt.Fprintf(tables, "  csv: %v\n", names)
 		}
 	}
@@ -97,21 +100,25 @@ func main() {
 			Experiments: ids,
 		}
 		w := os.Stdout
+		var f *os.File
 		if *jsonOut != "-" {
-			f, err := os.Create(*jsonOut)
-			if err != nil {
+			var err error
+			if f, err = os.Create(*jsonOut); err != nil {
 				log.Fatal(err)
 			}
-			defer f.Close()
 			w = f
 		}
 		if err := bench.WriteJSONMetrics(w, meta, all, reg.Snapshot()); err != nil {
 			log.Fatal(err)
 		}
-		if *jsonOut != "-" {
+		if f != nil {
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
 			fmt.Printf("json: %s\n", *jsonOut)
 		}
 	}
+	//ksplint:ignore droppederr -- tables is os.Stdout/Stderr; process-stream diagnostics
 	fmt.Fprintf(tables, "\ncompleted %q at scale %d with %d queries/setting in %v\n",
 		*exp, *scale, *queries, time.Since(start).Round(time.Millisecond))
 }

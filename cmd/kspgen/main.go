@@ -10,6 +10,7 @@
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"log"
@@ -71,7 +72,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	defer qf.Close()
+	qw := bufio.NewWriter(qf)
 	for i := 0; i < *qcount; i++ {
 		var loc geo.Point
 		var kws []string
@@ -83,7 +84,13 @@ func main() {
 		default:
 			loc, kws = qg.Original(*m)
 		}
-		fmt.Fprintf(qf, "%g %g %s\n", loc.X, loc.Y, strings.Join(kws, ","))
+		fmt.Fprintf(qw, "%g %g %s\n", loc.X, loc.Y, strings.Join(kws, ","))
+	}
+	if err := qw.Flush(); err != nil {
+		log.Fatal(err)
+	}
+	if err := qf.Close(); err != nil {
+		log.Fatal(err)
 	}
 	fmt.Printf("wrote %d %s queries to %s\n", *qcount, strings.ToUpper(*class), *queries)
 }

@@ -1,0 +1,77 @@
+// Command ksplint runs the repository's invariant checks (DESIGN.md
+// §12) over the module: determinism on result paths, obs nil-safety,
+// lock discipline, context propagation, dropped errors, and metric
+// naming. It is the lint gate scripts/check.sh and CI run on every
+// commit.
+//
+// Usage:
+//
+//	ksplint [-tags faultinject] [-checks determinism,locks] [-list] [packages]
+//
+// Packages default to ./... of the enclosing module. Exit status is 1
+// when findings remain after suppression, 2 on load or usage errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"ksp/internal/analysis"
+)
+
+func main() {
+	tags := flag.String("tags", "", "comma-separated build tags (e.g. faultinject)")
+	checks := flag.String("checks", "", "comma-separated checks to run (default: all)")
+	list := flag.Bool("list", false, "list available checks and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: ksplint [flags] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range analysis.AllChecks() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	var tagList []string
+	if *tags != "" {
+		tagList = strings.Split(*tags, ",")
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	pkgs, loader, err := analysis.LoadModule(cwd, flag.Args(), tagList)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := analysis.DefaultConfig(loader.ModulePath)
+	if *checks != "" {
+		cfg.Checks = make(map[string]bool)
+		for _, name := range strings.Split(*checks, ",") {
+			name = strings.TrimSpace(name)
+			if analysis.CheckByName(name) == nil {
+				fatal(fmt.Errorf("unknown check %q (try -list)", name))
+			}
+			cfg.Checks[name] = true
+		}
+	}
+	findings := analysis.RunChecks(pkgs, cfg)
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "ksplint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ksplint:", err)
+	os.Exit(2)
+}

@@ -197,6 +197,7 @@ func runWorkload(ds *ksp.Dataset, algo ksp.Algorithm, path string, k int, showSt
 	if err != nil {
 		log.Fatal(err)
 	}
+	//ksplint:ignore droppederr -- workload file opened read-only; Close cannot lose data
 	defer f.Close()
 	sc := bufio.NewScanner(f)
 	line := 0

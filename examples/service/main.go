@@ -24,6 +24,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	//ksplint:ignore droppederr -- best-effort temp-dir cleanup on exit
 	defer os.RemoveAll(dir)
 
 	// 1. Build a small city dataset and snapshot it.
@@ -76,8 +77,13 @@ func main() {
 		if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
 			log.Fatal(err)
 		}
-		resp.Body.Close()
-		pretty, _ := json.MarshalIndent(body, "  ", "  ")
+		if err := resp.Body.Close(); err != nil {
+			log.Fatal(err)
+		}
+		pretty, err := json.MarshalIndent(body, "  ", "  ")
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("GET %s\n  %s\n\n", q, pretty)
 	}
 }

@@ -1,0 +1,88 @@
+package analysis
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// Suppression comments have the form
+//
+//	//ksplint:ignore check1,check2 -- reason
+//
+// and silence the named checks (or every check, for the name "all") on
+// the comment's own line and on the line directly below it — so the
+// comment may sit at the end of the flagged line or on its own line
+// above it. The reason after "--" is optional but strongly encouraged:
+// a suppression without a why is just a bug with a license.
+const suppressPrefix = "//ksplint:ignore"
+
+type suppression struct {
+	line   int
+	checks map[string]bool // nil means all
+}
+
+func (s suppression) covers(check string) bool {
+	return s.checks == nil || s.checks[check]
+}
+
+// fileSuppressions scans one file's comments for suppression markers,
+// keyed by line number.
+func fileSuppressions(pkg *Package, f *ast.File) []suppression {
+	var out []suppression
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			rest, ok := strings.CutPrefix(c.Text, suppressPrefix)
+			if !ok {
+				continue
+			}
+			rest = strings.TrimSpace(rest)
+			if i := strings.Index(rest, "--"); i >= 0 {
+				rest = strings.TrimSpace(rest[:i])
+			} else {
+				// Without a "--" the first field is the check list and any
+				// trailing words are a bare reason.
+				if fields := strings.Fields(rest); len(fields) > 0 {
+					rest = fields[0]
+				}
+			}
+			s := suppression{line: pkg.Fset.Position(c.Pos()).Line}
+			if rest != "" && rest != "all" {
+				s.checks = make(map[string]bool)
+				for _, name := range strings.Split(rest, ",") {
+					if name = strings.TrimSpace(name); name != "" {
+						s.checks[name] = true
+					}
+				}
+			}
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// filterSuppressed drops findings covered by a suppression comment in
+// their file.
+func filterSuppressed(findings []Finding, pkgs []*Package) []Finding {
+	// filename -> suppressions
+	byFile := make(map[string][]suppression)
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			name := pkg.Fset.Position(f.Pos()).Filename
+			byFile[name] = append(byFile[name], fileSuppressions(pkg, f)...)
+		}
+	}
+	out := findings[:0]
+	for _, fd := range findings {
+		suppressed := false
+		for _, s := range byFile[fd.Pos.Filename] {
+			if (s.line == fd.Pos.Line || s.line == fd.Pos.Line-1) && s.covers(fd.Check) {
+				suppressed = true
+				break
+			}
+		}
+		if !suppressed {
+			out = append(out, fd)
+		}
+	}
+	return out
+}

@@ -1,0 +1,37 @@
+// Package ctxcheck is golden input for the context-propagation check.
+// The test lists this package in Config.EntryPackages.
+package ctxcheck
+
+import "context"
+
+func evaluate(ctx context.Context, k int) int {
+	_ = ctx
+	return k
+}
+
+// MisplacedCtx violates the ctx-first convention.
+func MisplacedCtx(k int, ctx context.Context) int { // want ctx
+	return evaluate(ctx, k)
+}
+
+// DropsCtx has a context but mints a fresh root for its callee.
+func DropsCtx(ctx context.Context, k int) int {
+	return evaluate(context.Background(), k) // want ctx
+}
+
+// PassesCtx threads the request context through.
+func PassesCtx(ctx context.Context, k int) int {
+	return evaluate(ctx, k)
+}
+
+// Entry is an exported entry point that should accept a context
+// instead of minting one.
+func Entry(k int) int {
+	return evaluate(context.TODO(), k) // want ctx
+}
+
+// helper is unexported, so rule 3 leaves it alone: internal plumbing
+// may build roots for background work.
+func helper(k int) int {
+	return evaluate(context.Background(), k)
+}

@@ -1,0 +1,63 @@
+// Package droppederr is golden input for the dropped-error check.
+package droppederr
+
+import (
+	"fmt"
+	"strings"
+)
+
+func flush() error            { return nil }
+func lookup() (int, error)    { return 0, nil }
+func render() (string, error) { return "", nil }
+
+// bare drops the error on the floor.
+func bare() {
+	flush() // want droppederr
+}
+
+// blanked hides it behind the blank identifier — still a drop.
+func blanked() {
+	_ = flush() // want droppederr
+}
+
+// tupleBlanked drops only the error position of a tuple.
+func tupleBlanked() int {
+	v, _ := lookup() // want droppederr
+	return v
+}
+
+// deferred and spawned calls lose their errors silently too.
+func deferredDrop() {
+	defer flush() // want droppederr
+	go flush()    // want droppederr
+}
+
+// handled consumes the error.
+func handled() error {
+	if err := flush(); err != nil {
+		return err
+	}
+	v, err := lookup()
+	if err != nil {
+		return err
+	}
+	_ = v
+	return nil
+}
+
+// safelisted writers cannot fail: fmt.Println and strings.Builder.
+func safelisted() string {
+	fmt.Println("progress")
+	var b strings.Builder
+	b.WriteString("ok")
+	fmt.Fprintf(&b, "%d", 1)
+	return b.String()
+}
+
+// suppressed carries a reviewed justification.
+func suppressed() {
+	//ksplint:ignore droppederr -- golden: reviewed drop
+	flush()
+	s, _ := render() //ksplint:ignore droppederr -- golden: same-line suppression
+	_ = s
+}

@@ -1,0 +1,118 @@
+// Package locks is golden input for the lock-discipline check.
+package locks
+
+import (
+	"sync"
+	"time"
+)
+
+type guarded struct {
+	mu   sync.Mutex
+	rw   sync.RWMutex
+	wg   sync.WaitGroup
+	ch   chan int
+	done chan struct{}
+	n    int
+}
+
+// leakOnReturn misses the Unlock on the early return.
+func (g *guarded) leakOnReturn(fail bool) error {
+	g.mu.Lock()
+	if fail {
+		return errFail // want locks
+	}
+	g.mu.Unlock()
+	return nil
+}
+
+// deferred releases on every path.
+func (g *guarded) deferred(fail bool) error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if fail {
+		return errFail
+	}
+	return nil
+}
+
+// branched unlocks manually on both paths.
+func (g *guarded) branched(fail bool) error {
+	g.mu.Lock()
+	if fail {
+		g.mu.Unlock()
+		return errFail
+	}
+	g.mu.Unlock()
+	return nil
+}
+
+// leakAtEnd falls off the end still holding the read lock.
+func (g *guarded) leakAtEnd() {
+	g.rw.RLock()
+	g.n++
+} // want locks
+
+// recvWhileHeld blocks on a channel inside the critical section.
+func (g *guarded) recvWhileHeld() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	v := <-g.ch // want locks
+	return v
+}
+
+// sendWhileHeld blocks on a send inside the critical section.
+func (g *guarded) sendWhileHeld(v int) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.ch <- v // want locks
+}
+
+// selectWhileHeld has no default, so it parks holding the mutex.
+func (g *guarded) selectWhileHeld() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	select { // want locks
+	case <-g.done:
+	case v := <-g.ch:
+		g.n = v
+	}
+}
+
+// selectPoll never blocks: the default case bails out.
+func (g *guarded) selectPoll() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	select {
+	case v := <-g.ch:
+		g.n = v
+	default:
+	}
+}
+
+// sleepWhileHeld stalls every other acquirer.
+func (g *guarded) sleepWhileHeld() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	time.Sleep(time.Millisecond) // want locks
+}
+
+// waitWhileHeld deadlocks if a worker needs the mutex to finish.
+func (g *guarded) waitWhileHeld() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.wg.Wait() // want locks
+}
+
+// recvOutside takes the fast path under the lock and blocks after.
+func (g *guarded) recvOutside() int {
+	g.mu.Lock()
+	g.n++
+	g.mu.Unlock()
+	return <-g.ch
+}
+
+var errFail = errorString("fail")
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }

@@ -1,0 +1,32 @@
+// Package metricname is golden input for the metric-naming check. The
+// Registry here mirrors the obs registry's registration surface; the
+// check keys on the ".Registry" receiver suffix.
+package metricname
+
+type Counter struct{}
+type Gauge struct{}
+type Histogram struct{}
+
+type Registry struct{}
+
+func (r *Registry) Counter(name, help string) *Counter                  { return nil }
+func (r *Registry) Gauge(name, help string) *Gauge                      { return nil }
+func (r *Registry) Histogram(name, help string, b []float64) *Histogram { return nil }
+
+func register(r *Registry) {
+	r.Counter("ksp_queries_total", "well-formed")
+	r.Gauge("ksp_inflight", "well-formed")
+	r.Histogram("ksp_latency_seconds", "well-formed", nil)
+	r.Histogram("ksp_payload_bytes", "well-formed", nil)
+
+	r.Counter("ksp_queries", "missing _total")               // want metricname
+	r.Counter("queries_total", "missing prefix")             // want metricname
+	r.Counter("ksp_Queries_total", "not snake_case")         // want metricname
+	r.Gauge("ksp_inflight_total", "gauge posing as counter") // want metricname
+	r.Histogram("ksp_latency", "missing unit suffix", nil)   // want metricname
+
+	name := dynamicName()
+	r.Counter(name, "not a literal") // want metricname
+}
+
+func dynamicName() string { return "ksp_dynamic_total" }

@@ -1,0 +1,84 @@
+// Package obsnil is golden input for the obs nil-safety check. The test
+// points Config.GuardedTypes at Counter, bundle, and inner, mirroring
+// how the repo guards its instrument types.
+package obsnil
+
+// Counter is a nil-safe instrument: nil receiver means disabled.
+type Counter struct{ n int64 }
+
+// Inc is correctly guarded.
+func (c *Counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.n++
+}
+
+// Add is missing the guard: rule 1 flags the method, rule 2 the
+// unguarded field read inside it.
+func (c *Counter) Add(d int64) { // want obsnil
+	c.n += d // want obsnil
+}
+
+// Twice only delegates to another guarded-type method, so nil flows on.
+func (c *Counter) Twice() {
+	c.Add(2)
+}
+
+// Value has a reversed-comparison guard via delegation shape: guarded.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.n
+}
+
+type inner struct{ depth *Counter }
+
+// bundle is an instrument bundle reached through a possibly-nil pointer.
+type bundle struct {
+	hits *Counter
+	sub  *inner
+}
+
+// useUnguarded dereferences the bundle with no dominating nil check.
+func useUnguarded(b *bundle) {
+	b.hits.Inc() // want obsnil
+}
+
+// useGuarded checks first.
+func useGuarded(b *bundle) {
+	if b == nil {
+		return
+	}
+	b.hits.Inc()
+}
+
+// useFresh builds the bundle locally, so it cannot be nil.
+func useFresh() {
+	b := &bundle{hits: &Counter{}}
+	b.hits.Inc()
+}
+
+// closureInherits captures a pointer its enclosing scope proved safe.
+func closureInherits() func() {
+	b := &bundle{hits: &Counter{}}
+	return func() { b.hits.Inc() }
+}
+
+// interior reads a nested bundle through a local: once b is guarded,
+// the interior pointer it carries is part of the same invariant.
+func interior(b *bundle) {
+	if b == nil {
+		return
+	}
+	s := b.sub
+	s.depth.Inc()
+}
+
+// interiorUnguarded skips the owner check entirely: both the field
+// read off b and the use of the alias are flagged.
+func interiorUnguarded(b *bundle) {
+	s := b.sub    // want obsnil
+	s.depth.Inc() // want obsnil
+}

@@ -50,7 +50,9 @@ func (s *Suite) Run(id string) error {
 		return err
 	}
 	for _, r := range reports {
-		r.Print(s.Out)
+		if err := r.Print(s.Out); err != nil {
+			return err
+		}
 	}
 	return nil
 }

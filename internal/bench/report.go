@@ -28,9 +28,12 @@ func (r *Report) AddRow(cells ...string) {
 	r.Rows = append(r.Rows, cells)
 }
 
-// Print renders the report.
-func (r *Report) Print(w io.Writer) {
-	fmt.Fprintf(w, "\n=== %s — %s ===\n", r.ID, r.Title)
+// Print renders the report. The first write error wins; tabwriter
+// reports it at Flush.
+func (r *Report) Print(w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "\n=== %s — %s ===\n", r.ID, r.Title); err != nil {
+		return err
+	}
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, strings.Join(r.Header, "\t"))
 	sep := make([]string, len(r.Header))
@@ -41,10 +44,15 @@ func (r *Report) Print(w io.Writer) {
 	for _, row := range r.Rows {
 		fmt.Fprintln(tw, strings.Join(row, "\t"))
 	}
-	tw.Flush()
-	for _, n := range r.Notes {
-		fmt.Fprintf(w, "  note: %s\n", n)
+	if err := tw.Flush(); err != nil {
+		return err
 	}
+	for _, n := range r.Notes {
+		if _, err := fmt.Fprintf(w, "  note: %s\n", n); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Cell renders a float compactly.
@@ -77,6 +85,7 @@ func SaveCSVs(dir string, reports []*Report) ([]string, error) {
 			return names, err
 		}
 		if err := r.WriteCSV(f); err != nil {
+			//ksplint:ignore droppederr -- error-path cleanup; the write error already wins
 			f.Close()
 			return names, err
 		}

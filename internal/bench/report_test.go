@@ -1,0 +1,55 @@
+package bench
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// failAfterWriter succeeds for the first n Write calls, then fails.
+type failAfterWriter struct {
+	n   int
+	err error
+}
+
+func (w *failAfterWriter) Write(p []byte) (int, error) {
+	if w.n <= 0 {
+		return 0, w.err
+	}
+	w.n--
+	return len(p), nil
+}
+
+// TestReportPrintPropagatesWriteErrors pins the fix for Print silently
+// swallowing writer failures: a benchmark run redirected to a full disk
+// or closed pipe must surface the error, whether it hits the title
+// write or the tabwriter flush.
+func TestReportPrintPropagatesWriteErrors(t *testing.T) {
+	r := &Report{
+		ID:     "E1",
+		Title:  "throughput",
+		Header: []string{"k", "ms"},
+		Notes:  []string{"latency should grow with k"},
+	}
+	r.AddRow("5", "1.20")
+
+	sentinel := errors.New("pipe closed")
+	if err := r.Print(&failAfterWriter{n: 0, err: sentinel}); !errors.Is(err, sentinel) {
+		t.Fatalf("title write error = %v, want %v", err, sentinel)
+	}
+	// First write (the title) succeeds; the tabwriter flush then fails.
+	if err := r.Print(&failAfterWriter{n: 1, err: sentinel}); !errors.Is(err, sentinel) {
+		t.Fatalf("flush error = %v, want %v", err, sentinel)
+	}
+
+	var buf bytes.Buffer
+	if err := r.Print(&buf); err != nil {
+		t.Fatalf("healthy writer: %v", err)
+	}
+	for _, want := range []string{"E1", "throughput", "note: latency"} {
+		if !strings.Contains(buf.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, buf.String())
+		}
+	}
+}

@@ -31,7 +31,7 @@ func (e *Engine) BSP(q Query, opts Options) (results []Result, stats *Stats, err
 	}
 	results = hk.sorted()
 	markExact(results, stats)
-	finishStats(stats, start)
+	finishStats(stats, time.Since(start))
 	return results, stats, nil
 }
 
@@ -52,8 +52,8 @@ func (e *Engine) bspLoop(pq *prepQuery, opts Options, hk *topK, stats *Stats) er
 // finishStats computes OtherTime as the wall-clock remainder. In a
 // parallel run SemanticTime sums concurrent workers (CPU seconds) and
 // can exceed the wall clock; clamp rather than report negative time.
-func finishStats(stats *Stats, start time.Time) {
-	stats.OtherTime = time.Since(start) - stats.SemanticTime
+func finishStats(stats *Stats, elapsed time.Duration) {
+	stats.OtherTime = elapsed - stats.SemanticTime
 	if stats.OtherTime < 0 {
 		stats.OtherTime = 0
 	}

@@ -47,6 +47,6 @@ func (e *Engine) KeywordTopK(keywords []string, k int, opts Options) (results []
 		}
 		stats.SemanticTime = time.Since(semStart)
 	}
-	finishStats(stats, start)
+	finishStats(stats, time.Since(start))
 	return out, stats, nil
 }

@@ -40,7 +40,7 @@ func (e *Engine) SP(q Query, opts Options) (results []Result, stats *Stats, err 
 	}
 	results = hk.sorted()
 	markExact(results, stats)
-	finishStats(stats, start)
+	finishStats(stats, time.Since(start))
 	return results, stats, nil
 }
 

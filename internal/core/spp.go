@@ -35,7 +35,7 @@ func (e *Engine) SPP(q Query, opts Options) (results []Result, stats *Stats, err
 	}
 	results = hk.sorted()
 	markExact(results, stats)
-	finishStats(stats, start)
+	finishStats(stats, time.Since(start))
 	return results, stats, nil
 }
 

@@ -36,7 +36,7 @@ func (e *Engine) TA(q Query, opts Options) (results []Result, stats *Stats, err 
 	}
 	results = hk.sorted()
 	markExact(results, stats)
-	finishStats(stats, start)
+	finishStats(stats, time.Since(start))
 	return results, stats, nil
 }
 

@@ -344,6 +344,7 @@ func (e *Engine) windowFactory(inner sourceFactory, pq *prepQuery, w int, adapti
 			// Best-effort: a load failure only disables the α screen (the
 			// algorithms that require the view load it themselves and
 			// surface the error there).
+			//ksplint:ignore droppederr -- see above: α screen is optional, the required path re-reports
 			qv, _ = pq.queryView(e)
 		}
 		return newWindowSource(e, bulk, pq, qv, theta, st, w, adaptive, rule1, rule2), nil

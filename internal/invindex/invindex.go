@@ -54,6 +54,7 @@ func AvgPostingLen(ix Index) float64 {
 	var nonEmpty int64
 	var buf []Posting
 	for t := 0; t < ix.NumTerms(); t++ {
+		//ksplint:ignore droppederr -- diagnostic statistic; a read failure skews the average, never a query result
 		buf, _ = ix.Postings(uint32(t), buf[:0])
 		if len(buf) > 0 {
 			nonEmpty++
@@ -167,6 +168,7 @@ func (m *MemIndex) WriteFile(path string) error {
 	if err != nil {
 		return err
 	}
+	//ksplint:ignore droppederr -- error-path cleanup; the success path returns the second Close's error
 	defer f.Close()
 	if err := m.Write(f); err != nil {
 		return err
@@ -323,23 +325,31 @@ func Open(path string) (*DiskIndex, error) {
 	if err != nil {
 		return nil, err
 	}
+	d, err := openFrom(f)
+	if err != nil {
+		//ksplint:ignore droppederr -- error-path cleanup; the open error already wins
+		f.Close()
+		return nil, err
+	}
+	return d, nil
+}
+
+// openFrom reads the header and offset table; the caller owns f and
+// closes it if this fails.
+func openFrom(f *os.File) (*DiskIndex, error) {
 	var hdr [12]byte
 	if _, err := io.ReadFull(f, hdr[:]); err != nil {
-		f.Close()
 		return nil, fmt.Errorf("invindex: reading header: %w", err)
 	}
 	if binary.LittleEndian.Uint32(hdr[0:]) != magic {
-		f.Close()
 		return nil, errors.New("invindex: bad magic")
 	}
 	if binary.LittleEndian.Uint32(hdr[4:]) != version {
-		f.Close()
 		return nil, errors.New("invindex: unsupported version")
 	}
 	numTerms := binary.LittleEndian.Uint32(hdr[8:])
 	offBytes := make([]byte, 8*(int(numTerms)+1))
 	if _, err := io.ReadFull(f, offBytes); err != nil {
-		f.Close()
 		return nil, fmt.Errorf("invindex: reading offsets: %w", err)
 	}
 	offsets := make([]uint64, numTerms+1)

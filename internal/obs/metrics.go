@@ -359,6 +359,9 @@ func (r *Registry) WriteText(w io.Writer) error {
 
 func writeHistogram(w io.Writer, name string, s *series) error {
 	h := s.hist
+	if h == nil {
+		return nil
+	}
 	// Counts are read per bucket while observations may land
 	// concurrently; cumulative sums stay internally consistent because
 	// each bucket is read once, low to high.

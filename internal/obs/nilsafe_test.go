@@ -1,0 +1,39 @@
+package obs
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestWriteHistogramNilSeries pins the guard for a histogram-kind
+// series whose hist pointer was never populated: the text exposition
+// must skip it instead of dereferencing nil.
+func TestWriteHistogramNilSeries(t *testing.T) {
+	var buf bytes.Buffer
+	if err := writeHistogram(&buf, "ksp_broken_seconds", &series{}); err != nil {
+		t.Fatalf("writeHistogram on nil hist: %v", err)
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("nil-hist series produced output: %q", buf.String())
+	}
+}
+
+// TestTraceNilSafety pins the nil guards on the trace export path: a
+// zero-value trace (no root span) renders as nil JSON, and annotation
+// methods on a nil span are no-ops. Both shapes occur whenever tracing
+// is disabled.
+func TestTraceNilSafety(t *testing.T) {
+	var tr Trace
+	if got := tr.JSON(); got != nil {
+		t.Fatalf("zero-value trace JSON = %v, want nil", got)
+	}
+	var s *Span
+	s.setAttr("k", "v") // must not panic
+	s.SetStr("k", "v")
+	s.SetInt("n", 1)
+	s.SetFloat("f", 0.5)
+	s.End()
+	if c := s.Child("sub"); c != nil {
+		t.Fatalf("nil span Child = %v, want nil", c)
+	}
+}

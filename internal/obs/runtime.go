@@ -21,6 +21,7 @@ func (s *runtimeSampler) sample() *runtime.MemStats {
 	defer s.mu.Unlock()
 	if time.Since(s.last) >= s.interval {
 		runtime.ReadMemStats(&s.ms)
+		//ksplint:ignore determinism -- sampler rate-limit timestamp; read back only through time.Since
 		s.last = time.Now()
 	}
 	return &s.ms

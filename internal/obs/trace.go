@@ -38,6 +38,7 @@ const DefaultSpanLimit = 1024
 
 // NewTrace starts a trace whose root span has the given name.
 func NewTrace(name string) *Trace {
+	//ksplint:ignore determinism -- trace epoch; span times are time.Since offsets from it
 	t := &Trace{start: time.Now(), limit: DefaultSpanLimit}
 	t.root = &Span{t: t, name: name}
 	t.spans = 1
@@ -126,6 +127,9 @@ func (s *Span) End() {
 
 // setAttr appends one annotation under the trace lock.
 func (s *Span) setAttr(key, value string) {
+	if s == nil {
+		return
+	}
 	t := s.t
 	t.mu.Lock()
 	s.attrs = append(s.attrs, Attr{Key: key, Value: value})
@@ -180,11 +184,17 @@ func (t *Trace) JSON() *SpanJSON {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	out := exportSpan(t.root)
+	if out == nil {
+		return nil
+	}
 	out.Dropped = t.dropped
 	return out
 }
 
 func exportSpan(s *Span) *SpanJSON {
+	if s == nil {
+		return nil
+	}
 	end := s.end
 	if !s.ended {
 		// An unended span (e.g. abandoned by a halted pipeline stage)

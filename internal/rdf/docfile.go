@@ -55,11 +55,13 @@ func (g *Graph) SpillDocs(path string, cacheEntries int) error {
 	for _, t := range g.docTerms {
 		binary.LittleEndian.PutUint32(buf[:], t)
 		if _, err := bw.Write(buf[:]); err != nil {
+			//ksplint:ignore droppederr -- error-path cleanup; the write error already wins
 			f.Close()
 			return err
 		}
 	}
 	if err := bw.Flush(); err != nil {
+		//ksplint:ignore droppederr -- error-path cleanup; the flush error already wins
 		f.Close()
 		return err
 	}

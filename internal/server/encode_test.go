@@ -1,0 +1,46 @@
+package server
+
+import (
+	"bytes"
+	"errors"
+	"log/slog"
+	"net/http"
+	"testing"
+)
+
+// brokenWriter models a client that disconnected mid-response: every
+// body write fails.
+type brokenWriter struct {
+	h http.Header
+}
+
+func (w *brokenWriter) Header() http.Header {
+	if w.h == nil {
+		w.h = make(http.Header)
+	}
+	return w.h
+}
+func (w *brokenWriter) WriteHeader(int) {}
+func (w *brokenWriter) Write([]byte) (int, error) {
+	return 0, errors.New("client gone")
+}
+
+// TestEncodeFailureIsLoggedNotPanicked pins the fix for writeJSON and
+// fail dropping encode errors: a dead client must produce a debug log
+// line, not a silent drop and not a panic.
+func TestEncodeFailureIsLoggedNotPanicked(t *testing.T) {
+	var buf bytes.Buffer
+	s := &Server{Logger: slog.New(slog.NewTextHandler(&buf,
+		&slog.HandlerOptions{Level: slog.LevelDebug}))}
+
+	s.writeJSON(&brokenWriter{}, map[string]int{"k": 5})
+	if !bytes.Contains(buf.Bytes(), []byte("response encode failed")) {
+		t.Errorf("writeJSON did not log the encode failure: %q", buf.String())
+	}
+
+	buf.Reset()
+	s.fail(&brokenWriter{}, http.StatusBadRequest, "bad %s", "k")
+	if !bytes.Contains(buf.Bytes(), []byte("error response encode failed")) {
+		t.Errorf("fail did not log the encode failure: %q", buf.String())
+	}
+}

@@ -161,7 +161,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.reg.WriteText(w)
+	if err := s.reg.WriteText(w); err != nil {
+		s.log().Debug("metrics write failed", "err", err)
+	}
 }
 
 // DebugQueriesResponse is the /debug/queries payload: the most recent
@@ -172,11 +174,12 @@ type DebugQueriesResponse struct {
 }
 
 func (s *Server) handleDebugQueries(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, DebugQueriesResponse{Queries: s.ring.Snapshot()})
+	s.writeJSON(w, DebugQueriesResponse{Queries: s.ring.Snapshot()})
 }
 
 // recordQuery stamps and stores one finished query in the debug ring.
 func (s *Server) recordQuery(rec obs.QueryRecord) {
+	//ksplint:ignore determinism -- debug-ring arrival timestamp; never feeds result ranking
 	rec.Time = time.Now()
 	s.ring.Add(rec)
 }

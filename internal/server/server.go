@@ -322,12 +322,19 @@ type apiError struct {
 func (s *Server) fail(w http.ResponseWriter, code int, format string, args ...interface{}) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(apiError{Error: fmt.Sprintf(format, args...)})
+	if err := json.NewEncoder(w).Encode(apiError{Error: fmt.Sprintf(format, args...)}); err != nil {
+		s.log().Debug("error response encode failed", "err", err)
+	}
 }
 
-func writeJSON(w http.ResponseWriter, v interface{}) {
+// writeJSON encodes v into the response. An encode failure means the
+// client went away mid-body (headers are already out), so it is logged
+// rather than turned into a second response.
+func (s *Server) writeJSON(w http.ResponseWriter, v interface{}) {
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(v)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		s.log().Debug("response encode failed", "err", err)
+	}
 }
 
 // parseCoord parses a query coordinate, rejecting non-finite values —
@@ -568,7 +575,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		}
 		resp.Results = append(resp.Results, sr)
 	}
-	writeJSON(w, resp)
+	s.writeJSON(w, resp)
 }
 
 // clampWindow bounds a requested window directive to [0, MaxWindow];
@@ -694,7 +701,7 @@ func (s *Server) handleKeyword(w http.ResponseWriter, r *http.Request) {
 			Exact:     item.Exact,
 		})
 	}
-	writeJSON(w, SearchResponse{Results: out, Stats: QueryStats{Algorithm: "keyword"}})
+	s.writeJSON(w, SearchResponse{Results: out, Stats: QueryStats{Algorithm: "keyword"}})
 }
 
 // handleNearest serves plain nearest-place lookup.
@@ -733,7 +740,7 @@ func (s *Server) handleNearest(w http.ResponseWriter, r *http.Request) {
 			Exact:    true,
 		})
 	}
-	writeJSON(w, SearchResponse{Results: out, Stats: QueryStats{Algorithm: "nearest"}})
+	s.writeJSON(w, SearchResponse{Results: out, Stats: QueryStats{Algorithm: "nearest"}})
 }
 
 // DescribeResponse is the /describe payload.
@@ -765,7 +772,7 @@ func (s *Server) handleDescribe(w http.ResponseWriter, r *http.Request) {
 		resp.IsPlace = true
 		resp.X, resp.Y = loc.X, loc.Y
 	}
-	writeJSON(w, resp)
+	s.writeJSON(w, resp)
 }
 
 // StatsResponse is the /stats payload. Each section is its own named
@@ -862,7 +869,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if s.reg != nil {
 		resp.Metrics = s.reg.Snapshot()
 	}
-	writeJSON(w, resp)
+	s.writeJSON(w, resp)
 }
 
 // handleHealth is pure liveness: the process is up and serving HTTP.

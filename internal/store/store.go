@@ -340,6 +340,7 @@ func SaveFile(path string, s *Snapshot) error {
 		return err
 	}
 	if err := Write(f, s); err != nil {
+		//ksplint:ignore droppederr -- error-path cleanup; the write error already wins
 		f.Close()
 		return err
 	}
@@ -352,6 +353,7 @@ func LoadFile(path string) (*Snapshot, error) {
 	if err != nil {
 		return nil, err
 	}
+	//ksplint:ignore droppederr -- file opened read-only; Close cannot lose data
 	defer f.Close()
 	return Read(f)
 }
@@ -383,6 +385,7 @@ type crcWriter struct {
 func (c *crcWriter) Write(p []byte) (int, error) {
 	n, err := c.w.Write(p)
 	if c.on && n > 0 {
+		//ksplint:ignore droppederr -- hash.Hash.Write is documented to never return an error
 		c.crc.Write(p[:n])
 	}
 	return n, err
@@ -410,6 +413,7 @@ type crcReader struct {
 func (c *crcReader) Read(p []byte) (int, error) {
 	n, err := c.r.Read(p)
 	if c.on && n > 0 {
+		//ksplint:ignore droppederr -- hash.Hash.Write is documented to never return an error
 		c.crc.Write(p[:n])
 	}
 	return n, err

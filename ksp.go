@@ -239,6 +239,7 @@ func OpenFile(path string, cfg Config) (*Dataset, error) {
 	if err != nil {
 		return nil, err
 	}
+	//ksplint:ignore droppederr -- file opened read-only; Close cannot lose data
 	defer f.Close()
 	return Open(f, cfg)
 }

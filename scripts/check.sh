@@ -1,19 +1,31 @@
 #!/bin/sh
-# Full pre-commit gate: vet, build, and the complete test suite under
-# the race detector (the parallel pipeline and the shared looseness
-# cache are only trustworthy race-clean).
+# Full pre-commit gate: format, vet, lint, build, and the complete test
+# suite under the race detector (the parallel pipeline and the shared
+# looseness cache are only trustworthy race-clean). Mirrors the CI
+# lint + race-vet jobs so a clean local run predicts a green pipeline.
 #
 # Usage: scripts/check.sh
 set -eu
 cd "$(dirname "$0")/.."
 
+echo "== gofmt =="
+unformatted=$(gofmt -l cmd internal examples ksp.go)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
 echo "== go vet =="
 go vet ./...
 # The faultinject tag flips on strict injection-point checking; vetting
 # that build keeps the chaos harness compiling even when no test uses it.
 go vet -tags faultinject ./...
+echo "== ksplint =="
+go run ./cmd/ksplint ./...
+go run ./cmd/ksplint -tags faultinject ./...
 echo "== go build =="
 go build ./...
 echo "== go test -race =="
 go test -race ./...
+go test -race -tags faultinject ./...
 echo "OK"
