@@ -1,4 +1,4 @@
-package ksp
+package ksp_test
 
 // One testing.B benchmark per table and figure of the paper's evaluation
 // (Section 6). Each benchmark executes the corresponding experiment of
@@ -11,6 +11,7 @@ import (
 	"sync"
 	"testing"
 
+	"ksp"
 	"ksp/internal/bench"
 )
 
@@ -96,14 +97,14 @@ func BenchmarkFreqBands(b *testing.B) { runExperiment(b, "freq") }
 
 // --- Micro-benchmarks over the public API ---
 
-func apiDataset(b *testing.B) *Dataset {
+func apiDataset(b *testing.B) *ksp.Dataset {
 	b.Helper()
-	bd := NewBuilder()
+	bd := ksp.NewBuilder()
 	for i := 0; i < 200; i++ {
-		bd.AddPlace(placeName(i), Point{X: float64(i % 20), Y: float64(i / 20)})
+		bd.AddPlace(placeName(i), ksp.Point{X: float64(i % 20), Y: float64(i / 20)})
 		bd.AddLabel(placeName(i), "d", "alpha beta gamma delta")
 	}
-	ds, err := bd.Build(DefaultConfig())
+	ds, err := bd.Build(ksp.DefaultConfig())
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -117,7 +118,7 @@ func placeName(i int) string {
 // BenchmarkSearchSP measures a full SP query through the public API.
 func BenchmarkSearchSP(b *testing.B) {
 	ds := apiDataset(b)
-	q := Query{Loc: Point{X: 5, Y: 5}, Keywords: []string{"alpha", "gamma"}, K: 5}
+	q := ksp.Query{Loc: ksp.Point{X: 5, Y: 5}, Keywords: []string{"alpha", "gamma"}, K: 5}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := ds.Search(q); err != nil {
@@ -139,9 +140,9 @@ func BenchmarkSearchObsEnabled(b *testing.B) { benchSearchObs(b, true) }
 func benchSearchObs(b *testing.B, metrics bool) {
 	ds := apiDataset(b)
 	if metrics {
-		ds.EnableMetrics(NewRegistry())
+		ds.EnableMetrics(ksp.NewRegistry())
 	}
-	q := Query{Loc: Point{X: 5, Y: 5}, Keywords: []string{"alpha", "gamma"}, K: 5}
+	q := ksp.Query{Loc: ksp.Point{X: 5, Y: 5}, Keywords: []string{"alpha", "gamma"}, K: 5}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {

@@ -19,6 +19,8 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
 	"time"
 
 	"ksp/internal/bench"
@@ -28,8 +30,11 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("kspbench: ")
+	var expVal string
+	flag.StringVar(&expVal, "exp", "all", "experiment id (see -list), comma-separated ids, or 'all'")
+	flag.StringVar(&expVal, "experiment", "all", "alias for -exp")
 	var (
-		exp      = flag.String("exp", "all", "experiment id (see -list) or 'all'")
+		exp      = &expVal
 		scale    = flag.Int("scale", 20000, "vertices per synthetic dataset")
 		queries  = flag.Int("queries", 20, "queries per setting (the paper uses 100)")
 		seed     = flag.Int64("seed", 1, "random seed")
@@ -37,6 +42,11 @@ func main() {
 		csvDir   = flag.String("csv", "", "also write each report as CSV into this directory")
 		jsonOut  = flag.String("json", "", "write all reports plus run metadata as one JSON document to this file ('-' = stdout)")
 		list     = flag.Bool("list", false, "list experiment ids and exit")
+
+		loadQPS = flag.String("load-qps", "", "comma-separated offered-QPS ladder for the load experiment (default 25,50,100)")
+		loadDur = flag.Duration("load-duration", 0, "arrival window per load rate (default 3s)")
+		loadPar = flag.Int("load-parallel", 0, "per-request pipeline width for the load experiment (default 4)")
+		loadWin = flag.Int("load-window", 0, "scheduler window directive for the load experiment (0 = adaptive)")
 	)
 	flag.Parse()
 
@@ -49,6 +59,18 @@ func main() {
 
 	s := bench.NewSuite(*scale, *queries, *seed, os.Stdout)
 	s.BSPDeadline = *deadline
+	if *loadQPS != "" {
+		for _, part := range strings.Split(*loadQPS, ",") {
+			v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+			if err != nil || v <= 0 {
+				log.Fatalf("-load-qps: bad rate %q", part)
+			}
+			s.LoadQPS = append(s.LoadQPS, v)
+		}
+	}
+	s.LoadDuration = *loadDur
+	s.LoadParallel = *loadPar
+	s.LoadWindow = *loadWin
 	// The registry rides along for -json: the document then carries the
 	// run's cumulative engine counters next to the report tables.
 	reg := obs.NewRegistry()
@@ -56,7 +78,7 @@ func main() {
 		s.Metrics = reg
 	}
 	start := time.Now()
-	ids := []string{*exp}
+	ids := strings.Split(*exp, ",")
 	if *exp == "all" {
 		ids = bench.ExperimentIDs()
 	}
@@ -95,6 +117,8 @@ func main() {
 			Queries:     *queries,
 			Seed:        *seed,
 			GoVersion:   runtime.Version(),
+			GOOS:        runtime.GOOS,
+			GOARCH:      runtime.GOARCH,
 			GOMAXPROCS:  runtime.GOMAXPROCS(0),
 			NumCPU:      runtime.NumCPU(),
 			Experiments: ids,

@@ -39,6 +39,7 @@ func main() {
 		timeout  = flag.Duration("timeout", 10*time.Second, "per-query evaluation cap")
 		parallel = flag.Int("parallel", 0, "default pipeline workers per query (0 = serial; requests may override with ?parallel=, capped at GOMAXPROCS)")
 		window   = flag.Int("window", 0, "default candidate window per query (0 = adaptive, 1 = classic one-at-a-time loop, W>=2 fixed; requests may override with ?window=)")
+		depth    = flag.Int("pipeline-depth", 0, "per-worker deque bound for parallel queries (0 = derived from workers and window, self-tuned from starvation feedback)")
 		cache    = flag.Int("cache", 0, "looseness cache entries (0 = disabled, negative = built-in default)")
 		pprof    = flag.String("pprof", "", "side listen address for net/http/pprof (empty = disabled), e.g. localhost:6060")
 
@@ -102,6 +103,7 @@ func main() {
 		s.DefaultParallel = *parallel
 	}
 	s.DefaultWindow = *window
+	s.PipelineDepth = *depth
 	s.AdmitCapacity = *admitWidth
 	s.AdmitQueue = *admitQueue
 	s.QueueTimeout = *queueWait

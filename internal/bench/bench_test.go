@@ -6,14 +6,20 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"ksp/internal/core"
 )
 
-// smallSuite keeps the experiment tests quick.
+// smallSuite keeps the experiment tests quick (including the open-loop
+// load experiment, which otherwise offers its default QPS ladder for
+// seconds per rate).
 func smallSuite(t testing.TB) *Suite {
 	var buf bytes.Buffer
 	s := NewSuite(1500, 3, 42, &buf)
+	s.LoadQPS = []float64{30}
+	s.LoadDuration = 400 * time.Millisecond
+	s.LoadParallel = 2
 	return s
 }
 

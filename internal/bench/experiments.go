@@ -31,7 +31,7 @@ func ExperimentIDs() []string {
 	return []string{
 		"table4", "table5", "table6", "table7",
 		"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
-		"ablation", "freq", "parallel", "window",
+		"ablation", "freq", "parallel", "window", "multicore", "load",
 	}
 }
 
@@ -92,6 +92,10 @@ func (s *Suite) Experiment(id string) ([]*Report, error) {
 		return s.parallel()
 	case "window":
 		return s.window()
+	case "multicore":
+		return s.multicore()
+	case "load":
+		return s.load()
 	default:
 		return nil, fmt.Errorf("bench: unknown experiment %q (have %v)", id, ExperimentIDs())
 	}

@@ -38,6 +38,13 @@ type Suite struct {
 	// report tables. Set before the first experiment.
 	Metrics *obs.Registry
 
+	// Load-harness knobs (the "load" experiment); zero values select
+	// defaults in loadDefaults.
+	LoadQPS      []float64
+	LoadDuration time.Duration
+	LoadParallel int
+	LoadWindow   int
+
 	data map[string]*benchData
 }
 
@@ -177,6 +184,9 @@ type measured struct {
 	CacheHits, CacheBoundHits, CacheMisses int64
 	// Window-scheduler kills (screen + deferred), summed over the workload.
 	WindowKilled int64
+	// Work-stealing scheduler counters, summed over the workload.
+	Steals, OwnPops int64
+	WorkerIdle      time.Duration
 }
 
 func (m measured) total() time.Duration { return m.Semantic + m.Other }
@@ -216,6 +226,9 @@ func (s *Suite) runWorkload(e *core.Engine, a algoRunner, qs []core.Query, opts 
 	out.CacheHits = agg.CacheHits
 	out.CacheBoundHits = agg.CacheBoundHits
 	out.CacheMisses = agg.CacheMisses
+	out.Steals = agg.Steals
+	out.OwnPops = agg.OwnPops
+	out.WorkerIdle = agg.WorkerIdle
 	return out, nil
 }
 

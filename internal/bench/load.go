@@ -1,0 +1,244 @@
+package bench
+
+// Open-loop load harness (ISSUE 6): sustained-throughput measurement
+// against a live internal/server instance. Arrivals are open-loop —
+// scheduled from a seeded exponential (Poisson-process) clock,
+// independent of completions — so queueing delay shows up as latency
+// instead of silently throttling the offered rate, which is the failure
+// mode of closed-loop benchmarks under saturation. Offered vs. achieved
+// QPS and the p50/p99/p999 latency spread are the headline numbers.
+
+import (
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"time"
+
+	"ksp"
+	"ksp/internal/server"
+)
+
+// LoadConfig is one sustained-load cell.
+type LoadConfig struct {
+	// Dataset names the synthetic dataset (DBpediaLike or YagoLike).
+	Dataset string `json:"dataset"`
+	// QPS is the offered arrival rate (exponential inter-arrivals).
+	QPS float64 `json:"qps"`
+	// Duration is the arrival window; the run then drains in-flight
+	// requests.
+	Duration time.Duration `json:"-"`
+	// Algo selects the evaluation algorithm (server ?algo= value).
+	Algo string `json:"algo"`
+	// K and M shape the workload queries.
+	K, M int `json:"-"`
+	// Parallel is the per-request pipeline width; Window the scheduler
+	// window directive (0 = adaptive).
+	Parallel int `json:"parallel"`
+	Window   int `json:"window"`
+	// Seed drives both the workload choice and the arrival clock.
+	Seed int64 `json:"seed"`
+}
+
+// LoadResult is the measured outcome of one LoadConfig.
+type LoadResult struct {
+	Config      LoadConfig `json:"config"`
+	DurationMS  int64      `json:"durationMillis"`
+	OfferedQPS  float64    `json:"offeredQPS"`
+	AchievedQPS float64    `json:"achievedQPS"`
+	Sent        int        `json:"sent"`
+	OK          int        `json:"ok"`
+	// Shed counts 429/503 admission rejections; Errors everything else
+	// that was not a 200.
+	Shed   int `json:"shed"`
+	Errors int `json:"errors"`
+	// Latency percentiles over successful requests, in microseconds.
+	P50Micros  int64 `json:"p50Micros"`
+	P90Micros  int64 `json:"p90Micros"`
+	P99Micros  int64 `json:"p99Micros"`
+	P999Micros int64 `json:"p999Micros"`
+	MaxMicros  int64 `json:"maxMicros"`
+}
+
+// loadCell runs one open-loop cell against a fresh server instance.
+func (s *Suite) loadCell(cfg LoadConfig) (LoadResult, error) {
+	res := LoadResult{Config: cfg, OfferedQPS: cfg.QPS}
+	d := s.Data(cfg.Dataset)
+	ds, err := ksp.NewDatasetFromGraph(d.g, ksp.DefaultConfig())
+	if err != nil {
+		return res, err
+	}
+	srv := server.New(ds)
+	srv.DefaultParallel = cfg.Parallel
+	srv.MaxParallel = cfg.Parallel
+	if srv.MaxParallel < 1 {
+		srv.MaxParallel = 1
+	}
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	client := ts.Client()
+	defer client.CloseIdleConnections()
+
+	// The workload pool: fixed queries reused round-robin, so the cell
+	// measures serving capacity, not query-mix variance.
+	qs := d.workload(classO, max(8, s.Queries), cfg.M, cfg.K)
+	urls := make([]string, len(qs))
+	for i, q := range qs {
+		urls[i] = fmt.Sprintf("%s/search?x=%f&y=%f&kw=%s&k=%d&algo=%s&parallel=%d&window=%d",
+			ts.URL, q.Loc.X, q.Loc.Y, joinKeywords(q.Keywords), q.K, cfg.Algo, cfg.Parallel, cfg.Window)
+	}
+
+	// Deterministic open-loop schedule: exponential gaps at rate QPS,
+	// fixed before the clock starts so completions cannot perturb it.
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var offsets []time.Duration
+	for at := time.Duration(0); at < cfg.Duration; {
+		at += time.Duration(rng.ExpFloat64() / cfg.QPS * float64(time.Second))
+		if at < cfg.Duration {
+			offsets = append(offsets, at)
+		}
+	}
+
+	var (
+		mu        sync.Mutex
+		latencies []int64
+		wg        sync.WaitGroup
+	)
+	start := time.Now()
+	for i, off := range offsets {
+		if wait := off - time.Since(start); wait > 0 {
+			time.Sleep(wait)
+		}
+		wg.Add(1)
+		go func(url string) {
+			defer wg.Done()
+			t0 := time.Now()
+			resp, err := client.Get(url)
+			lat := time.Since(t0)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				res.Errors++
+				return
+			}
+			//ksplint:ignore droppederr -- load-generator cleanup; the status code is the measurement
+			resp.Body.Close()
+			switch resp.StatusCode {
+			case http.StatusOK:
+				res.OK++
+				latencies = append(latencies, lat.Microseconds())
+			case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+				res.Shed++
+			default:
+				res.Errors++
+			}
+		}(urls[i%len(urls)])
+	}
+	res.Sent = len(offsets)
+	wg.Wait()
+	wall := time.Since(start)
+
+	res.DurationMS = wall.Milliseconds()
+	if wall > 0 {
+		res.AchievedQPS = float64(res.OK) / wall.Seconds()
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	res.P50Micros = percentile(latencies, 0.50)
+	res.P90Micros = percentile(latencies, 0.90)
+	res.P99Micros = percentile(latencies, 0.99)
+	res.P999Micros = percentile(latencies, 0.999)
+	if n := len(latencies); n > 0 {
+		res.MaxMicros = latencies[n-1]
+	}
+	return res, nil
+}
+
+// percentile reads the q-quantile from an ascending-sorted slice
+// (nearest-rank method; 0 on an empty slice).
+func percentile(sorted []int64, q float64) int64 {
+	n := len(sorted)
+	if n == 0 {
+		return 0
+	}
+	idx := int(q*float64(n)+0.5) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= n {
+		idx = n - 1
+	}
+	return sorted[idx]
+}
+
+func joinKeywords(kws []string) string {
+	out := ""
+	for i, k := range kws {
+		if i > 0 {
+			out += ","
+		}
+		out += k
+	}
+	return out
+}
+
+// LoadQPS / LoadDuration / LoadParallel / LoadWindow tune the "load"
+// experiment from kspbench flags; loadDefaults fills unset values.
+func (s *Suite) loadDefaults() ([]float64, time.Duration, int, int) {
+	qps := s.LoadQPS
+	if len(qps) == 0 {
+		qps = []float64{25, 50, 100}
+	}
+	dur := s.LoadDuration
+	if dur <= 0 {
+		dur = 3 * time.Second
+	}
+	par := s.LoadParallel
+	if par == 0 {
+		par = 4
+	}
+	return qps, dur, par, s.LoadWindow
+}
+
+// load is the "load" experiment: an offered-QPS ladder against a live
+// server, one row per rate, with the machine-readable LoadResult set
+// attached to the report for JSON baselines.
+func (s *Suite) load() ([]*Report, error) {
+	qpsLadder, dur, par, window := s.loadDefaults()
+	r := &Report{ID: "load", Title: "Open-loop sustained throughput (SPP, Yago-like)",
+		Header: []string{"offered QPS", "achieved QPS", "sent", "ok", "shed", "err",
+			"p50 (ms)", "p90 (ms)", "p99 (ms)", "p999 (ms)", "max (ms)"},
+		Notes: []string{
+			"open loop: seeded-exponential arrivals fire regardless of completions, so saturation surfaces as latency and shed, never as a quietly reduced offered rate",
+			fmt.Sprintf("per-request parallelism %d, window %d (0 = adaptive), arrival window %v per rate", par, window, dur),
+		}}
+	for i, qps := range qpsLadder {
+		cell, err := s.loadCell(LoadConfig{
+			Dataset:  YagoLike,
+			QPS:      qps,
+			Duration: dur,
+			Algo:     "SPP",
+			K:        defaultK,
+			M:        defaultM,
+			Parallel: par,
+			Window:   window,
+			Seed:     s.Seed + int64(100+i),
+		})
+		if err != nil {
+			return nil, err
+		}
+		r.AddRow(
+			fmt.Sprintf("%.1f", cell.OfferedQPS),
+			fmt.Sprintf("%.1f", cell.AchievedQPS),
+			fmt.Sprint(cell.Sent), fmt.Sprint(cell.OK),
+			fmt.Sprint(cell.Shed), fmt.Sprint(cell.Errors),
+			usMS(cell.P50Micros), usMS(cell.P90Micros),
+			usMS(cell.P99Micros), usMS(cell.P999Micros), usMS(cell.MaxMicros),
+		)
+		r.Load = append(r.Load, cell)
+	}
+	return []*Report{r}, nil
+}
+
+func usMS(us int64) string { return fmt.Sprintf("%.3f", float64(us)/1e3) }

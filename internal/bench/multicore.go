@@ -1,0 +1,58 @@
+package bench
+
+// The multicore experiment (ISSUE 6): the work-stealing scheduler's
+// parallelism sweep. Unlike "parallel" (which compares pipeline widths
+// on the serial-equivalent answer), this sweep crosses worker count
+// with the window directive and reports the scheduler's own telemetry —
+// steals, own pops, worker idle time — next to wall clock, so a run
+// shows where candidates actually moved and where workers starved.
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"ksp/internal/core"
+)
+
+// multicoreWorkers are the pipeline widths the sweep crosses with the
+// window directive (1 includes the serial baseline row).
+var multicoreWorkers = []int{1, 2, 4, 8}
+
+func (s *Suite) multicore() ([]*Report, error) {
+	hostNote := fmt.Sprintf("host: GOMAXPROCS=%d, NumCPU=%d — wall-clock speedup is bounded by available cores; steal/idle counters remain meaningful on any host because they measure candidate movement, not time",
+		runtime.GOMAXPROCS(0), runtime.NumCPU())
+
+	r := &Report{ID: "multicore", Title: "Work-stealing scheduler sweep on " + YagoLike + " (parallelism × window)",
+		Header: []string{"algo", "window", "par", "wall (ms)", "TQSP", "own pops", "steals", "steal rate", "idle/query (ms)"},
+		Notes: []string{
+			hostNote,
+			"par=1 runs the serial loop (no deques, counters zero); answers are bit-identical across every cell (property-tested in internal/core)",
+			"steal rate = steals / (steals + own pops): the fraction of candidates a worker took from a peer's deque instead of its own",
+		}}
+	d := s.Data(YagoLike)
+	qs := d.workload(classO, s.Queries, defaultM, defaultK)
+	for _, a := range []algoRunner{runSPP, runSP} {
+		for _, w := range []int{1, 0} { // classic window, adaptive
+			for _, par := range multicoreWorkers {
+				m, err := s.runWorkload(d.base, a, qs, core.Options{Parallelism: par, Window: w})
+				if err != nil {
+					return nil, err
+				}
+				moved := m.Steals + m.OwnPops
+				rate := 0.0
+				if moved > 0 {
+					rate = float64(m.Steals) / float64(moved)
+				}
+				idlePer := time.Duration(0)
+				if n := len(qs); n > 0 {
+					idlePer = m.WorkerIdle / time.Duration(n)
+				}
+				r.AddRow(a.name, windowName(w), fmt.Sprint(par), ms(m.Wall),
+					Cell(m.TQSP), fmt.Sprint(m.OwnPops), fmt.Sprint(m.Steals),
+					fmt.Sprintf("%.2f", rate), ms(idlePer))
+			}
+		}
+	}
+	return []*Report{r}, nil
+}

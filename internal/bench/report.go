@@ -21,6 +21,9 @@ type Report struct {
 	Rows   [][]string `json:"rows"`
 	// Notes carry the paper-shape expectation the numbers should match.
 	Notes []string `json:"notes,omitempty"`
+	// Load carries the machine-readable cells behind the "load"
+	// experiment's rows, so JSON baselines keep exact latency quantiles.
+	Load []LoadResult `json:"load,omitempty"`
 }
 
 // AddRow appends a formatted row.
@@ -106,6 +109,8 @@ type RunMeta struct {
 	Queries     int      `json:"queries"`
 	Seed        int64    `json:"seed"`
 	GoVersion   string   `json:"goVersion"`
+	GOOS        string   `json:"goos,omitempty"`
+	GOARCH      string   `json:"goarch,omitempty"`
 	GOMAXPROCS  int      `json:"gomaxprocs"`
 	NumCPU      int      `json:"numCPU"`
 	Experiments []string `json:"experiments"`

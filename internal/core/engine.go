@@ -57,6 +57,10 @@ type Engine struct {
 	// (WindowStats). A pointer so WithAlpha's `clone := *e` shares it and
 	// never copies the atomics.
 	winTotals *windowTotals
+	// sched accumulates the work-stealing scheduler's lifetime counters
+	// and its starvation-feedback depth hint (SchedStats). A pointer for
+	// the same WithAlpha-sharing reason as winTotals.
+	sched *schedTotals
 }
 
 // enginePools recycles allocation-heavy per-query state.
@@ -236,6 +240,7 @@ func NewEngine(g *rdf.Graph, dir rdf.Direction) *Engine {
 		Rank:      ProductRanking{},
 		pools:     &enginePools{},
 		winTotals: &windowTotals{},
+		sched:     &schedTotals{},
 	}
 }
 

@@ -133,20 +133,20 @@ func (e *Engine) runSerial(mk sourceFactory, pq *prepQuery, opts Options, hk *to
 	}
 }
 
-// pipelineDepth bounds, per worker, how far the producer may run ahead
-// of the finalizer — the reorder buffer and job queue capacity.
-const pipelineDepth = 4
-
 // runParallel evaluates the query with a three-stage pipeline that
 // returns results bit-identical to runSerial (the argument is laid out
-// in DESIGN.md §8):
+// in DESIGN.md §8; the scheduler in §13):
 //
 //	producer  — drives the candidate source in serial order, stopping
-//	            early when a bound reaches the (stale) shared θ;
+//	            early when a bound reaches the (stale) shared θ, and
+//	            routes each candidate into a per-worker bounded deque;
 //	workers   — evaluate candidates concurrently: Rule 1, then TQSP
 //	            construction under the Rule-2 threshold derived from the
 //	            shared θ, which is always >= the exact serial threshold,
-//	            so speculative work can be wasted but never wrong;
+//	            so speculative work can be wasted but never wrong. An
+//	            idle worker steals from the busiest peer's deque — which
+//	            candidate runs on which worker is immaterial because the
+//	            next stage re-serializes every decision;
 //	finalizer — this goroutine: consumes candidates in production order,
 //	            re-applies the exact termination and insertion checks
 //	            against the true Hk, and publishes θ to the atomic.
@@ -161,23 +161,24 @@ func (e *Engine) runParallel(mk sourceFactory, pq *prepQuery, opts Options, hk *
 		return err
 	}
 
-	depth := pipelineDepth * workers
-	jobs := make(chan *candidate, depth)
-	ordered := make(chan *candidate, depth)
+	depth := e.resolveDepth(opts, workers)
+	deques := newStealDeques(workers, depth)
+	ordered := make(chan *candidate, depth*workers)
 	stop := make(chan struct{})
 	var stopOnce sync.Once
 	halt := func() { stopOnce.Do(func() { close(stop) }) }
 	pipe := &pipeFailure{}
+	pipeStart := time.Now()
 
-	// Producer. Candidates enter jobs before ordered, so every candidate
-	// the finalizer waits on is guaranteed to reach a worker. A panic in
-	// the candidate source fails this query, not the process: the
-	// deferred close of both channels doubles as the shutdown signal.
+	// Producer. Candidates enter a deque before ordered, so every
+	// candidate the finalizer waits on is guaranteed to reach a worker. A
+	// panic in the candidate source fails this query, not the process:
+	// the deferred closes double as the shutdown signal.
 	go func() {
 		ps := root.Child("produce")
 		var produced int64
 		defer func() { ps.SetInt("candidates", produced); ps.End() }()
-		defer close(jobs)
+		defer deques.closeAll()
 		defer close(ordered)
 		defer func() {
 			if r := recover(); r != nil {
@@ -201,9 +202,7 @@ func (e *Engine) runParallel(mk sourceFactory, pq *prepQuery, opts Options, hk *
 			*c = cand
 			c.ready = make(chan struct{})
 			produced++
-			select {
-			case jobs <- c:
-			case <-stop:
+			if !deques.dispatch(c, stop) {
 				return
 			}
 			select {
@@ -214,27 +213,46 @@ func (e *Engine) runParallel(mk sourceFactory, pq *prepQuery, opts Options, hk *
 		}
 	}()
 
-	// Workers.
+	// Workers. Each owns one padded slot (Stats + scheduler counters);
+	// slots are written by exactly one worker, so the padding is what
+	// keeps the per-candidate counter increments off shared cache lines.
 	var wg sync.WaitGroup
-	workerStats := make([]*Stats, workers)
+	slots := make([]paddedSlot, workers)
 	for w := 0; w < workers; w++ {
-		ws := &Stats{}
-		workerStats[w] = ws
 		wg.Add(1)
-		go func(ws *Stats, w int) {
+		go func(w int) {
+			slot := &slots[w].workerSlot
+			ws := &slot.stats
 			defer wg.Done()
 			wspan := root.Child("worker")
 			wspan.SetInt("idx", int64(w))
-			defer wspan.End()
+			defer func() {
+				wspan.SetInt("steals", slot.steals)
+				wspan.SetInt("ownPops", slot.ownPops)
+				wspan.SetInt("idleMicros", slot.idle.Microseconds())
+				wspan.End()
+			}()
+			// cur is the candidate taken from a deque whose ready channel
+			// has not closed yet; the recovery path must close it, or the
+			// finalizer would block forever on a candidate no worker holds.
+			var cur *candidate
 			defer func() {
 				// Per-candidate panics are converted inside evalCandidate;
 				// this catches a panic outside that window (e.g. searcher
-				// setup). The dying worker must drain jobs and close every
-				// ready it takes, or the finalizer would block forever.
+				// setup). The dying worker must keep draining the deques —
+				// every peer may be dying too — closing every ready it
+				// takes, or the finalizer would block forever.
 				if r := recover(); r != nil {
 					pipe.fail(newPanicError("core.parallel.worker", r))
 					halt()
-					for c := range jobs {
+					if cur != nil {
+						close(cur.ready)
+					}
+					for {
+						c, _, ok := deques.acquire(w, stop, slot)
+						if !ok {
+							return
+						}
 						close(c.ready)
 					}
 				}
@@ -244,18 +262,27 @@ func (e *Engine) runParallel(mk sourceFactory, pq *prepQuery, opts Options, hk *
 			if rule2 {
 				s.liveTheta = theta
 			}
-			for c := range jobs {
+			for {
+				c, stolen, ok := deques.acquire(w, stop, slot)
+				if !ok {
+					return
+				}
+				cur = c
 				select {
 				case <-stop:
 					// Finalizer gave up; it no longer reads results, but
 					// ready must still close so nothing can block on it.
 					close(c.ready)
+					cur = nil
 					continue
 				default:
 				}
 				cs := wspan.Child("candidate")
 				cs.SetInt("place", int64(c.place))
 				cs.SetFloat("dist", c.dist)
+				if stolen {
+					cs.SetStr("via", "steal")
+				}
 				s.curSpan = cs
 				e.evalCandidate(s, c, rule1, rule2, theta, ws)
 				s.curSpan = nil
@@ -264,8 +291,9 @@ func (e *Engine) runParallel(mk sourceFactory, pq *prepQuery, opts Options, hk *
 				}
 				cs.End()
 				close(c.ready)
+				cur = nil
 			}
-		}(ws, w)
+		}(w)
 	}
 
 	// Finalizer: strictly in production order, so every θ a worker ever
@@ -329,12 +357,33 @@ func (e *Engine) runParallel(mk sourceFactory, pq *prepQuery, opts Options, hk *
 	wg.Wait()
 	src.close()
 
-	for _, ws := range workerStats {
-		stats.Add(ws)
+	var steals, ownPops int64
+	var idle time.Duration
+	for i := range slots {
+		slot := &slots[i].workerSlot
+		stats.Add(&slot.stats)
+		steals += slot.steals
+		ownPops += slot.ownPops
+		idle += slot.idle
 	}
+	stats.Steals += steals
+	stats.OwnPops += ownPops
+	stats.WorkerIdle += idle
 	// Worker stats may carry TimedOut/Cancelled only via Add's flag merge;
 	// they never set them — keep the flags the finalizer recorded.
 	stats.Add(prodStats)
+
+	wall := time.Since(pipeStart)
+	if st := e.sched; st != nil {
+		st.queries.Add(1)
+		st.steals.Add(steals)
+		st.ownPops.Add(ownPops)
+		st.idleNanos.Add(int64(idle))
+	}
+	if opts.PipelineDepth <= 0 {
+		e.tuneDepth(depth, workers, wall, idle)
+	}
+	e.noteSched(depth, idle)
 	if qerr == nil {
 		qerr = pipe.get()
 	}

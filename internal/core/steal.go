@@ -1,0 +1,341 @@
+package core
+
+// Work-stealing candidate scheduler (DESIGN.md §13).
+//
+// The parallel pipeline's fan-out stage: instead of one shared job
+// channel, every worker owns a bounded deque the producer routes into,
+// and idle workers steal from the busiest peer. Exactness is untouched —
+// candidates still enter the in-order reorder channel before any deque,
+// and the finalizer replays the serial decision sequence — so the only
+// observable differences are scheduling counters and latency.
+
+import (
+	"runtime"
+	"sync/atomic"
+	"time"
+	"unsafe"
+)
+
+const (
+	// schedPad is the false-sharing alignment unit for per-worker state.
+	// 128 bytes covers the spatial-prefetcher pair of 64-byte lines on
+	// x86 and the 128-byte lines of some arm64 parts.
+	schedPad = 128
+
+	// defaultPipelineDepth is the per-worker deque capacity floor when
+	// Options.PipelineDepth is unset and no feedback hint applies.
+	defaultPipelineDepth = 4
+
+	// maxPipelineDepth caps every depth source (option, derivation,
+	// feedback) so the reorder buffer — and the speculative work a θ
+	// drop can invalidate — stays bounded.
+	maxPipelineDepth = 64
+)
+
+// workerSlot is one worker's private mutable state for a single query:
+// its Stats (merged into the query total at the end) plus scheduler
+// accounting. Workers write only their own slot, so padding the slots
+// apart keeps the hot per-candidate counter increments from bouncing a
+// shared cache line between cores.
+type workerSlot struct {
+	stats   Stats
+	steals  int64
+	ownPops int64
+	idle    time.Duration
+}
+
+// paddedSlot rounds workerSlot up to a schedPad multiple. The pad is
+// computed from the real struct size, so field growth can never silently
+// re-introduce sharing (the sizing trap the old lru shard pad fell into).
+type paddedSlot struct {
+	workerSlot
+	_ [(schedPad - unsafe.Sizeof(workerSlot{})%schedPad) % schedPad]byte
+}
+
+// stealDeques is the scheduler's queue set: one bounded FIFO per worker,
+// realized as buffered channels so blocking pops, concurrent steals,
+// close-as-shutdown and len-based busyness probes are all race-free
+// channel primitives rather than hand-rolled lock-free code.
+type stealDeques struct {
+	qs   []chan *candidate
+	next int // producer's round-robin cursor
+}
+
+func newStealDeques(workers, depth int) *stealDeques {
+	d := &stealDeques{qs: make([]chan *candidate, workers)}
+	for i := range d.qs {
+		d.qs[i] = make(chan *candidate, depth)
+	}
+	return d
+}
+
+// dispatch routes one candidate to a worker deque: the round-robin
+// target when it has room, otherwise the least-loaded deque, otherwise a
+// blocking send to the target (the pipeline's backpressure point).
+// Returns false when stop fired before the candidate was enqueued.
+func (d *stealDeques) dispatch(c *candidate, stop <-chan struct{}) bool {
+	t := d.next
+	d.next = (d.next + 1) % len(d.qs)
+	select {
+	case d.qs[t] <- c:
+		return true
+	default:
+	}
+	best, bestLen := -1, int(^uint(0)>>1)
+	for i, q := range d.qs {
+		if l := len(q); l < cap(q) && l < bestLen {
+			best, bestLen = i, l
+		}
+	}
+	if best >= 0 {
+		select {
+		case d.qs[best] <- c:
+			return true
+		default:
+			// Lost the race to a refilling producer? There is only one
+			// producer — to a worker re-check; fall through to block.
+		}
+	}
+	select {
+	case d.qs[t] <- c:
+		return true
+	case <-stop:
+		return false
+	}
+}
+
+// closeAll signals end-of-stream on every deque. Only the producer calls
+// it, exactly once, after the last dispatch.
+func (d *stealDeques) closeAll() {
+	for _, q := range d.qs {
+		close(q)
+	}
+}
+
+// steal takes one candidate from the busiest peer of worker w. The
+// length probes are unsynchronized snapshots; a stale read only costs a
+// failed non-blocking receive.
+func (d *stealDeques) steal(w int) *candidate {
+	busiest, most := -1, 0
+	for i, q := range d.qs {
+		if i == w {
+			continue
+		}
+		if l := len(q); l > most {
+			busiest, most = i, l
+		}
+	}
+	if busiest < 0 {
+		return nil
+	}
+	select {
+	case c, ok := <-d.qs[busiest]:
+		if ok {
+			return c
+		}
+	default:
+	}
+	return nil
+}
+
+// acquire returns the next candidate for worker w: its own deque first,
+// then a steal from the busiest peer, then a blocking wait on its own
+// deque. stolen reports a steal; ok == false means every deque is closed
+// and drained — the pipeline is finished. Blocking time accumulates into
+// slot.idle; steals and own pops are counted on the slot.
+//
+// stop may be nil or already closed: a fired stop does not end
+// acquisition (the producer still owns deque closure, and every enqueued
+// candidate must reach a worker so its ready channel closes), it only
+// stops the blocking wait from parking forever on an abandoned pipeline.
+func (d *stealDeques) acquire(w int, stop <-chan struct{}, slot *workerSlot) (*candidate, bool, bool) {
+	own := d.qs[w]
+	for {
+		select {
+		case c, chOk := <-own:
+			if chOk {
+				slot.ownPops++
+				return c, false, true
+			}
+			return d.drain(w, slot)
+		default:
+		}
+		if c := d.steal(w); c != nil {
+			slot.steals++
+			return c, true, true
+		}
+		start := time.Now()
+		if stop != nil {
+			select {
+			case c, chOk := <-own:
+				slot.idle += time.Since(start)
+				if chOk {
+					slot.ownPops++
+					return c, false, true
+				}
+				return d.drain(w, slot)
+			case <-stop:
+				slot.idle += time.Since(start)
+				// stop fired: the producer is about to close every deque.
+				// Clear it so the retry loop blocks on the deque instead
+				// of spinning on the always-ready closed stop channel.
+				stop = nil
+			}
+		} else {
+			c, chOk := <-own
+			slot.idle += time.Since(start)
+			if chOk {
+				slot.ownPops++
+				return c, false, true
+			}
+			return d.drain(w, slot)
+		}
+	}
+}
+
+// drain empties the remaining deques after worker w's own deque closed.
+// The producer closes all deques together, so anything still buffered in
+// a peer deque must be consumed — its candidate's ready channel is owed
+// a close — before the scheduler may report exhaustion.
+func (d *stealDeques) drain(w int, slot *workerSlot) (*candidate, bool, bool) {
+	for {
+		open := false
+		for i := range d.qs {
+			idx := (w + i) % len(d.qs)
+			select {
+			case c, chOk := <-d.qs[idx]:
+				if chOk {
+					if idx == w {
+						slot.ownPops++
+					} else {
+						slot.steals++
+					}
+					return c, idx != w, true
+				}
+			default:
+				open = true // not yet closed; producer is mid-shutdown
+			}
+		}
+		if !open {
+			return nil, false, false
+		}
+		// A deque is still open but empty: the producer is between
+		// closes. Yield and re-scan; the window is a few instructions.
+		runtime.Gosched()
+	}
+}
+
+// schedTotals accumulates engine-lifetime work-stealing counters,
+// flushed once per parallel query. Behind a pointer on Engine so
+// WithAlpha's shallow clone shares it and never copies the atomics.
+type schedTotals struct {
+	queries   atomic.Int64 // parallel pipeline runs
+	steals    atomic.Int64
+	ownPops   atomic.Int64
+	idleNanos atomic.Int64
+	// depthHint is the starvation-feedback pipeline-depth override:
+	// 0 means "use the derived default"; otherwise the last tuned depth.
+	// It adapts queue capacity only — results are identical at every
+	// depth, so feedback cannot break determinism.
+	depthHint atomic.Int64
+}
+
+// SchedStats is the engine-lifetime work-stealing summary served in the
+// /stats scheduler section.
+type SchedStats struct {
+	// ParallelQueries counts queries evaluated through the parallel
+	// pipeline (any Parallelism > 1).
+	ParallelQueries int64
+	// Steals counts candidates a worker took from a peer's deque;
+	// OwnPops counts candidates taken from the worker's own deque.
+	Steals  int64
+	OwnPops int64
+	// WorkerIdle is the total time workers spent parked waiting for
+	// candidates (starvation), summed over workers and queries.
+	WorkerIdle time.Duration
+	// PipelineDepthHint is the current starvation-feedback depth; 0
+	// means the derived default is in effect.
+	PipelineDepthHint int
+}
+
+// SchedStats returns the cumulative work-stealing scheduler counters.
+func (e *Engine) SchedStats() SchedStats {
+	st := e.sched
+	if st == nil {
+		return SchedStats{}
+	}
+	return SchedStats{
+		ParallelQueries:   st.queries.Load(),
+		Steals:            st.steals.Load(),
+		OwnPops:           st.ownPops.Load(),
+		WorkerIdle:        time.Duration(st.idleNanos.Load()),
+		PipelineDepthHint: int(st.depthHint.Load()),
+	}
+}
+
+// resolveDepth picks the per-worker deque capacity for one query.
+//
+// Backpressure invariant: at most depth candidates wait in each deque
+// and at most depth×workers in the reorder buffer, so no more than
+// 2×depth×workers candidates exist between producer and finalizer at
+// any instant. That bounds both the memory pinned by unfinalized
+// candidates (trees included, under CollectTrees) and the speculative
+// TQSP work a θ drop can strand — the producer can never run unboundedly
+// ahead of the exact decision sequence.
+//
+// Priority: Options.PipelineDepth (explicit experiment override) >
+// starvation feedback (depthHint, tuned by tuneDepth) > derived default
+// max(4, ceil(W/workers)) — a window pops W candidates at once, so the
+// deques should absorb roughly one window without blocking the producer.
+// Every source clamps to maxPipelineDepth.
+func (e *Engine) resolveDepth(opts Options, workers int) int {
+	depth := 0
+	switch {
+	case opts.PipelineDepth > 0:
+		depth = opts.PipelineDepth
+	default:
+		if st := e.sched; st != nil {
+			depth = int(st.depthHint.Load())
+		}
+		if depth <= 0 {
+			w, _ := resolveWindow(opts)
+			depth = defaultPipelineDepth
+			if per := (w + workers - 1) / workers; per > depth {
+				depth = per
+			}
+		}
+	}
+	if depth < 1 {
+		depth = 1
+	}
+	if depth > maxPipelineDepth {
+		depth = maxPipelineDepth
+	}
+	return depth
+}
+
+// tuneDepth adjusts the engine's depth hint from one query's starvation
+// signal: the fraction of total worker-time spent idle. Heavy starvation
+// means the producer could not keep the deques full — deepen them so
+// bursts (window flushes) buffer further ahead; negligible starvation
+// decays the hint back toward the derived default. Explicit
+// Options.PipelineDepth runs bypass feedback entirely.
+func (e *Engine) tuneDepth(used, workers int, wall time.Duration, idle time.Duration) {
+	st := e.sched
+	if st == nil || wall <= 0 || workers <= 0 {
+		return
+	}
+	starved := float64(idle) / (float64(wall) * float64(workers))
+	switch {
+	case starved > 0.25:
+		next := int64(used) * 2
+		if next > maxPipelineDepth {
+			next = maxPipelineDepth
+		}
+		st.depthHint.Store(next)
+	case starved < 0.05:
+		if hint := st.depthHint.Load(); hint > 0 {
+			st.depthHint.Store(hint / 2) // halving reaches 0 = derived default
+		}
+	}
+}

@@ -1,0 +1,208 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"ksp/internal/gen"
+	"ksp/internal/rdf"
+)
+
+// The work-stealing property sweep (ISSUE 6): across the full window ×
+// cache on/off matrix, parallel evaluation through the stealing
+// scheduler must return results bit-identical to the serial cacheless
+// reference — trees included. Odd worker counts and tiny explicit
+// depths maximize steal and backpressure traffic.
+func TestStealMatchesSerialMatrix(t *testing.T) {
+	windows := []int{1, 2, 7, 64, 0} // classic, tiny, odd, large, adaptive
+	depths := []int{0, 1, 3}         // derived, minimum (max pressure), small override
+	g := gen.Generate(gen.YagoConfig(1500, 1060))
+	qg := gen.NewQueryGen(g, rdf.Outgoing, 1061)
+	ref := NewEngine(g, rdf.Outgoing)
+	ref.EnableReach()
+	ref.EnableAlpha(3)
+	cached := NewEngine(g, rdf.Outgoing)
+	cached.EnableReach()
+	cached.EnableAlpha(3)
+	cached.EnableLoosenessCache(0)
+
+	for trial := 0; trial < 3; trial++ {
+		loc, kws := qg.Original(1 + trial)
+		q := Query{Loc: loc, Keywords: kws, K: 3 + 2*trial}
+		for _, a := range pipelineAlgos {
+			want, _, err := a.run(ref, q, Options{CollectTrees: true})
+			if err != nil {
+				t.Fatalf("%s serial: %v", a.name, err)
+			}
+			for _, e := range []*Engine{ref, cached} {
+				for _, w := range windows {
+					for _, par := range []int{2, 7} {
+						depth := depths[(trial+w+par)%len(depths)]
+						got, _, err := a.run(e, q, Options{
+							CollectTrees:  true,
+							Window:        w,
+							Parallelism:   par,
+							PipelineDepth: depth,
+						})
+						if err != nil {
+							t.Fatalf("%s W=%d par=%d depth=%d: %v", a.name, w, par, depth, err)
+						}
+						identicalResults(t, a.name, got, want)
+						sameTrees(t, a.name, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+// Scheduler counters must reconcile: every produced candidate reaches a
+// worker exactly once, as an own pop or a steal, and the engine-lifetime
+// totals are the sum of the per-query stats.
+func TestSchedCountersReconcile(t *testing.T) {
+	g := gen.Generate(gen.DBpediaConfig(1200, 1070))
+	qg := gen.NewQueryGen(g, rdf.Outgoing, 1071)
+	e := NewEngine(g, rdf.Outgoing)
+	e.EnableReach()
+
+	if s := e.SchedStats(); s != (SchedStats{}) {
+		t.Fatalf("fresh engine SchedStats = %+v, want zero", s)
+	}
+
+	var wantQueries, wantPops int64
+	for trial := 0; trial < 4; trial++ {
+		loc, kws := qg.Original(2)
+		q := Query{Loc: loc, Keywords: kws, K: 5}
+		_, stats, err := e.SPP(q, Options{Parallelism: 3, Window: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.OwnPops+stats.Steals == 0 {
+			t.Error("parallel run moved no candidates through the deques")
+		}
+		if stats.Steals < 0 || stats.OwnPops < 0 || stats.WorkerIdle < 0 {
+			t.Errorf("negative scheduler counters: %+v", stats)
+		}
+		wantQueries++
+		wantPops += stats.OwnPops + stats.Steals
+
+		// Serial runs must stay free of scheduler counters.
+		_, ss, err := e.SPP(q, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ss.Steals != 0 || ss.OwnPops != 0 || ss.WorkerIdle != 0 {
+			t.Errorf("serial run carries scheduler counters: %+v", ss)
+		}
+	}
+	got := e.SchedStats()
+	if got.ParallelQueries != wantQueries {
+		t.Errorf("ParallelQueries = %d, want %d", got.ParallelQueries, wantQueries)
+	}
+	if got.Steals+got.OwnPops != wantPops {
+		t.Errorf("lifetime pops = %d, want %d", got.Steals+got.OwnPops, wantPops)
+	}
+}
+
+// resolveDepth: explicit override wins and clamps; the derived default
+// absorbs one window per deque set; the feedback hint applies only when
+// no override is given.
+func TestResolveDepth(t *testing.T) {
+	e := &Engine{sched: &schedTotals{}}
+	if d := e.resolveDepth(Options{Window: 1}, 4); d != defaultPipelineDepth {
+		t.Errorf("classic window derived depth = %d, want %d", d, defaultPipelineDepth)
+	}
+	if d := e.resolveDepth(Options{Window: 64}, 4); d != 16 {
+		t.Errorf("W=64/4 workers derived depth = %d, want 16", d)
+	}
+	if d := e.resolveDepth(Options{PipelineDepth: 2, Window: 64}, 4); d != 2 {
+		t.Errorf("explicit depth = %d, want 2", d)
+	}
+	if d := e.resolveDepth(Options{PipelineDepth: 1 << 20}, 4); d != maxPipelineDepth {
+		t.Errorf("huge explicit depth = %d, want clamp to %d", d, maxPipelineDepth)
+	}
+	e.sched.depthHint.Store(32)
+	if d := e.resolveDepth(Options{Window: 1}, 4); d != 32 {
+		t.Errorf("hinted depth = %d, want 32", d)
+	}
+	if d := e.resolveDepth(Options{PipelineDepth: 5, Window: 1}, 4); d != 5 {
+		t.Errorf("explicit depth should bypass the hint: got %d, want 5", d)
+	}
+	// Engines without sched totals (zero value) must still resolve.
+	bare := &Engine{}
+	if d := bare.resolveDepth(Options{Window: 1}, 2); d != defaultPipelineDepth {
+		t.Errorf("bare engine depth = %d, want %d", d, defaultPipelineDepth)
+	}
+}
+
+// tuneDepth: heavy starvation deepens the hint (clamped), negligible
+// starvation decays it toward the derived default.
+func TestTuneDepth(t *testing.T) {
+	e := &Engine{sched: &schedTotals{}}
+	wall := 100 * time.Millisecond
+	// 2 workers idle 60ms of a 100ms run: 30% starved → double.
+	e.tuneDepth(8, 2, wall, 60*time.Millisecond)
+	if h := e.sched.depthHint.Load(); h != 16 {
+		t.Errorf("starved hint = %d, want 16", h)
+	}
+	// Near-zero idle: decay halves toward 0.
+	e.tuneDepth(16, 2, wall, 0)
+	if h := e.sched.depthHint.Load(); h != 8 {
+		t.Errorf("decayed hint = %d, want 8", h)
+	}
+	// Moderate starvation leaves the hint alone.
+	e.tuneDepth(8, 2, wall, 30*time.Millisecond)
+	if h := e.sched.depthHint.Load(); h != 8 {
+		t.Errorf("mid-band should not move the hint: %d", h)
+	}
+	// Deepening clamps at maxPipelineDepth.
+	e.tuneDepth(maxPipelineDepth, 2, wall, 80*time.Millisecond)
+	if h := e.sched.depthHint.Load(); h != maxPipelineDepth {
+		t.Errorf("clamped hint = %d, want %d", h, maxPipelineDepth)
+	}
+}
+
+// Direct scheduler hammering: many producers' worth of candidates pushed
+// through dispatch while workers pop/steal concurrently — every
+// candidate must come out exactly once (run under -race).
+func TestStealDequesExactlyOnce(t *testing.T) {
+	const workers, n = 4, 4000
+	d := newStealDeques(workers, 2)
+	stop := make(chan struct{})
+	var seen [n]int32
+	var wg sync.WaitGroup
+	var slots [workers]workerSlot
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				c, _, ok := d.acquire(w, stop, &slots[w])
+				if !ok {
+					return
+				}
+				seen[c.place]++
+			}
+		}(w)
+	}
+	for i := 0; i < n; i++ {
+		if !d.dispatch(&candidate{place: uint32(i)}, stop) {
+			t.Fatal("dispatch refused with open stop")
+		}
+	}
+	d.closeAll()
+	wg.Wait()
+	var pops int64
+	for w := range slots {
+		pops += slots[w].ownPops + slots[w].steals
+	}
+	if pops != n {
+		t.Fatalf("pops = %d, want %d", pops, n)
+	}
+	for i := range seen {
+		if seen[i] != 1 {
+			t.Fatalf("candidate %d delivered %d times", i, seen[i])
+		}
+	}
+}

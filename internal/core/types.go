@@ -57,6 +57,19 @@ type Options struct {
 	// identical under every setting — only the work counters change. TA
 	// and keyword search ignore it.
 	Window int
+	// PipelineDepth bounds, per worker, how far the parallel pipeline's
+	// producer may run ahead of the finalizer: each worker's deque holds
+	// at most PipelineDepth waiting candidates and the reorder buffer at
+	// most PipelineDepth × workers, so no more than 2 × PipelineDepth ×
+	// workers candidates ever sit between production and finalization
+	// (the backpressure invariant — see resolveDepth). 0 (the default)
+	// derives the depth from the worker count and window size, adjusted
+	// by the engine's starvation feedback; explicit values disable that
+	// feedback for the query and clamp to an internal maximum (64).
+	// Results are identical under every depth — only scheduling, memory,
+	// and the amount of speculative work a θ drop can waste change.
+	// Ignored by serial runs.
+	PipelineDepth int
 	// Cancel aborts evaluation early when the channel is closed (e.g. an
 	// HTTP client disconnecting: pass Request.Context().Done()). Partial
 	// statistics are reported with Stats.Cancelled set.
@@ -158,6 +171,14 @@ type Stats struct {
 	WindowCandidates     int64
 	WindowScreenKilled   int64
 	WindowDeferredKilled int64
+	// Steals counts candidates a parallel worker took from a peer's
+	// deque; OwnPops counts candidates taken from the worker's own
+	// deque (Steals + OwnPops = candidates that reached a worker).
+	// WorkerIdle is the total time workers spent parked waiting for
+	// candidates, summed across workers. All zero in serial runs.
+	Steals     int64
+	OwnPops    int64
+	WorkerIdle time.Duration
 	// SemanticTime is the time spent constructing TQSPs; OtherTime is the
 	// remaining runtime (spatial search, reachability queries, bounds) —
 	// the two bar segments of the paper's runtime figures.
@@ -201,6 +222,9 @@ func (s *Stats) Add(o *Stats) {
 	s.WindowCandidates += o.WindowCandidates
 	s.WindowScreenKilled += o.WindowScreenKilled
 	s.WindowDeferredKilled += o.WindowDeferredKilled
+	s.Steals += o.Steals
+	s.OwnPops += o.OwnPops
+	s.WorkerIdle += o.WorkerIdle
 	s.SemanticTime += o.SemanticTime
 	s.OtherTime += o.OtherTime
 	if o.TimedOut {

@@ -6,11 +6,15 @@
 // TQSP looseness values across queries sharing a keyword set.
 package lru
 
+import "sync/atomic"
+
 // Cache is a fixed-budget least-recently-used cache. The budget is a
 // cost total: with the default unit cost (New) it is an entry count;
 // NewSized attaches a per-entry cost function so unevenly sized values
-// (e.g. documents) are accounted by size. Not safe for concurrent use;
-// callers wrap it in a mutex or use Sharded.
+// (e.g. documents) are accounted by size. Not safe for concurrent use —
+// callers wrap it in a mutex or use Sharded — with one carve-out:
+// PeekTouch may run concurrently with other PeekTouch calls (Sharded's
+// shared-lock read path).
 type Cache[K comparable, V any] struct {
 	budget  int64
 	used    int64
@@ -27,6 +31,10 @@ type node[K comparable, V any] struct {
 	value      V
 	cost       int64
 	prev, next *node[K, V]
+	// touched is the CLOCK reference bit set by PeekTouch (atomically,
+	// so readers need no exclusive lock) and consumed by eviction: a
+	// touched tail entry gets a second chance instead of eviction.
+	touched atomic.Bool
 }
 
 // New returns a cache holding at most capacity entries (minimum 1).
@@ -76,6 +84,23 @@ func (c *Cache[K, V]) Peek(key K) (V, bool) {
 	return n.value, true
 }
 
+// PeekTouch returns the cached value and marks the entry recently used
+// without mutating the recency list or stats: the mark is an atomic
+// reference bit the next eviction scan consumes (second chance), so any
+// number of PeekTouch calls may run concurrently under a shared lock.
+// Callers that need hit/miss accounting keep it externally (Sharded's
+// atomic counters). Entries never read through PeekTouch or Get evict
+// in exact LRU order, as before.
+func (c *Cache[K, V]) PeekTouch(key K) (V, bool) {
+	n, ok := c.entries[key]
+	if !ok {
+		var zero V
+		return zero, false
+	}
+	n.touched.Store(true)
+	return n.value, true
+}
+
 // Put inserts or refreshes a value, evicting least recently used
 // entries while the cost total exceeds the budget.
 func (c *Cache[K, V]) Put(key K, value V) {
@@ -99,6 +124,14 @@ func (c *Cache[K, V]) Put(key K, value V) {
 	}
 	for c.used > c.budget && len(c.entries) > 1 {
 		lru := c.tail
+		// Second chance: a tail entry read via PeekTouch since it last
+		// passed here rotates to the front instead of evicting. Each
+		// iteration either evicts or clears one reference bit, so the
+		// scan terminates after at most one full rotation.
+		if lru.touched.Swap(false) {
+			c.moveToFront(lru)
+			continue
+		}
 		c.unlink(lru)
 		delete(c.entries, lru.key)
 		c.used -= lru.cost

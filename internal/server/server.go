@@ -74,6 +74,11 @@ type Server struct {
 	// DefaultWindow) to bound the per-query candidate buffer; it defaults
 	// to 1024.
 	MaxWindow int
+	// PipelineDepth fixes each parallel query's per-worker deque bound
+	// (Options.PipelineDepth). 0 — the default — lets the engine derive
+	// it from worker count and window size and self-tune from starvation
+	// feedback; set it only to pin measurements.
+	PipelineDepth int
 
 	// AdmitCapacity is the total pipeline width (worker units summed over
 	// concurrent requests) admitted at once; a request evaluating with W
@@ -311,8 +316,14 @@ type QueryStats struct {
 	CacheHits            int64 `json:"cacheHits,omitempty"`
 	CacheBoundHits       int64 `json:"cacheBoundHits,omitempty"`
 	CacheMisses          int64 `json:"cacheMisses,omitempty"`
-	TimedOut             bool  `json:"timedOut"`
-	Cancelled            bool  `json:"cancelled,omitempty"`
+	// Steals / OwnPops split the candidates that reached a pipeline
+	// worker by deque origin; WorkerIdleMicros is the total time workers
+	// sat starved. All zero on serial (parallelism <= 1) evaluations.
+	Steals           int64 `json:"steals,omitempty"`
+	OwnPops          int64 `json:"ownPops,omitempty"`
+	WorkerIdleMicros int64 `json:"workerIdleMicros,omitempty"`
+	TimedOut         bool  `json:"timedOut"`
+	Cancelled        bool  `json:"cancelled,omitempty"`
 }
 
 type apiError struct {
@@ -424,11 +435,12 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	query := ksp.Query{Loc: ksp.Point{X: x, Y: y}, Keywords: kws, K: k}
 	tr := obs.TraceFromContext(r.Context())
 	opts := ksp.Options{
-		CollectTrees: trees,
-		Deadline:     s.Timeout,
-		Parallelism:  parallel,
-		Window:       window,
-		Trace:        tr,
+		CollectTrees:  trees,
+		Deadline:      s.Timeout,
+		Parallelism:   parallel,
+		Window:        window,
+		PipelineDepth: s.PipelineDepth,
+		Trace:         tr,
 		// A disconnected client must not keep burning the Timeout budget.
 		Cancel: r.Context().Done(),
 	}
@@ -542,6 +554,9 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 			CacheHits:            stats.CacheHits,
 			CacheBoundHits:       stats.CacheBoundHits,
 			CacheMisses:          stats.CacheMisses,
+			Steals:               stats.Steals,
+			OwnPops:              stats.OwnPops,
+			WorkerIdleMicros:     stats.WorkerIdle.Microseconds(),
 			TimedOut:             stats.TimedOut,
 			Cancelled:            stats.Cancelled,
 		},
@@ -783,6 +798,7 @@ type StatsResponse struct {
 	Dataset        ksp.DatasetStats  `json:"dataset"`
 	Cache          *CacheSection     `json:"cache,omitempty"`
 	Window         *WindowSection    `json:"window,omitempty"`
+	Scheduler      *SchedSection     `json:"scheduler,omitempty"`
 	Admission      *AdmissionSection `json:"admission,omitempty"`
 	FaultInjection FaultSection      `json:"faultInjection"`
 	Runtime        RuntimeSection    `json:"runtime"`
@@ -802,6 +818,19 @@ type CacheSection struct {
 type WindowSection struct {
 	ksp.WindowStats
 	KillRate float64 `json:"killRate"`
+}
+
+// SchedSection reports the parallel pipeline's work-stealing scheduler
+// in /stats; it appears once the first parallel query has run. StealRate
+// is the fraction of worker pops that came from a peer's deque, and
+// WorkerIdleMicros the cumulative starvation time across all workers.
+type SchedSection struct {
+	ParallelQueries   int64   `json:"parallelQueries"`
+	Steals            int64   `json:"steals"`
+	OwnPops           int64   `json:"ownPops"`
+	StealRate         float64 `json:"stealRate"`
+	WorkerIdleMicros  int64   `json:"workerIdleMicros"`
+	PipelineDepthHint int     `json:"pipelineDepthHint"`
 }
 
 // FaultSection reports the fault-injection framework: whether a plan is
@@ -861,6 +890,19 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			sec.KillRate = float64(ws.ScreenKilled+ws.DeferredKilled) / float64(ws.Candidates)
 		}
 		resp.Window = &sec
+	}
+	if sc := s.ds.SchedStats(); sc.ParallelQueries > 0 {
+		sec := SchedSection{
+			ParallelQueries:   sc.ParallelQueries,
+			Steals:            sc.Steals,
+			OwnPops:           sc.OwnPops,
+			WorkerIdleMicros:  sc.WorkerIdle.Microseconds(),
+			PipelineDepthHint: sc.PipelineDepthHint,
+		}
+		if pops := sc.Steals + sc.OwnPops; pops > 0 {
+			sec.StealRate = float64(sc.Steals) / float64(pops)
+		}
+		resp.Scheduler = &sec
 	}
 	if adm := s.admission(); adm != nil {
 		sec := adm.snapshot()

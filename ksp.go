@@ -71,6 +71,10 @@ type CacheStats = core.CacheStats
 // totals. See Dataset.WindowStats.
 type WindowStats = core.WindowStats
 
+// SchedStats summarizes the parallel pipeline's work-stealing scheduler
+// over the dataset's lifetime (Dataset.SchedStats).
+type SchedStats = core.SchedStats
+
 // Registry is a metrics registry: engines and servers record into it,
 // and it renders in Prometheus text exposition format (WriteText) or as
 // JSON-friendly samples (Snapshot). See Dataset.EnableMetrics.
@@ -245,7 +249,16 @@ func OpenFile(path string, cfg Config) (*Dataset, error) {
 }
 
 func finish(b *rdf.Builder, cfg Config) (*Dataset, error) {
-	g := b.Build()
+	return NewDatasetFromGraph(b.Build(), cfg)
+}
+
+// NewDatasetFromGraph indexes an already-built graph into a Dataset,
+// applying cfg exactly like Open does after parsing. It exists for
+// in-module tooling — the bench suite's load harness feeds synthetic
+// graphs (internal/gen) straight into a live server — and is not
+// callable from outside the module, since the graph type lives in an
+// internal package.
+func NewDatasetFromGraph(g *rdf.Graph, cfg Config) (*Dataset, error) {
 	e := core.NewEngine(g, cfg.Direction)
 	if cfg.Ranking != nil {
 		e.Rank = cfg.Ranking
@@ -378,6 +391,13 @@ func (d *Dataset) CacheStats() (CacheStats, bool) { return d.engine.CacheStats()
 // TQSP construction. All zeros until a windowed query runs (every query
 // is windowed unless Options.Window is 1).
 func (d *Dataset) WindowStats() WindowStats { return d.engine.WindowStats() }
+
+// SchedStats reports the work-stealing scheduler's lifetime totals:
+// parallel pipeline runs, deque pops split into own pops and steals,
+// cumulative worker starvation time, and the current starvation-feedback
+// pipeline-depth hint. All zeros until a parallel query
+// (Options.Parallelism > 1) runs.
+func (d *Dataset) SchedStats() SchedStats { return d.engine.SchedStats() }
 
 // EnableMetrics registers the engine's instruments (query counters and
 // latency histograms per algorithm, TQSP and pruning counters, looseness
