@@ -43,10 +43,11 @@ func main() {
 		jsonOut  = flag.String("json", "", "write all reports plus run metadata as one JSON document to this file ('-' = stdout)")
 		list     = flag.Bool("list", false, "list experiment ids and exit")
 
-		loadQPS = flag.String("load-qps", "", "comma-separated offered-QPS ladder for the load experiment (default 25,50,100)")
-		loadDur = flag.Duration("load-duration", 0, "arrival window per load rate (default 3s)")
-		loadPar = flag.Int("load-parallel", 0, "per-request pipeline width for the load experiment (default 4)")
-		loadWin = flag.Int("load-window", 0, "scheduler window directive for the load experiment (0 = adaptive)")
+		loadQPS    = flag.String("load-qps", "", "comma-separated offered-QPS ladder for the load experiment (default 25,50,100)")
+		loadDur    = flag.Duration("load-duration", 0, "arrival window per load rate (default 3s)")
+		loadPar    = flag.Int("load-parallel", 0, "per-request pipeline width for the load experiment (default 4)")
+		loadWin    = flag.Int("load-window", 0, "scheduler window directive for the load experiment (0 = adaptive)")
+		loadShards = flag.Int("load-shards", 0, "serve the load experiment through N local spatial shards (0/1 = single engine)")
 	)
 	flag.Parse()
 
@@ -71,6 +72,7 @@ func main() {
 	s.LoadDuration = *loadDur
 	s.LoadParallel = *loadPar
 	s.LoadWindow = *loadWin
+	s.LoadShards = *loadShards
 	// The registry rides along for -json: the document then carries the
 	// run's cumulative engine counters next to the report tables.
 	reg := obs.NewRegistry()

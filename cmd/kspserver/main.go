@@ -4,6 +4,15 @@
 //
 //	kspserver -data data.nt -addr :8080
 //	kspserver -snapshot data.snap -addr :8080
+//	kspserver -data data.nt -shards 4                 # in-process scatter-gather
+//	kspserver -shard-addrs http://10.0.0.2:8080,http://10.0.0.3:8080
+//
+// -shards N partitions the loaded dataset into N spatial tiles and
+// serves /search by fault-tolerant scatter-gather across them;
+// -shard-addrs instead federates remote kspserver peers over their
+// /search wire format (the local dataset then only serves /keyword,
+// /nearest and /describe). See internal/shard for the resilience
+// policy (retries, hedging, circuit breakers).
 //
 // Endpoints: /search, /describe, /stats, /metrics, /debug/queries,
 // /healthz (see internal/server). Example:
@@ -22,11 +31,13 @@ import (
 	_ "net/http/pprof" // registered on the side listener only (-pprof)
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"ksp"
 	"ksp/internal/server"
+	"ksp/internal/shard"
 )
 
 func main() {
@@ -42,6 +53,13 @@ func main() {
 		depth    = flag.Int("pipeline-depth", 0, "per-worker deque bound for parallel queries (0 = derived from workers and window, self-tuned from starvation feedback)")
 		cache    = flag.Int("cache", 0, "looseness cache entries (0 = disabled, negative = built-in default)")
 		pprof    = flag.String("pprof", "", "side listen address for net/http/pprof (empty = disabled), e.g. localhost:6060")
+
+		shards      = flag.Int("shards", 0, "partition the dataset into N spatial tiles and serve /search by scatter-gather (0 = single engine)")
+		shardAddrs  = flag.String("shard-addrs", "", "comma-separated base URLs of remote kspserver shards to federate (mutually exclusive with -shards)")
+		shardWait   = flag.Duration("shard-timeout", 2*time.Second, "per-attempt shard call deadline")
+		shardTries  = flag.Int("shard-attempts", 3, "shard call attempts per query, first included")
+		shardHedge  = flag.Duration("shard-hedge-after", 250*time.Millisecond, "hedge a second shard attempt after this long (negative = no hedging)")
+		shardFanout = flag.Int("shard-fanout", 0, "concurrent shard calls per query, dispatched by ascending MinDist (0 = all shards at once)")
 
 		admitWidth = flag.Int("admit-width", 0, "total pipeline width admitted concurrently (0 = 2×GOMAXPROCS, negative = unlimited)")
 		admitQueue = flag.Int("admit-queue", 0, "requests that may queue for admission before shedding 429 (0 = 16, negative = no queue)")
@@ -108,6 +126,21 @@ func main() {
 	s.AdmitQueue = *admitQueue
 	s.QueueTimeout = *queueWait
 
+	coord, err := buildShards(ds, *shards, *shardAddrs, shard.Config{
+		AttemptTimeout: *shardWait,
+		MaxAttempts:    *shardTries,
+		HedgeAfter:     *shardHedge,
+		FanOut:         *shardFanout,
+	})
+	if err != nil {
+		fatal(logger, err.Error())
+	}
+	if coord != nil {
+		s.AttachShards(coord)
+		up, total := coord.Healthy()
+		logger.Info("scatter-gather enabled", "shardsUp", up, "shardsTotal", total)
+	}
+
 	srv := &http.Server{Addr: *addr, Handler: s}
 	errc := make(chan error, 1)
 	go func() {
@@ -131,10 +164,47 @@ func main() {
 		if err := srv.Shutdown(ctx); err != nil {
 			fatal(logger, "drain incomplete: "+err.Error())
 		}
+		if coord != nil {
+			// After the drain: no in-flight gather needs the health checker
+			// or the breakers anymore.
+			coord.Close()
+		}
 		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 			fatal(logger, err.Error())
 		}
 	}
+}
+
+// buildShards constructs the scatter-gather coordinator from the shard
+// flags: -shards N tiles the loaded dataset in-process, -shard-addrs
+// federates remote peers. nil means single-engine serving.
+func buildShards(ds *ksp.Dataset, n int, addrs string, cfg shard.Config) (*shard.Coordinator, error) {
+	if n > 0 && addrs != "" {
+		return nil, errors.New("-shards and -shard-addrs are mutually exclusive")
+	}
+	var members []shard.Shard
+	switch {
+	case addrs != "":
+		for _, a := range strings.Split(addrs, ",") {
+			if a = strings.TrimSpace(a); a != "" {
+				members = append(members, shard.NewRemote(a, a, nil))
+			}
+		}
+		if len(members) == 0 {
+			return nil, errors.New("-shard-addrs names no shards")
+		}
+	case n > 0:
+		tiles, err := ds.PartitionSpatial(n)
+		if err != nil {
+			return nil, err
+		}
+		for i, tile := range tiles {
+			members = append(members, shard.NewLocal(fmt.Sprintf("tile%d", i), tile))
+		}
+	default:
+		return nil, nil
+	}
+	return shard.New(members, cfg)
 }
 
 // buildLogger constructs the process logger from the -log-level and

@@ -54,6 +54,16 @@ type Index struct {
 // this is the one build step worth parallelizing. The result is
 // deterministic: posting lists are sorted during index finalization.
 func Build(g *rdf.Graph, tree *rtree.RTree, alphaRadius int, dir rdf.Direction) *Index {
+	return BuildFor(g, tree, alphaRadius, dir, g.Places())
+}
+
+// BuildFor is Build restricted to the given place subset: only those
+// places get a BFS and only their neighbourhoods feed the node
+// aggregation, so tree must contain exactly them. This is the spatial
+// sharding construction path — each shard's engine rebuilds its α index
+// over its own partition, and the total BFS work across all shards
+// equals one full Build.
+func BuildFor(g *rdf.Graph, tree *rtree.RTree, alphaRadius int, dir rdf.Direction, places []uint32) *Index {
 	placeB := invindex.NewBuilder()
 	nodeB := invindex.NewBuilder()
 	placeB.Reserve(g.Vocab.Len())
@@ -61,7 +71,6 @@ func Build(g *rdf.Graph, tree *rtree.RTree, alphaRadius int, dir rdf.Direction) 
 
 	// Per-place neighbourhoods, one worker per CPU, each with its own
 	// BFS scratch.
-	places := g.Places()
 	wns := make([]map[uint32]uint8, len(places))
 	workers := runtime.GOMAXPROCS(0)
 	if workers > len(places) {

@@ -44,6 +44,9 @@ type Suite struct {
 	LoadDuration time.Duration
 	LoadParallel int
 	LoadWindow   int
+	// LoadShards > 1 runs the load experiment through a scatter-gather
+	// coordinator over that many local spatial shards.
+	LoadShards int
 
 	data map[string]*benchData
 }

@@ -19,6 +19,7 @@ import (
 
 	"ksp"
 	"ksp/internal/server"
+	"ksp/internal/shard"
 )
 
 // LoadConfig is one sustained-load cell.
@@ -40,6 +41,28 @@ type LoadConfig struct {
 	Window   int `json:"window"`
 	// Seed drives both the workload choice and the arrival clock.
 	Seed int64 `json:"seed"`
+	// Shards > 1 serves the cell through a scatter-gather coordinator
+	// over that many spatial tiles of the dataset (Local shards); the
+	// result then carries per-shard counters.
+	Shards int `json:"shards,omitempty"`
+}
+
+// ShardLoad is one shard's share of a sharded load cell: lifetime
+// counters from the coordinator snapshot plus the shard's achieved
+// call rate over the cell's wall-clock window.
+type ShardLoad struct {
+	Name string `json:"name"`
+	// AchievedQPS is successful shard calls per second of cell wall
+	// time. Summed across shards it exceeds the cell's request rate
+	// whenever queries fan out to more than one tile.
+	AchievedQPS  float64 `json:"achievedQPS"`
+	Calls        int64   `json:"calls"`
+	OK           int64   `json:"ok"`
+	Errors       int64   `json:"errors"`
+	Retries      int64   `json:"retries"`
+	Hedges       int64   `json:"hedges"`
+	Breaker      string  `json:"breaker"`
+	BreakerTrips int64   `json:"breakerTrips"`
 }
 
 // LoadResult is the measured outcome of one LoadConfig.
@@ -60,6 +83,10 @@ type LoadResult struct {
 	P99Micros  int64 `json:"p99Micros"`
 	P999Micros int64 `json:"p999Micros"`
 	MaxMicros  int64 `json:"maxMicros"`
+	// Shards carries the per-shard outcome of a sharded cell
+	// (Config.Shards > 1): achieved per-shard QPS, call counters, and
+	// breaker trips, read from the coordinator after the run drains.
+	Shards []ShardLoad `json:"shardLoads,omitempty"`
 }
 
 // loadCell runs one open-loop cell against a fresh server instance.
@@ -75,6 +102,24 @@ func (s *Suite) loadCell(cfg LoadConfig) (LoadResult, error) {
 	srv.MaxParallel = cfg.Parallel
 	if srv.MaxParallel < 1 {
 		srv.MaxParallel = 1
+	}
+	var coord *shard.Coordinator
+	if cfg.Shards > 1 {
+		tiles, err := ds.PartitionSpatial(cfg.Shards)
+		if err != nil {
+			return res, err
+		}
+		members := make([]shard.Shard, len(tiles))
+		for i, tile := range tiles {
+			members[i] = shard.NewLocal(fmt.Sprintf("tile%d", i), tile)
+		}
+		// Background health probes would add off-schedule work to the
+		// cell; the breaker counters we report come from search calls.
+		if coord, err = shard.New(members, shard.Config{HealthInterval: -1}); err != nil {
+			return res, err
+		}
+		defer coord.Close()
+		srv.AttachShards(coord)
 	}
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
@@ -152,6 +197,24 @@ func (s *Suite) loadCell(cfg LoadConfig) (LoadResult, error) {
 	if n := len(latencies); n > 0 {
 		res.MaxMicros = latencies[n-1]
 	}
+	if coord != nil {
+		for _, info := range coord.Snapshot() {
+			sl := ShardLoad{
+				Name:         info.Name,
+				Calls:        info.Calls,
+				OK:           info.OK,
+				Errors:       info.Errors,
+				Retries:      info.Retries,
+				Hedges:       info.Hedges,
+				Breaker:      info.Breaker,
+				BreakerTrips: info.BreakerTrips,
+			}
+			if wall > 0 {
+				sl.AchievedQPS = float64(info.OK) / wall.Seconds()
+			}
+			res.Shards = append(res.Shards, sl)
+		}
+	}
 	return res, nil
 }
 
@@ -206,13 +269,21 @@ func (s *Suite) loadDefaults() ([]float64, time.Duration, int, int) {
 // attached to the report for JSON baselines.
 func (s *Suite) load() ([]*Report, error) {
 	qpsLadder, dur, par, window := s.loadDefaults()
-	r := &Report{ID: "load", Title: "Open-loop sustained throughput (SPP, Yago-like)",
+	title := "Open-loop sustained throughput (SPP, Yago-like)"
+	if s.LoadShards > 1 {
+		title = fmt.Sprintf("Open-loop sustained throughput (SPP, Yago-like, %d local shards)", s.LoadShards)
+	}
+	r := &Report{ID: "load", Title: title,
 		Header: []string{"offered QPS", "achieved QPS", "sent", "ok", "shed", "err",
 			"p50 (ms)", "p90 (ms)", "p99 (ms)", "p999 (ms)", "max (ms)"},
 		Notes: []string{
 			"open loop: seeded-exponential arrivals fire regardless of completions, so saturation surfaces as latency and shed, never as a quietly reduced offered rate",
 			fmt.Sprintf("per-request parallelism %d, window %d (0 = adaptive), arrival window %v per rate", par, window, dur),
 		}}
+	if s.LoadShards > 1 {
+		r.Notes = append(r.Notes, fmt.Sprintf(
+			"sharded: each request scatter-gathers across %d spatial tiles; per-shard achieved QPS, call counters, and breaker trips are in the JSON cells (shardLoads)", s.LoadShards))
+	}
 	for i, qps := range qpsLadder {
 		cell, err := s.loadCell(LoadConfig{
 			Dataset:  YagoLike,
@@ -224,6 +295,7 @@ func (s *Suite) load() ([]*Report, error) {
 			Parallel: par,
 			Window:   window,
 			Seed:     s.Seed + int64(100+i),
+			Shards:   s.LoadShards,
 		})
 		if err != nil {
 			return nil, err

@@ -56,6 +56,53 @@ func TestLoadSmoke(t *testing.T) {
 	}
 }
 
+// A sharded load cell carries per-shard counters that account for the
+// cell's successful requests: every 200 involved at least one
+// successful shard call, no shard saw errors, and no breaker tripped
+// on a healthy run.
+func TestLoadShardedSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	s := NewSuite(1500, 4, 99, &buf)
+	cell, err := s.loadCell(LoadConfig{
+		Dataset:  YagoLike,
+		QPS:      30,
+		Duration: 1200 * time.Millisecond,
+		Algo:     "SPP",
+		K:        defaultK,
+		M:        defaultM,
+		Parallel: 2,
+		Seed:     99,
+		Shards:   3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cell.OK == 0 {
+		t.Fatalf("no request succeeded: %+v", cell)
+	}
+	if len(cell.Shards) != 3 {
+		t.Fatalf("got %d shard cells, want 3: %+v", len(cell.Shards), cell.Shards)
+	}
+	var okCalls int64
+	names := map[string]bool{}
+	for _, sl := range cell.Shards {
+		if names[sl.Name] {
+			t.Errorf("duplicate shard cell %q", sl.Name)
+		}
+		names[sl.Name] = true
+		okCalls += sl.OK
+		if sl.Errors > 0 || sl.BreakerTrips > 0 || sl.Breaker != "closed" {
+			t.Errorf("shard %s unhealthy on a fault-free run: %+v", sl.Name, sl)
+		}
+		if sl.OK > 0 && sl.AchievedQPS <= 0 {
+			t.Errorf("shard %s: %d ok calls but achieved QPS %v", sl.Name, sl.OK, sl.AchievedQPS)
+		}
+	}
+	if okCalls < int64(cell.OK) {
+		t.Errorf("shards answered %d calls for %d successful requests", okCalls, cell.OK)
+	}
+}
+
 // The load experiment's report must mirror its machine-readable cells.
 func TestLoadReportCarriesCells(t *testing.T) {
 	s := smallSuite(t)

@@ -1,0 +1,43 @@
+package core
+
+import (
+	"ksp/internal/alpha"
+	"ksp/internal/rtree"
+)
+
+// Subset returns an engine over the same graph whose spatial candidate
+// universe is restricted to places — the building block of spatial
+// sharding: semantic structure stays global (TQSPs may reach vertices
+// owned by other shards), only the GETNEXT stream is partitioned. The
+// R-tree and, when the receiver has one, the α-radius index are rebuilt
+// over the subset; everything graph-wide — document index, reachability
+// labels, looseness cache, scratch pools, metrics, scheduler and window
+// lifetime totals — is shared with the receiver, so per-shard queries
+// keep feeding the same observability counters.
+//
+// The grid source is dropped: Options.UseGrid is a whole-dataset
+// spatial-index ablation, not a sharding mode, and a query using it on a
+// subset engine fails like any grid-less engine.
+func (e *Engine) Subset(places []uint32) *Engine {
+	clone := *e
+	items := make([]rtree.Item, len(places))
+	for i, p := range places {
+		items[i] = rtree.Item{ID: p, Loc: e.G.Loc(p)}
+	}
+	clone.Tree = rtree.Bulk(items, rtree.DefaultMaxEntries)
+	clone.Grid = nil
+	if e.Alpha != nil {
+		// Node postings must line up with the new tree's node IDs, so the
+		// α index is rebuilt per shard; BuildFor scopes the BFS work to
+		// the shard's own places, keeping the total across shards equal
+		// to one full build.
+		clone.Alpha = alpha.BuildFor(e.G, clone.Tree, e.Alpha.Alpha, e.Dir, places)
+	}
+	if e.metrics != nil {
+		// The receiver's EnableMetrics hooked its own tree; the rebuilt
+		// tree needs the same live node-access hook.
+		m := e.metrics
+		clone.Tree.OnNodeAccess = func() { m.rtree.Inc() }
+	}
+	return &clone
+}

@@ -32,16 +32,30 @@ func Bulk(items []Item, maxEntries int) *RTree {
 	return t
 }
 
-// packLeaves tiles the items into leaf nodes: sort by X, cut into vertical
-// slabs of S·M items (S = ceil(sqrt(P)), P = number of leaves), sort each
-// slab by Y and pack runs of M.
-func (t *RTree) packLeaves(items []Item) []*Node {
-	m := t.maxEntries
-	p := (len(items) + m - 1) / m
-	s := int(math.Ceil(math.Sqrt(float64(p))))
+// STRSort reorders items in place into Sort-Tile-Recursive order with
+// tile size runLength: items are sorted by X, cut into vertical slabs of
+// S·runLength (S = ceil(sqrt(P)), P = number of tiles), and each slab is
+// sorted by Y — exactly the tiling packLeaves applies with
+// runLength = maxEntries. After the call, every contiguous run of
+// runLength items forms one STR tile, so cutting the slice into equal
+// contiguous chunks yields a spatially coherent partition (the shard
+// partitioner's use).
+func STRSort(items []Item, runLength int) {
+	if runLength < 1 {
+		runLength = 1
+	}
+	strSort(items, runLength)
+}
+
+// strSlabs returns S = ceil(sqrt(P)) for P = ceil(n/m) tiles.
+func strSlabs(n, m int) int {
+	p := (n + m - 1) / m
+	return int(math.Ceil(math.Sqrt(float64(p))))
+}
+
+func strSort(items []Item, m int) {
 	sort.Slice(items, func(i, j int) bool { return items[i].Loc.X < items[j].Loc.X })
-	var leaves []*Node
-	slabSize := s * m
+	slabSize := strSlabs(len(items), m) * m
 	for start := 0; start < len(items); start += slabSize {
 		end := start + slabSize
 		if end > len(items) {
@@ -49,6 +63,23 @@ func (t *RTree) packLeaves(items []Item) []*Node {
 		}
 		slab := items[start:end]
 		sort.Slice(slab, func(i, j int) bool { return slab[i].Loc.Y < slab[j].Loc.Y })
+	}
+}
+
+// packLeaves tiles the items into leaf nodes: sort by X, cut into vertical
+// slabs of S·M items (S = ceil(sqrt(P)), P = number of leaves), sort each
+// slab by Y and pack runs of M.
+func (t *RTree) packLeaves(items []Item) []*Node {
+	m := t.maxEntries
+	strSort(items, m)
+	var leaves []*Node
+	slabSize := strSlabs(len(items), m) * m
+	for start := 0; start < len(items); start += slabSize {
+		end := start + slabSize
+		if end > len(items) {
+			end = len(items)
+		}
+		slab := items[start:end]
 		for ls := 0; ls < len(slab); ls += m {
 			le := ls + m
 			if le > len(slab) {

@@ -13,6 +13,7 @@ import (
 	"ksp"
 	"ksp/internal/core"
 	"ksp/internal/faultinject"
+	"ksp/internal/shard"
 	"ksp/internal/testutil"
 )
 
@@ -40,6 +41,9 @@ func TestInjectionPointRegistry(t *testing.T) {
 		core.PointBFS,
 		core.PointWindowFill,
 		PointSearchAdmitted,
+		shard.PointCall,
+		shard.PointPing,
+		shard.PointTruncate,
 	}
 	sort.Strings(want)
 	got := faultinject.Points()

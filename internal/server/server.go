@@ -45,6 +45,7 @@ import (
 	"ksp"
 	"ksp/internal/faultinject"
 	"ksp/internal/obs"
+	"ksp/internal/shard"
 )
 
 // PointSearchAdmitted fires after a /search request clears admission
@@ -98,6 +99,15 @@ type Server struct {
 	// selects slog.Default(). Access logs are emitted at Debug so the
 	// default Info level stays quiet under normal traffic.
 	Logger *slog.Logger
+	// Shards, when non-nil, switches /search to scatter-gather
+	// evaluation through the coordinator instead of the single local
+	// engine; /readyz gains per-shard health with a majority quorum and
+	// /stats a per-shard section. Set it after New, before serving. The
+	// caller owns the coordinator's lifetime (Close after shutdown).
+	// Sharded searches bypass the singleflight coalescer: the flight
+	// cache is typed to single-engine evaluations, and per-shard
+	// breakers already bound duplicated work during incidents.
+	Shards *shard.Coordinator
 
 	admOnce sync.Once
 	adm     *admission
@@ -268,7 +278,13 @@ type SearchResponse struct {
 	Results         []SearchResult `json:"results"`
 	Partial         bool           `json:"partial,omitempty"`
 	ScoreLowerBound float64        `json:"scoreLowerBound,omitempty"`
-	Stats           QueryStats     `json:"stats"`
+	// Degraded and Shards appear on scatter-gather responses: Degraded
+	// marks an answer that lost at least one shard (or got only a
+	// partial from one), and Shards carries the per-shard outcome
+	// detail, error strings included.
+	Degraded bool           `json:"degraded,omitempty"`
+	Shards   []shard.Status `json:"shards,omitempty"`
+	Stats    QueryStats     `json:"stats"`
 	// Trace is the evaluation's span tree, present when the request
 	// carried ?trace=1.
 	Trace *obs.SpanJSON `json:"trace,omitempty"`
@@ -276,6 +292,10 @@ type SearchResponse struct {
 
 // SearchResult is one semantic place.
 type SearchResult struct {
+	// Place is the root place's vertex ID — the engine's deterministic
+	// (score, place) tie-break key, which shard coordinators need to
+	// merge remote streams bit-identically.
+	Place     uint32  `json:"place"`
 	URI       string  `json:"uri"`
 	Score     float64 `json:"score"`
 	Looseness float64 `json:"looseness"`
@@ -419,6 +439,14 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	window = s.clampWindow(window)
+	var maxDist float64
+	if ms := q.Get("maxdist"); ms != "" {
+		var ok bool
+		if maxDist, ok = parseCoord(ms); !ok || maxDist <= 0 {
+			s.fail(w, http.StatusBadRequest, "maxdist must be a positive finite number")
+			return
+		}
+	}
 
 	// Admission weight is the evaluation's pipeline width: a serial
 	// query occupies one unit, a parallel one its worker count.
@@ -432,11 +460,21 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	}
 	faultinject.Fire(PointSearchAdmitted)
 
+	if s.Shards != nil {
+		s.searchSharded(w, r, release, shard.Request{
+			X: x, Y: y, Keywords: kws, K: k, Algo: algo,
+			Parallel: parallel, Window: window,
+			MaxDist: maxDist, CollectTrees: trees,
+		})
+		return
+	}
+
 	query := ksp.Query{Loc: ksp.Point{X: x, Y: y}, Keywords: kws, K: k}
 	tr := obs.TraceFromContext(r.Context())
 	opts := ksp.Options{
 		CollectTrees:  trees,
 		Deadline:      s.Timeout,
+		MaxDist:       maxDist,
 		Parallelism:   parallel,
 		Window:        window,
 		PipelineDepth: s.PipelineDepth,
@@ -459,7 +497,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	// flight; everything else coalesces with any concurrent identical
 	// query already evaluating.
 	if tr == nil && s.flights != nil {
-		f, leader := s.flights.join(flightKey(algo, x, y, kws, k, trees, parallel, window))
+		f, leader := s.flights.join(flightKey(algo, x, y, kws, k, trees, parallel, window, maxDist))
 		if leader {
 			defer release()
 			// Leave the flight when this client disconnects mid-run: with
@@ -570,6 +608,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	for _, item := range res {
 		loc, _ := s.ds.Location(item.Place)
 		sr := SearchResult{
+			Place:     item.Place,
 			URI:       s.ds.URI(item.Place),
 			Score:     item.Score,
 			Looseness: item.Looseness,
@@ -795,7 +834,10 @@ func (s *Server) handleDescribe(w http.ResponseWriter, r *http.Request) {
 // always present, optional subsystems (cache, admission) appear only
 // when enabled, and the metrics snapshot mirrors what /metrics exports.
 type StatsResponse struct {
-	Dataset        ksp.DatasetStats  `json:"dataset"`
+	Dataset ksp.DatasetStats `json:"dataset"`
+	// Bounds is the dataset's place MBR; peer coordinators read it to
+	// enable shard distance pruning. Absent on empty datasets.
+	Bounds         *BoundsSection    `json:"bounds,omitempty"`
 	Cache          *CacheSection     `json:"cache,omitempty"`
 	Window         *WindowSection    `json:"window,omitempty"`
 	Scheduler      *SchedSection     `json:"scheduler,omitempty"`
@@ -803,7 +845,10 @@ type StatsResponse struct {
 	FaultInjection FaultSection      `json:"faultInjection"`
 	Runtime        RuntimeSection    `json:"runtime"`
 	Server         ServerSection     `json:"server"`
-	Metrics        []ksp.MetricPoint `json:"metrics,omitempty"`
+	// Shards reports per-shard lifetime counters and breaker states on
+	// scatter-gather servers.
+	Shards  []shard.ShardInfo `json:"shards,omitempty"`
+	Metrics []ksp.MetricPoint `json:"metrics,omitempty"`
 }
 
 // CacheSection reports the looseness cache in /stats.
@@ -864,6 +909,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	runtime.ReadMemStats(&ms)
 	resp := StatsResponse{
 		Dataset: s.ds.Stats(),
+		Bounds:  boundsSection(s.ds),
 		FaultInjection: FaultSection{
 			Active: faultinject.Enabled(),
 			Points: faultinject.Points(),
@@ -908,6 +954,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		sec := adm.snapshot()
 		resp.Admission = &sec
 	}
+	if s.Shards != nil {
+		resp.Shards = s.Shards.Snapshot()
+	}
 	if s.reg != nil {
 		resp.Metrics = s.reg.Snapshot()
 	}
@@ -940,9 +989,17 @@ func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
 	}()
 	select {
 	case <-done:
-		w.WriteHeader(http.StatusOK)
-		fmt.Fprintln(w, "ready")
 	case <-time.After(timeout):
 		s.fail(w, http.StatusServiceUnavailable, "self-check query exceeded %v", timeout)
+		return
 	}
+	// Sharded servers add the per-shard quorum: the local self-check
+	// proves this process serves, the quorum proves enough shards answer
+	// to make routing traffic here worthwhile.
+	if s.Shards != nil {
+		s.readySharded(w)
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	fmt.Fprintln(w, "ready")
 }

@@ -1,0 +1,140 @@
+package shard
+
+import (
+	"sync"
+	"time"
+)
+
+// breakerState is the classic three-state circuit-breaker machine.
+type breakerState int
+
+const (
+	// stateClosed passes calls through, counting consecutive failures.
+	stateClosed breakerState = iota
+	// stateOpen rejects calls until the cooldown elapses.
+	stateOpen
+	// stateHalfOpen lets exactly one probe through; its outcome decides
+	// between closing and re-opening.
+	stateHalfOpen
+)
+
+// String renders the state for statuses and /stats.
+func (s breakerState) String() string {
+	switch s {
+	case stateClosed:
+		return "closed"
+	case stateOpen:
+		return "open"
+	case stateHalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// breaker is a per-shard circuit breaker: threshold consecutive
+// failures open it, the cooldown moves it to half-open, a half-open
+// probe's outcome closes or re-opens it, and a healthy background probe
+// may reset it outright. The clock is injected so the state machine
+// unit-tests run on deterministic time.
+type breaker struct {
+	mu        sync.Mutex
+	state     breakerState
+	failures  int
+	threshold int
+	cooldown  time.Duration
+	openUntil time.Time
+	probing   bool
+	now       func() time.Time
+	// trips counts closed/half-open → open transitions.
+	trips int64
+}
+
+func newBreaker(threshold int, cooldown time.Duration, now func() time.Time) *breaker {
+	if threshold < 1 {
+		threshold = 1
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &breaker{threshold: threshold, cooldown: cooldown, now: now}
+}
+
+// allow reports whether a call may proceed. In the open state the first
+// caller after the cooldown becomes the half-open probe; concurrent
+// callers keep being rejected until the probe reports.
+func (b *breaker) allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case stateClosed:
+		return true
+	case stateOpen:
+		if b.now().Before(b.openUntil) {
+			return false
+		}
+		b.state = stateHalfOpen
+		b.probing = true
+		return true
+	default: // half-open
+		if b.probing {
+			return false
+		}
+		b.probing = true
+		return true
+	}
+}
+
+// success reports a completed call; from half-open it closes the
+// breaker.
+func (b *breaker) success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures = 0
+	b.probing = false
+	b.state = stateClosed
+}
+
+// failure reports a failed call; threshold consecutive failures (or a
+// failed half-open probe) open the breaker for the cooldown.
+func (b *breaker) failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case stateHalfOpen:
+		b.trip()
+	case stateClosed:
+		b.failures++
+		if b.failures >= b.threshold {
+			b.trip()
+		}
+	case stateOpen:
+		// Late failures while already open (hedge losers, stragglers)
+		// neither extend nor re-trip.
+	}
+}
+
+// trip transitions to open. Callers hold b.mu.
+func (b *breaker) trip() {
+	b.state = stateOpen
+	b.openUntil = b.now().Add(b.cooldown)
+	b.failures = 0
+	b.probing = false
+	b.trips++
+}
+
+// reset force-closes the breaker — the health checker's recovery path
+// when a probe of a tripped shard succeeds.
+func (b *breaker) reset() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = stateClosed
+	b.failures = 0
+	b.probing = false
+}
+
+// snapshot returns the current state and the trip count.
+func (b *breaker) snapshot() (breakerState, int64) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state, b.trips
+}

@@ -1,0 +1,157 @@
+package shard
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually-advanced clock for deterministic breaker
+// tests.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) Now() time.Time          { return c.t }
+func (c *fakeClock) Advance(d time.Duration) { c.t = c.t.Add(d) }
+func newFakeClock() *fakeClock               { return &fakeClock{t: time.Unix(1000, 0)} }
+func state(t *testing.T, b *breaker) breakerState {
+	t.Helper()
+	s, _ := b.snapshot()
+	return s
+}
+
+// The full closed → open → half-open → closed cycle on deterministic
+// time.
+func TestBreakerStateMachine(t *testing.T) {
+	clk := newFakeClock()
+	b := newBreaker(3, 10*time.Second, clk.Now)
+
+	// Below the threshold, consecutive failures keep the breaker closed.
+	b.failure()
+	b.failure()
+	if got := state(t, b); got != stateClosed {
+		t.Fatalf("after 2 failures: %v, want closed", got)
+	}
+	if !b.allow() {
+		t.Fatal("closed breaker rejected a call")
+	}
+
+	// The threshold-th consecutive failure trips it.
+	b.failure()
+	if got := state(t, b); got != stateOpen {
+		t.Fatalf("after 3 failures: %v, want open", got)
+	}
+	if _, trips := b.snapshot(); trips != 1 {
+		t.Fatalf("trips = %d, want 1", trips)
+	}
+	if b.allow() {
+		t.Fatal("open breaker admitted a call before the cooldown")
+	}
+
+	// The cooldown admits exactly one half-open probe.
+	clk.Advance(10 * time.Second)
+	if !b.allow() {
+		t.Fatal("cooldown elapsed but the probe was rejected")
+	}
+	if got := state(t, b); got != stateHalfOpen {
+		t.Fatalf("after probe admission: %v, want half-open", got)
+	}
+	if b.allow() {
+		t.Fatal("second caller admitted while the probe is outstanding")
+	}
+
+	// A failed probe re-opens for another full cooldown.
+	b.failure()
+	if got := state(t, b); got != stateOpen {
+		t.Fatalf("after failed probe: %v, want open", got)
+	}
+	if _, trips := b.snapshot(); trips != 2 {
+		t.Fatalf("trips = %d, want 2", trips)
+	}
+	clk.Advance(9 * time.Second)
+	if b.allow() {
+		t.Fatal("re-opened breaker admitted a call 1s early")
+	}
+
+	// A successful probe closes it and clears the failure count.
+	clk.Advance(time.Second)
+	if !b.allow() {
+		t.Fatal("second probe rejected")
+	}
+	b.success()
+	if got := state(t, b); got != stateClosed {
+		t.Fatalf("after successful probe: %v, want closed", got)
+	}
+	b.failure()
+	b.failure()
+	if got := state(t, b); got != stateClosed {
+		t.Fatal("failure count survived the close")
+	}
+}
+
+// A success in the closed state clears the consecutive-failure count —
+// only uninterrupted failure runs trip the breaker.
+func TestBreakerSuccessResetsCount(t *testing.T) {
+	clk := newFakeClock()
+	b := newBreaker(2, time.Second, clk.Now)
+	b.failure()
+	b.success()
+	b.failure()
+	if got := state(t, b); got != stateClosed {
+		t.Fatalf("interleaved failures tripped the breaker: %v", got)
+	}
+	b.failure()
+	if got := state(t, b); got != stateOpen {
+		t.Fatalf("2 consecutive failures: %v, want open", got)
+	}
+}
+
+// Late failures reported while already open (hedge losers, stragglers
+// from the tripping query) neither extend the cooldown nor re-trip.
+func TestBreakerLateFailuresIgnored(t *testing.T) {
+	clk := newFakeClock()
+	b := newBreaker(1, 10*time.Second, clk.Now)
+	b.failure()
+	clk.Advance(5 * time.Second)
+	b.failure() // straggler
+	if _, trips := b.snapshot(); trips != 1 {
+		t.Fatalf("trips = %d, want 1", trips)
+	}
+	clk.Advance(5 * time.Second)
+	if !b.allow() {
+		t.Fatal("straggler failure extended the cooldown")
+	}
+}
+
+// reset force-closes from any state — the health checker's recovery
+// path.
+func TestBreakerReset(t *testing.T) {
+	clk := newFakeClock()
+	b := newBreaker(1, time.Hour, clk.Now)
+	b.failure()
+	if got := state(t, b); got != stateOpen {
+		t.Fatalf("setup: %v, want open", got)
+	}
+	b.reset()
+	if got := state(t, b); got != stateClosed {
+		t.Fatalf("after reset: %v, want closed", got)
+	}
+	if !b.allow() {
+		t.Fatal("reset breaker rejected a call")
+	}
+	// Trip history survives the reset (it is a lifetime counter).
+	if _, trips := b.snapshot(); trips != 1 {
+		t.Fatalf("trips = %d, want 1", trips)
+	}
+}
+
+func TestBreakerStateString(t *testing.T) {
+	for s, want := range map[breakerState]string{
+		stateClosed:       "closed",
+		stateOpen:         "open",
+		stateHalfOpen:     "half-open",
+		breakerState(042): "unknown",
+	} {
+		if got := s.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", s, got, want)
+		}
+	}
+}

@@ -1,0 +1,499 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"ksp"
+)
+
+// fakeShard scripts one shard's behavior per call index, so the
+// resilience ladder can be exercised without real engines or sockets.
+type fakeShard struct {
+	name      string
+	bounds    ksp.Rect
+	hasBounds bool
+
+	search func(ctx context.Context, call int, req Request) (*Response, error)
+	ping   func(ctx context.Context) error
+
+	mu    sync.Mutex
+	calls int
+	pings int
+}
+
+func (f *fakeShard) Name() string             { return f.name }
+func (f *fakeShard) Bounds() (ksp.Rect, bool) { return f.bounds, f.hasBounds }
+func (f *fakeShard) Search(ctx context.Context, req Request) (*Response, error) {
+	f.mu.Lock()
+	f.calls++
+	n := f.calls
+	f.mu.Unlock()
+	return f.search(ctx, n, req)
+}
+func (f *fakeShard) Ping(ctx context.Context) error {
+	f.mu.Lock()
+	f.pings++
+	f.mu.Unlock()
+	if f.ping != nil {
+		return f.ping(ctx)
+	}
+	return nil
+}
+func (f *fakeShard) callCount() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.calls
+}
+
+// quietCfg disables background machinery and waits so unit tests run
+// fast and deterministically.
+func quietCfg() Config {
+	return Config{
+		AttemptTimeout: time.Second,
+		MaxAttempts:    3,
+		BackoffBase:    time.Millisecond,
+		BackoffMax:     2 * time.Millisecond,
+		HedgeAfter:     -1,
+		HealthInterval: -1,
+	}
+}
+
+func okResp(pairs ...float64) *Response {
+	r := &Response{}
+	for i := 0; i+1 < len(pairs); i += 2 {
+		r.Results = append(r.Results, Result{Place: uint32(pairs[i]), Score: pairs[i+1]})
+	}
+	return r
+}
+
+func alwaysOK(resp *Response) func(context.Context, int, Request) (*Response, error) {
+	return func(context.Context, int, Request) (*Response, error) {
+		cp := *resp
+		cp.Results = append([]Result(nil), resp.Results...)
+		return &cp, nil
+	}
+}
+
+func mustCoord(t *testing.T, cfg Config, shards ...Shard) *Coordinator {
+	t.Helper()
+	c, err := New(shards, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
+	return c
+}
+
+var testReq = Request{X: 0, Y: 0, Keywords: []string{"kw"}, K: 2, Algo: ksp.AlgoSP}
+
+// Transient failures retry with backoff until an attempt lands; the
+// status reports the attempt count.
+func TestCoordinatorRetriesTransientFailures(t *testing.T) {
+	sh := &fakeShard{name: "a", search: func(_ context.Context, call int, _ Request) (*Response, error) {
+		if call < 3 {
+			return nil, errors.New("transient")
+		}
+		return okResp(1, 1.5), nil
+	}}
+	c := mustCoord(t, quietCfg(), sh)
+	g, err := c.Search(context.Background(), testReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Partial || g.Degraded {
+		t.Fatalf("recovered gather flagged partial/degraded: %+v", g)
+	}
+	if len(g.Results) != 1 || g.Results[0].Place != 1 || !g.Results[0].Exact {
+		t.Fatalf("results = %+v", g.Results)
+	}
+	if st := g.Shards[0]; st.State != StateOK || st.Attempts != 3 {
+		t.Fatalf("status = %+v, want ok after 3 attempts", st)
+	}
+}
+
+// Permanent errors (the request itself is bad) must not burn retries.
+func TestCoordinatorPermanentErrorNoRetry(t *testing.T) {
+	sh := &fakeShard{name: "a", search: func(context.Context, int, Request) (*Response, error) {
+		return nil, &permanentError{err: errors.New("bad request")}
+	}}
+	c := mustCoord(t, quietCfg(), sh)
+	_, err := c.Search(context.Background(), testReq)
+	if !errors.Is(err, ErrAllShardsFailed) {
+		t.Fatalf("err = %v, want ErrAllShardsFailed", err)
+	}
+	if n := sh.callCount(); n != 1 {
+		t.Fatalf("permanent error was retried: %d calls", n)
+	}
+}
+
+// K < 1 is a caller bug, rejected before any shard is touched.
+func TestCoordinatorRejectsBadK(t *testing.T) {
+	sh := &fakeShard{name: "a", search: alwaysOK(okResp())}
+	c := mustCoord(t, quietCfg(), sh)
+	req := testReq
+	req.K = 0
+	if _, err := c.Search(context.Background(), req); !permanent(err) {
+		t.Fatalf("err = %v, want a permanent error", err)
+	}
+	if sh.callCount() != 0 {
+		t.Fatal("bad request reached a shard")
+	}
+}
+
+// Enough consecutive failures trip the shard's breaker; the next gather
+// reports the shard open without calling it, and the merged answer is a
+// sound partial floored by the shard's MinDist.
+func TestCoordinatorBreakerOpensAndFloors(t *testing.T) {
+	good := &fakeShard{
+		name:      "near",
+		bounds:    ksp.Rect{MinX: -1, MinY: -1, MaxX: 1, MaxY: 1},
+		hasBounds: true,
+		search:    alwaysOK(okResp(1, 2.0, 2, 9.0)),
+	}
+	bad := &fakeShard{
+		name:      "far",
+		bounds:    ksp.Rect{MinX: 5, MinY: 0, MaxX: 6, MaxY: 1},
+		hasBounds: true,
+		search: func(context.Context, int, Request) (*Response, error) {
+			return nil, errors.New("down")
+		},
+	}
+	cfg := quietCfg()
+	cfg.MaxAttempts = 1
+	cfg.BreakerThreshold = 2
+	cfg.BreakerCooldown = time.Hour
+	c := mustCoord(t, cfg, good, bad)
+
+	for i := 0; i < 2; i++ {
+		g, err := c.Search(context.Background(), testReq)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !g.Partial || !g.Degraded {
+			t.Fatalf("gather %d not flagged partial+degraded: %+v", i, g)
+		}
+	}
+	calls := bad.callCount()
+	if calls != 2 {
+		t.Fatalf("bad shard called %d times before trip, want 2", calls)
+	}
+
+	g, err := c.Search(context.Background(), testReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bad.callCount() != calls {
+		t.Fatal("open breaker still let a call through")
+	}
+	var st Status
+	for _, s := range g.Shards {
+		if s.Shard == "far" {
+			st = s
+		}
+	}
+	if st.State != StateOpen {
+		t.Fatalf("far state = %q, want open", st.State)
+	}
+	// The lost shard's MBR sits 4 away from the query origin at (0,0)
+	// (MinX 5 − MaxX 1... MinDist from (0,0) to [5,6]×[0,1] is 5), so the
+	// partial bound floors at MinScore(5) = 5: place 1 (score 2) is
+	// provably exact, place 2 (score 9) is not.
+	if g.Bound != 5 {
+		t.Fatalf("bound = %v, want 5", g.Bound)
+	}
+	if len(g.Results) != 2 || !g.Results[0].Exact || g.Results[1].Exact {
+		t.Fatalf("exactness flags wrong: %+v", g.Results)
+	}
+	up, total := c.Healthy()
+	if up != 1 || total != 2 {
+		t.Fatalf("Healthy() = %d/%d, want 1/2", up, total)
+	}
+}
+
+// A straggling shard gets a hedged second attempt; the faster answer
+// wins and the gather stays exact.
+func TestCoordinatorHedgesStragglers(t *testing.T) {
+	release := make(chan struct{})
+	defer close(release)
+	sh := &fakeShard{name: "a", search: func(ctx context.Context, call int, _ Request) (*Response, error) {
+		if call == 1 {
+			// First attempt stalls until the test ends.
+			select {
+			case <-release:
+			case <-ctx.Done():
+			}
+			return nil, ctx.Err()
+		}
+		return okResp(7, 1.0), nil
+	}}
+	cfg := quietCfg()
+	cfg.HedgeAfter = 5 * time.Millisecond
+	c := mustCoord(t, cfg, sh)
+	g, err := c.Search(context.Background(), testReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Partial || len(g.Results) != 1 || g.Results[0].Place != 7 {
+		t.Fatalf("gather = %+v", g)
+	}
+	if st := g.Shards[0]; !st.Hedged || st.State != StateOK {
+		t.Fatalf("status = %+v, want hedged ok", st)
+	}
+	info := c.Snapshot()[0]
+	if info.Hedges != 1 {
+		t.Fatalf("snapshot hedges = %d, want 1", info.Hedges)
+	}
+}
+
+// Every shard failing yields ErrAllShardsFailed with per-shard error
+// detail — the server's degraded 503.
+func TestCoordinatorAllShardsFailed(t *testing.T) {
+	mk := func(name, msg string) *fakeShard {
+		return &fakeShard{name: name, search: func(context.Context, int, Request) (*Response, error) {
+			return nil, errors.New(msg)
+		}}
+	}
+	cfg := quietCfg()
+	cfg.MaxAttempts = 1
+	c := mustCoord(t, cfg, mk("a", "boom-a"), mk("b", "boom-b"))
+	g, err := c.Search(context.Background(), testReq)
+	if !errors.Is(err, ErrAllShardsFailed) {
+		t.Fatalf("err = %v, want ErrAllShardsFailed", err)
+	}
+	if g == nil || len(g.Shards) != 2 {
+		t.Fatalf("gather lacks per-shard detail: %+v", g)
+	}
+	for _, st := range g.Shards {
+		if st.State != StateError || !strings.HasPrefix(st.Error, "boom-") {
+			t.Fatalf("status = %+v", st)
+		}
+	}
+}
+
+// A partial shard response keeps its reported bound and flags the
+// merged answer; exactness follows the composed floor.
+func TestCoordinatorPartialShardComposesBound(t *testing.T) {
+	partial := &fakeShard{name: "p", search: func(context.Context, int, Request) (*Response, error) {
+		return &Response{
+			Results: []Result{{Place: 1, Score: 1.0}},
+			Partial: true,
+			Bound:   3.0,
+		}, nil
+	}}
+	whole := &fakeShard{name: "w", search: alwaysOK(okResp(2, 2.0, 3, 8.0))}
+	c := mustCoord(t, quietCfg(), partial, whole)
+	g, err := c.Search(context.Background(), testReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Partial || !g.Degraded || g.Bound != 3.0 {
+		t.Fatalf("gather = %+v, want partial with bound 3", g)
+	}
+	// K=2 keeps (1, 1.0) and (2, 2.0); both beat the bound 3.
+	if len(g.Results) != 2 || !g.Results[0].Exact || !g.Results[1].Exact {
+		t.Fatalf("results = %+v", g.Results)
+	}
+	if !g.Stats.Partial || g.Stats.ScoreBound != 3.0 {
+		t.Fatalf("stats not stamped: %+v", g.Stats)
+	}
+}
+
+// Shards entirely beyond MaxDist are skipped without a call and do not
+// degrade the answer.
+func TestCoordinatorMaxDistSkips(t *testing.T) {
+	near := &fakeShard{
+		name:      "near",
+		bounds:    ksp.Rect{MinX: 0, MinY: 0, MaxX: 1, MaxY: 1},
+		hasBounds: true,
+		search:    alwaysOK(okResp(1, 1.0)),
+	}
+	far := &fakeShard{
+		name:      "far",
+		bounds:    ksp.Rect{MinX: 100, MinY: 0, MaxX: 101, MaxY: 1},
+		hasBounds: true,
+		search:    alwaysOK(okResp(9, 0.5)),
+	}
+	c := mustCoord(t, quietCfg(), near, far)
+	req := testReq
+	req.MaxDist = 10
+	g, err := c.Search(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if far.callCount() != 0 {
+		t.Fatal("skipped shard was called")
+	}
+	if g.Partial || g.Degraded {
+		t.Fatalf("skip degraded the gather: %+v", g)
+	}
+	var st Status
+	for _, s := range g.Shards {
+		if s.Shard == "far" {
+			st = s
+		}
+	}
+	if st.State != StateSkipped {
+		t.Fatalf("far state = %q, want skipped", st.State)
+	}
+}
+
+// With FanOut=1 the near shard answers first and establishes θ; a far
+// shard whose MinDist cannot beat it is pruned without a call, and the
+// answer stays exact.
+func TestCoordinatorThetaPrunesFarShard(t *testing.T) {
+	near := &fakeShard{
+		name:      "near",
+		bounds:    ksp.Rect{MinX: -1, MinY: -1, MaxX: 1, MaxY: 1},
+		hasBounds: true,
+		search:    alwaysOK(okResp(1, 1.0, 2, 2.0)),
+	}
+	far := &fakeShard{
+		name:      "far",
+		bounds:    ksp.Rect{MinX: 50, MinY: 0, MaxX: 51, MaxY: 1},
+		hasBounds: true,
+		search:    alwaysOK(okResp(9, 60.0)),
+	}
+	cfg := quietCfg()
+	cfg.FanOut = 1
+	c := mustCoord(t, cfg, near, far)
+	g, err := c.Search(context.Background(), testReq) // K=2
+	if err != nil {
+		t.Fatal(err)
+	}
+	if far.callCount() != 0 {
+		t.Fatal("prunable shard was called")
+	}
+	if g.Partial || g.Degraded {
+		t.Fatalf("prune degraded the gather: %+v", g)
+	}
+	var st Status
+	for _, s := range g.Shards {
+		if s.Shard == "far" {
+			st = s
+		}
+	}
+	if st.State != StatePruned {
+		t.Fatalf("far state = %q, want pruned", st.State)
+	}
+	if len(g.Results) != 2 || g.Results[0].Place != 1 || g.Results[1].Place != 2 {
+		t.Fatalf("results = %+v", g.Results)
+	}
+}
+
+// The merge is the engine's (score, place) order with ties broken by
+// place ID, truncated to K.
+func TestCoordinatorMergeOrdering(t *testing.T) {
+	a := &fakeShard{name: "a", search: alwaysOK(okResp(5, 2.0, 9, 1.0))}
+	b := &fakeShard{name: "b", search: alwaysOK(okResp(3, 2.0, 7, 4.0))}
+	c := mustCoord(t, quietCfg(), a, b)
+	req := testReq
+	req.K = 3
+	g, err := c.Search(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []uint32{9, 3, 5} // 1.0, then the 2.0 tie by place (3 < 5)
+	if len(g.Results) != 3 {
+		t.Fatalf("results = %+v", g.Results)
+	}
+	for i, p := range want {
+		if g.Results[i].Place != p {
+			t.Fatalf("result %d = place %d, want %d (%+v)", i, g.Results[i].Place, p, g.Results)
+		}
+	}
+}
+
+// A cancelled caller context surfaces as ctx.Err(), not as a shard
+// failure.
+func TestCoordinatorCallerCancellation(t *testing.T) {
+	sh := &fakeShard{name: "a", search: func(ctx context.Context, _ int, _ Request) (*Response, error) {
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}}
+	cfg := quietCfg()
+	cfg.MaxAttempts = 1
+	c := mustCoord(t, cfg, sh)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	_, err := c.Search(ctx, testReq)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// A successful health probe of a tripped shard resets its breaker —
+// recovery without waiting for query traffic.
+func TestHealthProbeResetsBreaker(t *testing.T) {
+	sh := &fakeShard{name: "a", search: func(context.Context, int, Request) (*Response, error) {
+		return nil, errors.New("down")
+	}}
+	cfg := quietCfg()
+	cfg.MaxAttempts = 1
+	cfg.BreakerThreshold = 1
+	cfg.BreakerCooldown = time.Hour
+	c := mustCoord(t, cfg, sh)
+	if _, err := c.Search(context.Background(), testReq); !errors.Is(err, ErrAllShardsFailed) {
+		t.Fatalf("setup: %v", err)
+	}
+	if up, _ := c.Healthy(); up != 0 {
+		t.Fatal("setup: breaker did not trip")
+	}
+	c.probe(c.shards[0])
+	if up, _ := c.Healthy(); up != 1 {
+		t.Fatal("successful probe did not reset the breaker")
+	}
+	st, _ := c.shards[0].br.snapshot()
+	if st != stateClosed {
+		t.Fatalf("breaker = %v, want closed", st)
+	}
+}
+
+// A failing health probe drives the breaker like a failed call.
+func TestHealthProbeCountsFailures(t *testing.T) {
+	sh := &fakeShard{
+		name:   "a",
+		search: alwaysOK(okResp(1, 1.0)),
+		ping:   func(context.Context) error { return errors.New("unreachable") },
+	}
+	cfg := quietCfg()
+	cfg.BreakerThreshold = 2
+	cfg.BreakerCooldown = time.Hour
+	c := mustCoord(t, cfg, sh)
+	c.probe(c.shards[0])
+	c.probe(c.shards[0])
+	if up, _ := c.Healthy(); up != 0 {
+		t.Fatal("failed probes did not trip the breaker")
+	}
+	info := c.Snapshot()[0]
+	if info.LastError == "" || info.BreakerTrips != 1 {
+		t.Fatalf("snapshot = %+v", info)
+	}
+}
+
+// Duplicate shard names are a construction error, and a coordinator
+// needs at least one shard.
+func TestCoordinatorConstruction(t *testing.T) {
+	mk := func(name string) *fakeShard {
+		return &fakeShard{name: name, search: alwaysOK(okResp())}
+	}
+	if _, err := New(nil, quietCfg()); err == nil {
+		t.Fatal("empty shard list accepted")
+	}
+	if _, err := New([]Shard{mk("a"), mk("a")}, quietCfg()); err == nil {
+		t.Fatal("duplicate names accepted")
+	}
+	c, err := New([]Shard{mk("a"), mk("b")}, quietCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+	c.Close() // idempotent
+}

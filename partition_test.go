@@ -1,0 +1,100 @@
+package ksp_test
+
+import (
+	"fmt"
+	"testing"
+
+	"ksp"
+)
+
+func lineDataset(t *testing.T, places int) *ksp.Dataset {
+	t.Helper()
+	b := ksp.NewBuilder()
+	for i := 0; i < places; i++ {
+		name := fmt.Sprintf("p%d", i)
+		b.AddPlace(name, ksp.Point{X: float64(i), Y: 0})
+		b.AddLabel(name, "d", "coffee")
+	}
+	ds, err := b.Build(ksp.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ds
+}
+
+// PartitionSpatial covers every place exactly once, with tile MBRs
+// inside the parent MBR; empty trailing tiles report no bounds.
+func TestPartitionSpatial(t *testing.T) {
+	ds := lineDataset(t, 5)
+	parent, ok := ds.Bounds()
+	if !ok {
+		t.Fatal("parent dataset has no bounds")
+	}
+
+	if _, err := ds.PartitionSpatial(0); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	one, err := ds.PartitionSpatial(1)
+	if err != nil || len(one) != 1 || one[0] != ds {
+		t.Fatalf("n=1 must return the receiver: %v, %v", one, err)
+	}
+
+	for _, n := range []int{2, 3, 5, 9} {
+		tiles, err := ds.PartitionSpatial(n)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		total := 0
+		for i, tile := range tiles {
+			got := tile.SpatialPlaces()
+			total += got
+			r, ok := tile.Bounds()
+			if got == 0 {
+				if ok {
+					t.Errorf("n=%d tile %d: empty tile reports bounds %+v", n, i, r)
+				}
+				continue
+			}
+			if !ok {
+				t.Errorf("n=%d tile %d: %d places but no bounds", n, i, got)
+				continue
+			}
+			if r.MinX < parent.MinX || r.MaxX > parent.MaxX || r.MinY < parent.MinY || r.MaxY > parent.MaxY {
+				t.Errorf("n=%d tile %d: MBR %+v escapes parent %+v", n, i, r, parent)
+			}
+		}
+		if total != ds.Stats().Places {
+			t.Errorf("n=%d: tiles hold %d places, want %d", n, total, ds.Stats().Places)
+		}
+	}
+}
+
+// Each tile answers queries over its own places only: the union of
+// single-tile answers is the full answer, with no place duplicated
+// across tiles.
+func TestPartitionDisjointAnswers(t *testing.T) {
+	ds := lineDataset(t, 6)
+	tiles, err := ds.PartitionSpatial(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := ksp.Query{Loc: ksp.Point{}, Keywords: []string{"coffee"}, K: 6}
+	seen := map[string]int{}
+	for ti, tile := range tiles {
+		res, _, err := tile.SearchWith(ksp.AlgoSP, q, ksp.Options{})
+		if err != nil {
+			t.Fatalf("tile %d: %v", ti, err)
+		}
+		for _, r := range res {
+			seen[tile.URI(r.Place)]++
+		}
+	}
+	if len(seen) != 6 {
+		t.Fatalf("union of tile answers covers %d places, want 6: %v", len(seen), seen)
+	}
+	for uri, n := range seen {
+		if n != 1 {
+			t.Errorf("place %s answered by %d tiles", uri, n)
+		}
+	}
+}
