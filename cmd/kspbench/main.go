@@ -48,6 +48,9 @@ func main() {
 		loadPar    = flag.Int("load-parallel", 0, "per-request pipeline width for the load experiment (default 4)")
 		loadWin    = flag.Int("load-window", 0, "scheduler window directive for the load experiment (0 = adaptive)")
 		loadShards = flag.Int("load-shards", 0, "serve the load experiment through N local spatial shards (0/1 = single engine)")
+
+		traceQ   = flag.Bool("trace-queries", false, "attach (and discard) a span trace to every query, measuring the ?trace=1 configuration")
+		explainQ = flag.Bool("explain-queries", false, "assemble (and discard) an EXPLAIN report after every query, measuring the ?explain=1 configuration")
 	)
 	flag.Parse()
 
@@ -73,6 +76,8 @@ func main() {
 	s.LoadParallel = *loadPar
 	s.LoadWindow = *loadWin
 	s.LoadShards = *loadShards
+	s.TraceQueries = *traceQ
+	s.ExplainQueries = *explainQ
 	// The registry rides along for -json: the document then carries the
 	// run's cumulative engine counters next to the report tables.
 	reg := obs.NewRegistry()
@@ -124,6 +129,9 @@ func main() {
 			GOMAXPROCS:  runtime.GOMAXPROCS(0),
 			NumCPU:      runtime.NumCPU(),
 			Experiments: ids,
+
+			TraceQueries:   *traceQ,
+			ExplainQueries: *explainQ,
 		}
 		w := os.Stdout
 		var f *os.File

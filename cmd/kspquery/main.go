@@ -11,6 +11,7 @@ package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -37,6 +38,8 @@ func main() {
 		trees    = flag.Bool("trees", false, "print the semantic-place trees")
 		stats    = flag.Bool("stats", false, "print per-query cost statistics")
 		trace    = flag.Bool("trace", false, "print the evaluation's span tree (timed phases and per-candidate work)")
+		traceOut = flag.String("trace-out", "", "write the trace as Chrome/Perfetto trace_event JSON to this file (captures even without -trace)")
+		explain  = flag.Bool("explain", false, "print the query's structured plan and execution profile")
 		semOnly  = flag.Bool("semantic-only", false, "rank by looseness alone, ignoring location (-at not needed)")
 		allTrees = flag.Int("all-trees", 0, "print up to N tied tightest trees per result (footnote 2 option 2)")
 		maxDist  = flag.Float64("max-dist", 0, "restrict results to this radius around -at (0 = unlimited)")
@@ -97,7 +100,7 @@ func main() {
 	q := ksp.Query{Loc: loc, Keywords: splitList(*kw), K: *k}
 	opts := ksp.Options{CollectTrees: *trees, MaxDist: *maxDist}
 	var tr *ksp.Trace
-	if *trace {
+	if *trace || *traceOut != "" {
 		tr = ksp.NewTrace("kspquery")
 		opts.Trace = tr
 	}
@@ -110,11 +113,62 @@ func main() {
 	if *stats {
 		printStats(qstats)
 	}
+	if *explain {
+		printExplain(ds.ExplainFor(algo, q, opts, qstats, len(res)))
+	}
 	if tr != nil {
 		tr.Finish()
-		fmt.Println("trace:")
-		printSpan(tr.JSON(), 1)
+		root := tr.JSON()
+		if *traceOut != "" {
+			if err := writePerfetto(*traceOut, root); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("trace written to %s (open in chrome://tracing or ui.perfetto.dev)\n", *traceOut)
+		}
+		if *trace {
+			fmt.Println("trace:")
+			printSpan(root, 1)
+		}
 	}
+}
+
+// writePerfetto renders the span tree as Chrome/Perfetto trace_event
+// JSON, the format flamegraph viewers open directly.
+func writePerfetto(path string, root *ksp.SpanJSON) error {
+	data, err := json.MarshalIndent(ksp.PerfettoFromSpan(root), "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// printExplain renders the EXPLAIN report: the plan lines say what the
+// engine decided to do, the profile line what the decision cost.
+func printExplain(rep *ksp.ExplainReport) {
+	p, pr := rep.Plan, rep.Profile
+	win := p.WindowPolicy
+	if p.Window > 0 {
+		win = fmt.Sprintf("%s(%d)", p.WindowPolicy, p.Window)
+	}
+	fmt.Println("explain:")
+	fmt.Printf("  plan: algo=%s k=%d workers=%d window=%s direction=%s ranking=%s\n",
+		p.Algo, p.K, p.Workers, win, p.Direction, p.Ranking)
+	fmt.Printf("  rules: r1=%v r2=%v r3=%v r4=%v (alpha=%d reachability=%v cache=%v)\n",
+		p.Rule1, p.Rule2, p.Rule3, p.Rule4, p.AlphaRadius, p.Reachability, p.LoosenessCache)
+	if len(p.Keywords) > 0 {
+		var parts []string
+		for _, kw := range p.Keywords {
+			parts = append(parts, fmt.Sprintf("%s(df=%d)", kw.Term, kw.DocFrequency))
+		}
+		fmt.Printf("  keywords (rule-1 order): %s\n", strings.Join(parts, " "))
+	}
+	if !p.Answerable {
+		fmt.Println("  unanswerable: some keyword matches no document")
+	}
+	fmt.Printf("  profile: %dµs (semantic %dµs) tqsp=%d places=%d pruned r1=%d r2=%d r3=%d r4=%d cache hit/bound/miss=%d/%d/%d\n",
+		pr.DurationMicros, pr.SemanticMicros, pr.TQSPComputations, pr.PlacesRetrieved,
+		pr.PrunedRule1, pr.PrunedRule2, pr.PrunedRule3, pr.PrunedRule4,
+		pr.CacheHits, pr.CacheBoundHits, pr.CacheMisses)
 }
 
 // printSpan renders one span and its children, indented by depth.

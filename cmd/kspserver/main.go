@@ -15,7 +15,7 @@
 // policy (retries, hedging, circuit breakers).
 //
 // Endpoints: /search, /describe, /stats, /metrics, /debug/queries,
-// /healthz (see internal/server). Example:
+// /debug/slow, /healthz (see internal/server). Example:
 //
 //	curl 'localhost:8080/search?x=43.5&y=4.7&kw=ancient,roman&k=5&trees=1'
 //	curl 'localhost:8080/metrics'
@@ -65,6 +65,9 @@ func main() {
 		admitQueue = flag.Int("admit-queue", 0, "requests that may queue for admission before shedding 429 (0 = 16, negative = no queue)")
 		queueWait  = flag.Duration("queue-wait", time.Second, "longest a request queues for admission before shedding 503")
 		drain      = flag.Duration("drain", 15*time.Second, "in-flight request drain budget on SIGTERM/SIGINT")
+
+		slowThreshold = flag.Duration("slow-threshold", 500*time.Millisecond, "retain and log queries slower than this at /debug/slow (0 = every query, negative = disable the slow-query log)")
+		slowRing      = flag.Int("slow-ring", 64, "slow queries retained at /debug/slow")
 
 		logLevel  = flag.String("log-level", "info", "log level: debug | info | warn | error (debug includes per-request access logs)")
 		logFormat = flag.String("log-format", "text", "log format: text | json")
@@ -125,6 +128,9 @@ func main() {
 	s.AdmitCapacity = *admitWidth
 	s.AdmitQueue = *admitQueue
 	s.QueueTimeout = *queueWait
+	if *slowThreshold >= 0 {
+		s.EnableSlowLog(*slowRing, *slowThreshold)
+	}
 
 	coord, err := buildShards(ds, *shards, *shardAddrs, shard.Config{
 		AttemptTimeout: *shardWait,

@@ -117,6 +117,7 @@ func DefaultConfig(module string) Config {
 			module + "/internal/obs.Histogram",
 			module + "/internal/obs.Trace",
 			module + "/internal/obs.Span",
+			module + "/internal/obs.SlowLog",
 			module + "/internal/core.engineMetrics",
 			module + "/internal/server.serverMetrics",
 		},

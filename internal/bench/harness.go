@@ -48,6 +48,14 @@ type Suite struct {
 	// coordinator over that many local spatial shards.
 	LoadShards int
 
+	// TraceQueries attaches a span trace to every workload query (and
+	// discards it), so a run measures evaluation with capture overhead
+	// included — the ?trace=1 serving configuration.
+	TraceQueries bool
+	// ExplainQueries assembles (and discards) an EXPLAIN report after
+	// every workload query, measuring the ?explain=1 configuration.
+	ExplainQueries bool
+
 	data map[string]*benchData
 }
 
@@ -203,8 +211,18 @@ func (s *Suite) runWorkload(e *core.Engine, a algoRunner, qs []core.Query, opts 
 	var out measured
 	var wall time.Duration
 	for _, q := range qs {
+		if s.TraceQueries {
+			opts.Trace = obs.NewTrace("bench:" + a.name)
+		}
 		start := time.Now()
 		res, stats, err := a.run(e, q, opts)
+		if s.TraceQueries {
+			opts.Trace.Finish()
+			opts.Trace = nil
+		}
+		if err == nil && s.ExplainQueries {
+			e.Explain(a.name, q, opts, stats, len(res))
+		}
 		wall += time.Since(start)
 		if err != nil {
 			return out, fmt.Errorf("%s: %w", a.name, err)

@@ -114,6 +114,11 @@ type RunMeta struct {
 	GOMAXPROCS  int      `json:"gomaxprocs"`
 	NumCPU      int      `json:"numCPU"`
 	Experiments []string `json:"experiments"`
+	// TraceQueries / ExplainQueries record whether the run measured with
+	// per-query span capture or EXPLAIN assembly enabled, so baselines
+	// with diagnostics overhead are never compared against ones without.
+	TraceQueries   bool `json:"traceQueries,omitempty"`
+	ExplainQueries bool `json:"explainQueries,omitempty"`
 }
 
 // jsonDoc is the top-level shape WriteJSON emits.

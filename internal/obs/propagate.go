@@ -1,0 +1,108 @@
+package obs
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"strings"
+)
+
+// Wire propagation of trace context across shard calls, in the shape of
+// the W3C Trace Context `traceparent` header:
+//
+//	00-<32 hex trace-id>-<16 hex parent-span-id>-<2 hex flags>
+//
+// The coordinator sets the header on every remote /search it issues;
+// the shard-side server joins the trace (same trace ID, sampled flag
+// turns its local tracing on) and returns its span subtree in the
+// response body, which the coordinator grafts under the calling span
+// (Span.AttachRemote). Only version 00 and the sampled flag bit are
+// understood — enough for in-cluster propagation while staying
+// interoperable with external tracers that speak the same header.
+
+// Header names used on the shard wire.
+const (
+	// TraceparentHeader carries trace ID + parent span ID + sampled flag.
+	TraceparentHeader = "traceparent"
+	// RequestIDHeader carries the coordinator's request ID so shard-side
+	// log lines correlate with the coordinator's.
+	RequestIDHeader = "X-Request-ID"
+)
+
+// NewTraceID mints a 16-byte lowercase-hex trace identifier.
+func NewTraceID() string { return randHex(16) }
+
+// NewSpanID mints an 8-byte lowercase-hex span identifier (the
+// parent-id field of a traceparent header).
+func NewSpanID() string { return randHex(8) }
+
+func randHex(n int) string {
+	b := make([]byte, n)
+	if _, err := rand.Read(b); err != nil {
+		// Counter fallback: still unique within the process, which is
+		// all correlation needs.
+		return strings.Repeat("0", 2*n-16) + hex.EncodeToString(fallbackID())
+	}
+	return hex.EncodeToString(b)
+}
+
+func fallbackID() []byte {
+	v := ridCounter.Add(1)
+	var b [8]byte
+	for i := 7; i >= 0; i-- {
+		b[i] = byte(v)
+		v >>= 8
+	}
+	return b[:]
+}
+
+// FormatTraceparent renders a traceparent header value. Invalid IDs
+// yield "" (callers skip the header rather than emit garbage).
+func FormatTraceparent(traceID, spanID string, sampled bool) string {
+	if !validHex(traceID, 32) || !validHex(spanID, 16) {
+		return ""
+	}
+	flags := "00"
+	if sampled {
+		flags = "01"
+	}
+	return "00-" + strings.ToLower(traceID) + "-" + strings.ToLower(spanID) + "-" + flags
+}
+
+// ParseTraceparent splits a traceparent header value. ok is false on
+// anything malformed; unknown versions and all-zero IDs are rejected.
+func ParseTraceparent(h string) (traceID, spanID string, sampled bool, ok bool) {
+	parts := strings.Split(strings.TrimSpace(h), "-")
+	if len(parts) != 4 || parts[0] != "00" {
+		return "", "", false, false
+	}
+	traceID = strings.ToLower(parts[1])
+	spanID = strings.ToLower(parts[2])
+	if !validHex(traceID, 32) || !validHex(spanID, 16) || !validHex(parts[3], 2) {
+		return "", "", false, false
+	}
+	if traceID == strings.Repeat("0", 32) || spanID == strings.Repeat("0", 16) {
+		return "", "", false, false
+	}
+	var flags [1]byte
+	if _, err := hex.Decode(flags[:], []byte(strings.ToLower(parts[3]))); err != nil {
+		return "", "", false, false
+	}
+	sampled = flags[0]&0x01 != 0
+	return traceID, spanID, sampled, true
+}
+
+// validHex reports whether s is exactly n hex digits.
+func validHex(s string, n int) bool {
+	if len(s) != n {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case c >= '0' && c <= '9', c >= 'a' && c <= 'f', c >= 'A' && c <= 'F':
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -29,6 +29,7 @@ type Trace struct {
 	limit   int
 	spans   int
 	dropped int64
+	id      string
 }
 
 // DefaultSpanLimit bounds the spans of one trace; a query evaluating
@@ -36,13 +37,40 @@ type Trace struct {
 // overflow is reported in Dropped.
 const DefaultSpanLimit = 1024
 
-// NewTrace starts a trace whose root span has the given name.
+// NewTrace starts a trace whose root span has the given name. The trace
+// is minted a fresh 16-byte hex ID for wire propagation; SetID replaces
+// it when the trace continues one received from upstream.
 func NewTrace(name string) *Trace {
 	//ksplint:ignore determinism -- trace epoch; span times are time.Since offsets from it
-	t := &Trace{start: time.Now(), limit: DefaultSpanLimit}
+	t := &Trace{start: time.Now(), limit: DefaultSpanLimit, id: NewTraceID()}
 	t.root = &Span{t: t, name: name}
 	t.spans = 1
 	return t
+}
+
+// ID returns the trace's wire identifier ("" on a nil trace).
+func (t *Trace) ID() string {
+	if t == nil {
+		return ""
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.id
+}
+
+// SetID replaces the trace ID — used by a shard that joins a trace
+// started upstream (the coordinator's traceparent header carries the
+// ID). Invalid IDs are ignored, keeping the minted one.
+func (t *Trace) SetID(id string) {
+	if t == nil {
+		return
+	}
+	if !validHex(id, 32) {
+		return
+	}
+	t.mu.Lock()
+	t.id = id
+	t.mu.Unlock()
 }
 
 // Root returns the root span (nil on a nil trace).
@@ -88,7 +116,42 @@ type Span struct {
 	ended    bool
 	attrs    []Attr
 	children []*Span
+	// remote holds span subtrees captured on another process (a shard)
+	// and grafted under this span by AttachRemote. They are rendered as
+	// extra children at export time, rebased onto this trace's clock.
+	remote []*SpanJSON
 }
+
+// AttachRemote grafts a span subtree exported by another process (a
+// remote shard's trace) under this span. The subtree's durations are
+// trusted as measured; its absolute start offsets, which are relative
+// to the *remote* trace's epoch, are rebased at export time so the
+// remote root aligns with this span's start, and the shift applied is
+// annotated on the grafted root as clockRebasedMicros (the two clocks
+// are never assumed synchronized). Nil-safe on both arguments.
+func (s *Span) AttachRemote(sub *SpanJSON) {
+	if s == nil {
+		return
+	}
+	if sub == nil {
+		return
+	}
+	t := s.t
+	t.mu.Lock()
+	s.remote = append(s.remote, sub)
+	t.mu.Unlock()
+}
+
+// droppedSpansTotal counts spans lost to the span cap across every
+// trace in the process — the process-lifetime companion of the
+// per-trace droppedSpans field, exported as
+// ksp_trace_spans_dropped_total so overflow is visible on a dashboard
+// and not only in the (possibly never-read) trace JSON.
+var droppedSpansTotal atomic.Int64
+
+// DroppedSpansTotal reports the process-lifetime count of spans
+// discarded by per-trace span limits.
+func DroppedSpansTotal() int64 { return droppedSpansTotal.Load() }
 
 // Child opens a sub-span. On a nil receiver (tracing off) or past the
 // trace's span limit it returns nil, which the rest of the API accepts.
@@ -102,6 +165,7 @@ func (s *Span) Child(name string) *Span {
 	if t.spans >= t.limit {
 		t.dropped++
 		t.mu.Unlock()
+		droppedSpansTotal.Add(1)
 		return nil
 	}
 	t.spans++
@@ -173,6 +237,10 @@ type SpanJSON struct {
 	// Dropped, set on the root only, counts spans lost to the trace's
 	// span limit.
 	Dropped int64 `json:"droppedSpans,omitempty"`
+	// TraceID, set on the root only, is the trace's wire identifier —
+	// the same ID the traceparent header carries across shard calls, so
+	// coordinator and shard trees correlate.
+	TraceID string `json:"traceId,omitempty"`
 }
 
 // JSON renders the completed trace (nil for a nil trace). Call after
@@ -188,6 +256,7 @@ func (t *Trace) JSON() *SpanJSON {
 		return nil
 	}
 	out.Dropped = t.dropped
+	out.TraceID = t.id
 	return out
 }
 
@@ -209,6 +278,39 @@ func exportSpan(s *Span) *SpanJSON {
 	}
 	for _, c := range s.children {
 		out.Children = append(out.Children, exportSpan(c))
+	}
+	for _, sub := range s.remote {
+		// Align the remote root with this span's start: the remote
+		// clock's epoch is unknown, so absolute offsets are rebased and
+		// only the measured durations are trusted.
+		shift := s.start.Microseconds() - sub.StartMicros
+		g := rebaseSpan(sub, shift)
+		g.Attrs = append(g.Attrs, Attr{Key: "clockRebasedMicros", Value: strconv.FormatInt(shift, 10)})
+		out.Children = append(out.Children, g)
+	}
+	return out
+}
+
+// rebaseSpan deep-copies an exported span tree shifting every start
+// offset by shift microseconds. Durations are preserved; the copy keeps
+// the original untouched so one shard response can be grafted into
+// several traces (e.g. a ring record and a live response).
+func rebaseSpan(in *SpanJSON, shift int64) *SpanJSON {
+	if in == nil {
+		return nil
+	}
+	out := &SpanJSON{
+		Name:           in.Name,
+		StartMicros:    in.StartMicros + shift,
+		DurationMicros: in.DurationMicros,
+		Dropped:        in.Dropped,
+		TraceID:        in.TraceID,
+	}
+	if len(in.Attrs) > 0 {
+		out.Attrs = append([]Attr(nil), in.Attrs...)
+	}
+	for _, c := range in.Children {
+		out.Children = append(out.Children, rebaseSpan(c, shift))
 	}
 	return out
 }

@@ -13,7 +13,7 @@ import (
 // cannot mint unbounded label values.
 var knownPaths = []string{
 	"/search", "/keyword", "/nearest", "/describe",
-	"/stats", "/metrics", "/debug/queries", "/healthz", "/readyz",
+	"/stats", "/metrics", "/debug/queries", "/debug/slow", "/healthz", "/readyz",
 }
 
 func pathLabel(p string) string {
@@ -75,6 +75,12 @@ func (s *Server) registerMetrics(reg *obs.Registry) {
 	reg.CounterFunc("ksp_server_shared_flights_total",
 		"Search requests coalesced onto another request's in-flight evaluation.",
 		func() float64 { return float64(s.sharedFlights.Load()) })
+	reg.CounterFunc("ksp_trace_spans_dropped_total",
+		"Spans dropped process-wide by traces that hit their span cap.",
+		func() float64 { return float64(obs.DroppedSpansTotal()) })
+	reg.CounterFunc("ksp_server_slow_queries_total",
+		"Queries whose latency crossed the slow-query threshold.",
+		func() float64 { return float64(s.slow.SlowTotal()) })
 
 	snap := func() AdmissionSection {
 		if adm := s.admPtr.Load(); adm != nil {
@@ -147,10 +153,37 @@ func (s *Server) log() *slog.Logger {
 // without HTTP.
 func (s *Server) Registry() *obs.Registry { return s.reg }
 
-// wantTrace reports whether the request asked for a span trace.
-func wantTrace(r *http.Request) bool {
-	t := r.URL.Query().Get("trace")
-	return t == "1" || t == "true"
+// traceOutput is the rendering the ?trace= parameter selected.
+type traceOutput int
+
+const (
+	traceOff traceOutput = iota
+	// traceTree (?trace=1|true) returns the span tree JSON inline.
+	traceTree
+	// tracePerfetto (?trace=perfetto|chrome) returns the same capture in
+	// Chrome/Perfetto trace_event form, ready for a flamegraph viewer.
+	tracePerfetto
+)
+
+// traceMode parses the ?trace= parameter; unrecognized values mean off.
+func traceMode(r *http.Request) traceOutput {
+	switch r.URL.Query().Get("trace") {
+	case "1", "true":
+		return traceTree
+	case "perfetto", "chrome":
+		return tracePerfetto
+	}
+	return traceOff
+}
+
+// wantTrace reports whether the request asked for span capture in any
+// output form.
+func wantTrace(r *http.Request) bool { return traceMode(r) != traceOff }
+
+// wantExplain reports whether the request asked for the EXPLAIN report.
+func wantExplain(r *http.Request) bool {
+	e := r.URL.Query().Get("explain")
+	return e == "1" || e == "true"
 }
 
 // handleMetrics serves the registry in Prometheus text exposition

@@ -5,11 +5,12 @@
 //
 // Endpoints:
 //
-//	GET /search?x=…&y=…&kw=a,b,c&k=5[&algo=SP][&trees=1][&trace=1]
+//	GET /search?x=…&y=…&kw=a,b,c&k=5[&algo=SP][&trees=1][&trace=1][&explain=1]
 //	GET /describe?uri=…
 //	GET /stats
 //	GET /metrics        (Prometheus text exposition)
 //	GET /debug/queries  (ring buffer of recent queries, newest first)
+//	GET /debug/slow     (wide events of recent slow queries, when enabled)
 //	GET /healthz  (liveness: the process serves)
 //	GET /readyz   (readiness: the dataset answers queries)
 //
@@ -24,7 +25,12 @@
 // generated), echoed in the response header, threaded through the
 // request context, and attached to structured logs. ?trace=1 on /search
 // additionally records a span tree of the evaluation and returns it in
-// the response.
+// the response (?trace=perfetto renders the same capture as Chrome
+// trace_event JSON); on sharded servers the tree is stitched across
+// shards, each remote subtree grafted under the call that won it.
+// ?explain=1 attaches the structured plan + execution profile without
+// span capture, and EnableSlowLog turns on the wide-event slow-query
+// log behind /debug/slow.
 package server
 
 import (
@@ -121,6 +127,7 @@ type Server struct {
 	reg  *obs.Registry
 	ring *obs.QueryRing
 	sm   *serverMetrics
+	slow *obs.SlowLog
 }
 
 // New returns a ready handler for the dataset. It builds the server's
@@ -148,9 +155,20 @@ func New(ds *ksp.Dataset) *Server {
 	s.mux.HandleFunc("/stats", s.handleStats)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.mux.HandleFunc("/debug/queries", s.handleDebugQueries)
+	s.mux.HandleFunc("/debug/slow", s.handleDebugSlow)
 	s.mux.HandleFunc("/healthz", s.handleHealth)
 	s.mux.HandleFunc("/readyz", s.handleReady)
 	return s
+}
+
+// EnableSlowLog turns on the wide-event slow-query log: every query
+// emits one structured record, and records slower than threshold are
+// retained in a ring of n entries (served at /debug/slow) and logged at
+// Warn. A threshold <= 0 retains every query. Call before serving; a
+// server without the log pays nothing per query (the record is never
+// built).
+func (s *Server) EnableSlowLog(n int, threshold time.Duration) {
+	s.slow = obs.NewSlowLog(n, threshold, s.log())
 }
 
 // ServeHTTP implements http.Handler. The wrapper owns the cross-cutting
@@ -164,8 +182,22 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		rid = obs.NewRequestID()
 	}
 	ctx := obs.ContextWithRequestID(r.Context(), rid)
-	if wantTrace(r) {
-		ctx = obs.ContextWithTrace(ctx, obs.NewTrace(r.URL.Path))
+	// Span capture turns on for ?trace= requests and for requests whose
+	// traceparent header carries the sampled flag — that is how a shard
+	// joins its coordinator's trace. A valid traceparent also donates its
+	// trace ID, so both sides' trees correlate when stitched.
+	joined, sampled := "", false
+	if tp := r.Header.Get(obs.TraceparentHeader); tp != "" {
+		if id, _, sam, ok := obs.ParseTraceparent(tp); ok {
+			joined, sampled = id, sam
+		}
+	}
+	if wantTrace(r) || sampled {
+		t := obs.NewTrace(r.URL.Path)
+		if joined != "" {
+			t.SetID(joined)
+		}
+		ctx = obs.ContextWithTrace(ctx, t)
 	}
 	r = r.WithContext(ctx)
 	w.Header().Set("X-Request-ID", rid)
@@ -286,8 +318,15 @@ type SearchResponse struct {
 	Shards   []shard.Status `json:"shards,omitempty"`
 	Stats    QueryStats     `json:"stats"`
 	// Trace is the evaluation's span tree, present when the request
-	// carried ?trace=1.
-	Trace *obs.SpanJSON `json:"trace,omitempty"`
+	// carried ?trace=1; on sharded gathers it is the stitched cross-shard
+	// tree. Perfetto carries the same capture in Chrome trace_event form
+	// instead when the request asked ?trace=perfetto.
+	Trace    *obs.SpanJSON      `json:"trace,omitempty"`
+	Perfetto *obs.PerfettoTrace `json:"perfetto,omitempty"`
+	// Explain is the structured plan + execution profile, present when
+	// the request carried ?explain=1. Unlike tracing it involves no span
+	// capture, so it is cheap enough for routine use.
+	Explain *ksp.ExplainReport `json:"explain,omitempty"`
 }
 
 // SearchResult is one semantic place.
@@ -562,6 +601,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 			s.fail(w, http.StatusUnprocessableEntity, "%v", err)
 		}
 		s.recordQuery(rec)
+		s.noteWide(rec, tr.ID(), window, maxDist, stats, 0, "", nil)
 		return
 	}
 	if stats.Cancelled && r.Context().Err() != nil {
@@ -574,6 +614,7 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 	}
 	rec.Status = http.StatusOK
 	s.recordQuery(rec)
+	s.noteWide(rec, tr.ID(), window, maxDist, stats, len(res), "", nil)
 	resp := SearchResponse{
 		Results: make([]SearchResult, 0, len(res)),
 		Partial: stats.Partial,
@@ -599,8 +640,14 @@ func (s *Server) handleSearch(w http.ResponseWriter, r *http.Request) {
 			Cancelled:            stats.Cancelled,
 		},
 	}
-	if tr != nil {
+	switch {
+	case tr != nil && traceMode(r) == tracePerfetto:
+		resp.Perfetto = obs.PerfettoFromSpan(rec.Trace)
+	case tr != nil:
 		resp.Trace = rec.Trace
+	}
+	if wantExplain(r) {
+		resp.Explain = s.ds.ExplainFor(algo, query, opts, stats, len(res))
 	}
 	if stats.Partial {
 		resp.ScoreLowerBound = stats.ScoreBound
@@ -837,14 +884,16 @@ type StatsResponse struct {
 	Dataset ksp.DatasetStats `json:"dataset"`
 	// Bounds is the dataset's place MBR; peer coordinators read it to
 	// enable shard distance pruning. Absent on empty datasets.
-	Bounds         *BoundsSection    `json:"bounds,omitempty"`
-	Cache          *CacheSection     `json:"cache,omitempty"`
-	Window         *WindowSection    `json:"window,omitempty"`
-	Scheduler      *SchedSection     `json:"scheduler,omitempty"`
-	Admission      *AdmissionSection `json:"admission,omitempty"`
-	FaultInjection FaultSection      `json:"faultInjection"`
-	Runtime        RuntimeSection    `json:"runtime"`
-	Server         ServerSection     `json:"server"`
+	Bounds    *BoundsSection    `json:"bounds,omitempty"`
+	Cache     *CacheSection     `json:"cache,omitempty"`
+	Window    *WindowSection    `json:"window,omitempty"`
+	Scheduler *SchedSection     `json:"scheduler,omitempty"`
+	Admission *AdmissionSection `json:"admission,omitempty"`
+	// Slow reports the slow-query log when it is enabled.
+	Slow           *SlowSection   `json:"slow,omitempty"`
+	FaultInjection FaultSection   `json:"faultInjection"`
+	Runtime        RuntimeSection `json:"runtime"`
+	Server         ServerSection  `json:"server"`
 	// Shards reports per-shard lifetime counters and breaker states on
 	// scatter-gather servers.
 	Shards  []shard.ShardInfo `json:"shards,omitempty"`
@@ -953,6 +1002,13 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if adm := s.admission(); adm != nil {
 		sec := adm.snapshot()
 		resp.Admission = &sec
+	}
+	if s.slow.Enabled() {
+		resp.Slow = &SlowSection{
+			ThresholdMicros: s.slow.Threshold().Microseconds(),
+			Observed:        s.slow.ObservedTotal(),
+			Slow:            s.slow.SlowTotal(),
+		}
 	}
 	if s.Shards != nil {
 		resp.Shards = s.Shards.Snapshot()

@@ -57,6 +57,10 @@ const (
 	// DegradedGatherTimeout: the server-side evaluation deadline expired
 	// before any shard answered.
 	DegradedGatherTimeout = "gather-timeout"
+	// DegradedShardLoss: the gather answered (200) but lost at least one
+	// shard or got only a partial from one — the merged prefix is still
+	// Lemma-1 sound. Appears in wide events, not error bodies.
+	DegradedShardLoss = "shard-loss"
 )
 
 // searchSharded evaluates an admitted /search request through the shard
@@ -91,21 +95,32 @@ func (s *Server) searchSharded(w http.ResponseWriter, r *http.Request, release f
 	}
 	if err != nil {
 		rec.Error = err.Error()
+		degraded := ""
 		switch {
 		case r.Context().Err() != nil:
 			// Client gone; nobody reads a response.
 			rec.Status = 499
 		case errors.Is(err, shard.ErrAllShardsFailed):
 			rec.Status = http.StatusServiceUnavailable
+			degraded = DegradedAllShardsFailed
 			s.writeDegraded(w, DegradedAllShardsFailed, err, g)
 		case errors.Is(err, context.DeadlineExceeded):
 			rec.Status = http.StatusServiceUnavailable
+			degraded = DegradedGatherTimeout
 			s.writeDegraded(w, DegradedGatherTimeout, err, g)
 		default:
 			rec.Status = http.StatusInternalServerError
 			s.fail(w, http.StatusInternalServerError, "%v", err)
 		}
 		s.recordQuery(rec)
+		if rec.Status != 499 {
+			var stats *ksp.Stats
+			var statuses []shard.Status
+			if g != nil {
+				stats, statuses = &g.Stats, g.Shards
+			}
+			s.noteWide(rec, tr.ID(), req.Window, req.MaxDist, stats, 0, degraded, statuses)
+		}
 		return
 	}
 	if r.Context().Err() != nil {
@@ -119,6 +134,11 @@ func (s *Server) searchSharded(w http.ResponseWriter, r *http.Request, release f
 	rec.Partial = g.Partial
 	rec.Status = http.StatusOK
 	s.recordQuery(rec)
+	degraded := ""
+	if g.Degraded {
+		degraded = DegradedShardLoss
+	}
+	s.noteWide(rec, tr.ID(), req.Window, req.MaxDist, &g.Stats, len(g.Results), degraded, g.Shards)
 
 	resp := SearchResponse{
 		Results:  make([]SearchResult, 0, len(g.Results)),
@@ -150,8 +170,23 @@ func (s *Server) searchSharded(w http.ResponseWriter, r *http.Request, release f
 	if g.Partial {
 		resp.ScoreLowerBound = g.Bound
 	}
-	if tr != nil {
+	switch {
+	case tr != nil && traceMode(r) == tracePerfetto:
+		resp.Perfetto = obs.PerfettoFromSpan(rec.Trace)
+	case tr != nil:
 		resp.Trace = rec.Trace
+	}
+	if wantExplain(r) {
+		// The plan section comes from the local engine's configuration
+		// (shards over the same dataset build share it); the dispatch
+		// table is the gather's own MinDist-ordered shard outcomes.
+		rep := s.ds.ExplainFor(req.Algo,
+			ksp.Query{Loc: ksp.Point{X: req.X, Y: req.Y}, Keywords: req.Keywords, K: req.K},
+			ksp.Options{CollectTrees: req.CollectTrees, MaxDist: req.MaxDist,
+				Parallelism: req.Parallel, Window: req.Window},
+			&g.Stats, len(g.Results))
+		rep.Shards = explainShards(g.Shards)
+		resp.Explain = rep
 	}
 	for _, item := range g.Results {
 		sr := SearchResult{

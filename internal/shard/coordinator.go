@@ -46,6 +46,15 @@ type Status struct {
 	Attempts int    `json:"attempts,omitempty"`
 	Hedged   bool   `json:"hedged,omitempty"`
 	Micros   int64  `json:"micros,omitempty"`
+	// MinDist is the shard MBR's minimum distance to the query location
+	// (0 when the MBR is unknown) and Order the shard's position in the
+	// ascending-MinDist dispatch order (0 = nearest, considered first).
+	// Breaker is the circuit-breaker state observed when the call was
+	// admitted ("" for shards never dispatched). All three feed the
+	// EXPLAIN surface's dispatch table.
+	MinDist float64 `json:"minDist"`
+	Order   int     `json:"order"`
+	Breaker string  `json:"breaker,omitempty"`
 }
 
 // Gather is a merged scatter-gather answer. When every dispatched shard
@@ -370,6 +379,18 @@ func (c *Coordinator) Search(ctx context.Context, req Request) (*Gather, error) 
 		}
 		return slots[i].status.Shard < slots[j].status.Shard
 	})
+	for i, sl := range slots {
+		sl.status.MinDist = sl.minDist
+		sl.status.Order = i
+	}
+
+	// A traced gather asks every shard for its local span subtree and
+	// hands it the gather's trace ID to join; the subtrees come back in
+	// the responses and are grafted under the per-attempt spans.
+	if tr != nil {
+		req.Trace = true
+		req.TraceID = tr.ID()
+	}
 
 	var (
 		mu     sync.Mutex
@@ -528,6 +549,8 @@ func (c *Coordinator) callShard(ctx context.Context, sl *slot, req Request, pare
 	span := parent.Child("shard.call")
 	span.SetStr("shard", st.shard.Name())
 	defer span.End()
+	brState, _ := st.br.snapshot()
+	sl.status.Breaker = brState.String()
 	start := c.clock()
 	defer func() {
 		sl.status.Micros = c.clock().Sub(start).Microseconds()
@@ -554,7 +577,7 @@ func (c *Coordinator) callShard(ctx context.Context, sl *slot, req Request, pare
 			st.metrics().noteRetry()
 		}
 		sl.status.Attempts = attempt
-		resp, hedged, err := c.attempt(ctx, st, req)
+		resp, hedged, err := c.attempt(ctx, st, req, span, attempt)
 		if hedged {
 			sl.status.Hedged = true
 		}
@@ -587,19 +610,35 @@ func (c *Coordinator) callShard(ctx context.Context, sl *slot, req Request, pare
 // attempt issues one (possibly hedged) call. The first answer wins; the
 // loser is cancelled through the shared attempt context and drains into
 // the buffered channel, so nothing leaks.
-func (c *Coordinator) attempt(ctx context.Context, st *shardState, req Request) (*Response, bool, error) {
+//
+// Tracing: each launched call gets its own "shard.attempt" span under
+// the shard.call span (kind=primary|hedge, the retry ladder's attempt
+// number). The span that produced the returned response is marked
+// won=true and — alone — receives the shard's remote subtree, so a
+// stitched tree names the winning attempt and a losing hedge's subtree
+// is never duplicated into the gather (a loser that completes after the
+// winner returned drains unread; its span stays, unmarked).
+func (c *Coordinator) attempt(ctx context.Context, st *shardState, req Request, parent *obs.Span, attemptNo int) (*Response, bool, error) {
 	actx, cancel := context.WithTimeout(ctx, c.cfg.AttemptTimeout)
 	defer cancel()
 	type res struct {
-		r   *Response
-		err error
+		r    *Response
+		err  error
+		span *obs.Span
 	}
 	ch := make(chan res, 2)
-	run := func() {
+	run := func(kind string) {
+		sp := parent.Child("shard.attempt")
+		sp.SetInt("attempt", int64(attemptNo))
+		sp.SetStr("kind", kind)
 		r, err := c.invoke(actx, st, req)
-		ch <- res{r, err}
+		if err != nil {
+			sp.SetStr("error", err.Error())
+		}
+		sp.End()
+		ch <- res{r, err, sp}
 	}
-	go run()
+	go run("primary")
 	var hedgeC <-chan time.Time
 	if c.cfg.HedgeAfter > 0 {
 		t := time.NewTimer(c.cfg.HedgeAfter)
@@ -614,6 +653,8 @@ func (c *Coordinator) attempt(ctx context.Context, st *shardState, req Request) 
 		case r := <-ch:
 			pending--
 			if r.err == nil {
+				r.span.SetStr("won", "true")
+				r.span.AttachRemote(r.r.Trace)
 				return r.r, hedged, nil
 			}
 			if firstErr == nil {
@@ -625,7 +666,7 @@ func (c *Coordinator) attempt(ctx context.Context, st *shardState, req Request) 
 			st.bump(&st.hedges)
 			st.metrics().noteHedge()
 			pending++
-			go run()
+			go run("hedge")
 		case <-actx.Done():
 			// A stalled call (e.g. an injected Stall) may outlive the
 			// attempt deadline; it drains into the buffered channel.

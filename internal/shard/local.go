@@ -49,6 +49,18 @@ func (l *Local) Search(ctx context.Context, req Request) (*Response, error) {
 	if dl, ok := ctx.Deadline(); ok {
 		opts.Deadline = time.Until(dl)
 	}
+	// When the gather is traced, the shard captures its own span tree
+	// (prepare/candidate/tqsp phases) on a local trace joined to the
+	// gather's trace ID; the coordinator grafts the exported subtree
+	// under its calling span. A Local shard shares the caller's clock,
+	// but the subtree still travels as exported JSON so the Local and
+	// Remote paths stitch identically.
+	var ltr *ksp.Trace
+	if req.Trace {
+		ltr = ksp.NewTrace("shard:" + l.name)
+		ltr.SetID(req.TraceID)
+		opts.Trace = ltr
+	}
 	res, stats, err := l.ds.SearchWith(req.Algo, ksp.Query{
 		Loc:      ksp.Point{X: req.X, Y: req.Y},
 		Keywords: req.Keywords,
@@ -57,11 +69,13 @@ func (l *Local) Search(ctx context.Context, req Request) (*Response, error) {
 	if err != nil {
 		return nil, err
 	}
+	ltr.Finish()
 	resp := &Response{
 		Results: make([]Result, 0, len(res)),
 		Partial: stats.Partial,
 		Bound:   stats.ScoreBound,
 		Stats:   *stats,
+		Trace:   ltr.JSON(),
 	}
 	for _, item := range res {
 		loc, _ := l.ds.Location(item.Place)

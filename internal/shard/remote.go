@@ -12,6 +12,7 @@ import (
 	"sync"
 
 	"ksp"
+	"ksp/internal/obs"
 )
 
 // Remote is a shard served by another kspserver process, spoken to over
@@ -62,6 +63,9 @@ type wireResponse struct {
 		TimedOut          bool  `json:"timedOut"`
 		Cancelled         bool  `json:"cancelled"`
 	} `json:"stats"`
+	// Trace is the peer's local span subtree, embedded when the request
+	// asked for tracing (?trace=1 on the shard wire).
+	Trace *ksp.SpanJSON `json:"trace"`
 }
 
 // wireError mirrors internal/server's apiError.
@@ -89,6 +93,9 @@ func (r *Remote) Search(ctx context.Context, req Request) (*Response, error) {
 	if req.CollectTrees {
 		q.Set("trees", "1")
 	}
+	if req.Trace {
+		q.Set("trace", "1")
+	}
 	body, status, err := r.get(ctx, "/search?"+q.Encode())
 	if err != nil {
 		return nil, err
@@ -111,7 +118,7 @@ func (r *Remote) Search(ctx context.Context, req Request) (*Response, error) {
 	if err := json.Unmarshal(body, &wr); err != nil {
 		return nil, fmt.Errorf("shard %s: bad /search payload: %w", r.name, err)
 	}
-	resp := &Response{Results: wr.Results, Partial: wr.Partial, Bound: wr.Bound}
+	resp := &Response{Results: wr.Results, Partial: wr.Partial, Bound: wr.Bound, Trace: wr.Trace}
 	resp.Stats.TQSPComputations = wr.Stats.TQSPComputations
 	resp.Stats.RTreeNodeAccesses = wr.Stats.RTreeNodeAccesses
 	resp.Stats.TimedOut = wr.Stats.TimedOut
@@ -168,11 +175,23 @@ func (r *Remote) fetchBounds(ctx context.Context) {
 }
 
 // get performs one GET under ctx and drains the body (bounded, so a
-// misbehaving peer cannot balloon memory).
+// misbehaving peer cannot balloon memory). The coordinator's request ID
+// and trace context ride along as headers: X-Request-ID lets shard-side
+// log lines correlate with the coordinator's, and a traceparent header
+// carries the trace ID so the peer joins the gather's trace instead of
+// minting its own.
 func (r *Remote) get(ctx context.Context, path string) ([]byte, int, error) {
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.base+path, nil)
 	if err != nil {
 		return nil, 0, &permanentError{err: err}
+	}
+	if rid := obs.RequestIDFromContext(ctx); rid != "" {
+		req.Header.Set(obs.RequestIDHeader, rid)
+	}
+	if tr := obs.TraceFromContext(ctx); tr != nil {
+		if tp := obs.FormatTraceparent(tr.ID(), obs.NewSpanID(), true); tp != "" {
+			req.Header.Set(obs.TraceparentHeader, tp)
+		}
 	}
 	resp, err := r.client.Do(req)
 	if err != nil {

@@ -79,6 +79,12 @@ type Request struct {
 	MaxDist float64
 	// CollectTrees materializes result TQSPs.
 	CollectTrees bool
+	// Trace asks the shard to capture its local span tree and return it
+	// in Response.Trace; TraceID is the gather's trace identifier, which
+	// the shard joins so both sides' trees correlate. The coordinator
+	// sets both from the caller's context — callers never do.
+	Trace   bool
+	TraceID string
 }
 
 // Result is one semantic place in a shard response, in wire form: the
@@ -119,6 +125,11 @@ type Response struct {
 	// Stats carries the shard's evaluation cost counters (fully
 	// populated by Local, reconstructed from the wire stats by Remote).
 	Stats ksp.Stats
+	// Trace is the shard's local span subtree, present only when
+	// Request.Trace asked for it. Its time offsets are relative to the
+	// *shard's* trace epoch; the coordinator rebases them when grafting
+	// the subtree under its own calling span.
+	Trace *ksp.SpanJSON
 }
 
 // errInjected marks a fault-injection panic converted into a shard RPC

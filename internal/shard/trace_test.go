@@ -1,0 +1,184 @@
+package shard
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"ksp"
+	"ksp/internal/faultinject"
+	"ksp/internal/obs"
+)
+
+// fakeSubtree is the span tree a scripted shard embeds in a traced
+// response, standing in for a real engine's prepare/candidate capture.
+func fakeSubtree(name string) *ksp.SpanJSON {
+	return &ksp.SpanJSON{
+		Name: name, StartMicros: 40, DurationMicros: 200,
+		Children: []*ksp.SpanJSON{{Name: "prepare", StartMicros: 50, DurationMicros: 60}},
+	}
+}
+
+// findSpans returns every span in the tree with the given name.
+func findSpans(root *ksp.SpanJSON, name string) []*ksp.SpanJSON {
+	if root == nil {
+		return nil
+	}
+	var out []*ksp.SpanJSON
+	if root.Name == name {
+		out = append(out, root)
+	}
+	for _, c := range root.Children {
+		out = append(out, findSpans(c, name)...)
+	}
+	return out
+}
+
+func spanAttr(s *ksp.SpanJSON, key string) (string, bool) {
+	for _, a := range s.Attrs {
+		if a.Key == key {
+			return a.Value, true
+		}
+	}
+	return "", false
+}
+
+// A hedge racing a stalled primary must still produce one well-formed
+// tree: both attempts appear under the shard.call span, exactly one is
+// marked won, and the shard's subtree is grafted exactly once — the
+// losing attempt never duplicates it, even though its response also
+// carries the subtree.
+func TestTraceStitchingHedgeRace(t *testing.T) {
+	release := make(chan struct{})
+	t.Cleanup(func() { close(release) })
+	var (
+		mu         sync.Mutex
+		gotTraceID string
+	)
+	sh := &fakeShard{name: "a", search: func(_ context.Context, call int, req Request) (*Response, error) {
+		if !req.Trace {
+			t.Error("traced gather did not ask the shard for its subtree")
+		}
+		mu.Lock()
+		gotTraceID = req.TraceID
+		mu.Unlock()
+		if call == 1 {
+			<-release // primary stalls past the hedge trigger
+		}
+		r := okResp(1, 1.5)
+		r.Trace = fakeSubtree("shard:a")
+		return r, nil
+	}}
+	cfg := quietCfg()
+	cfg.HedgeAfter = 5 * time.Millisecond
+	c := mustCoord(t, cfg, sh)
+
+	tr := obs.NewTrace("gather-test")
+	ctx := obs.ContextWithTrace(context.Background(), tr)
+	g, err := c.Search(ctx, testReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Shards[0].Hedged {
+		t.Fatalf("status = %+v, want hedged", g.Shards[0])
+	}
+	mu.Lock()
+	seenID := gotTraceID
+	mu.Unlock()
+	if seenID != tr.ID() {
+		t.Errorf("shard saw trace ID %q, want the gather's %q", seenID, tr.ID())
+	}
+	tr.Finish()
+	root := tr.JSON()
+
+	attempts := findSpans(root, "shard.attempt")
+	if len(attempts) != 2 {
+		t.Fatalf("attempt spans = %d, want primary + hedge", len(attempts))
+	}
+	var won, kinds []string
+	for _, a := range attempts {
+		k, _ := spanAttr(a, "kind")
+		kinds = append(kinds, k)
+		if v, ok := spanAttr(a, "won"); ok && v == "true" {
+			won = append(won, k)
+			if len(findSpans(a, "shard:a")) != 1 {
+				t.Errorf("winning %s attempt lacks the grafted subtree", k)
+			}
+		}
+	}
+	if len(won) != 1 || won[0] != "hedge" {
+		t.Fatalf("won attempts = %v (kinds %v), want exactly the hedge", won, kinds)
+	}
+	grafts := findSpans(root, "shard:a")
+	if len(grafts) != 1 {
+		t.Fatalf("grafted subtrees = %d, want exactly 1 (loser must not duplicate)", len(grafts))
+	}
+	if len(findSpans(grafts[0], "prepare")) != 1 {
+		t.Error("grafted subtree lost its children")
+	}
+	if _, ok := spanAttr(grafts[0], "clockRebasedMicros"); !ok {
+		t.Error("grafted root missing the clock-rebase annotation")
+	}
+}
+
+// An injected response truncation (the shard.response.truncate fault)
+// must degrade the gather to a sound partial while the stitched trace
+// stays well-formed: the winning attempt still carries the subtree.
+func TestTraceStitchingUnderTruncateFault(t *testing.T) {
+	plan := faultinject.NewPlan(7)
+	plan.Add(faultinject.Fault{Point: PointTruncate, Action: faultinject.Panic})
+	faultinject.Activate(plan)
+	t.Cleanup(faultinject.Deactivate)
+
+	sh := &fakeShard{name: "a", search: func(_ context.Context, _ int, req Request) (*Response, error) {
+		r := okResp(1, 1.0, 2, 2.0, 3, 3.0, 4, 4.0)
+		if req.Trace {
+			r.Trace = fakeSubtree("shard:a")
+		}
+		return r, nil
+	}}
+	c := mustCoord(t, quietCfg(), sh)
+
+	tr := obs.NewTrace("gather-test")
+	g, err := c.Search(obs.ContextWithTrace(context.Background(), tr), testReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !g.Partial {
+		t.Fatalf("truncated gather not partial: %+v", g)
+	}
+	tr.Finish()
+	root := tr.JSON()
+	if n := len(findSpans(root, "shard.call")); n != 1 {
+		t.Fatalf("shard.call spans = %d, want 1", n)
+	}
+	grafts := findSpans(root, "shard:a")
+	if len(grafts) != 1 || len(findSpans(grafts[0], "prepare")) != 1 {
+		t.Fatalf("stitched tree malformed under truncation: %d grafts", len(grafts))
+	}
+	var wonCount int
+	for _, a := range findSpans(root, "shard.attempt") {
+		if v, ok := spanAttr(a, "won"); ok && v == "true" {
+			wonCount++
+		}
+	}
+	if wonCount != 1 {
+		t.Fatalf("won attempts = %d, want 1", wonCount)
+	}
+}
+
+// An untraced gather must not ask shards for subtrees and must not
+// carry remote grafts anywhere — tracing stays strictly opt-in.
+func TestUntracedGatherRequestsNoSubtree(t *testing.T) {
+	sh := &fakeShard{name: "a", search: func(_ context.Context, _ int, req Request) (*Response, error) {
+		if req.Trace || req.TraceID != "" {
+			t.Errorf("untraced gather set Trace=%v TraceID=%q on the wire", req.Trace, req.TraceID)
+		}
+		return okResp(1, 1.5), nil
+	}}
+	c := mustCoord(t, quietCfg(), sh)
+	if _, err := c.Search(context.Background(), testReq); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -98,6 +98,30 @@ type SpanJSON = obs.SpanJSON
 // NewTrace starts a query trace whose root span has the given name.
 func NewTrace(name string) *Trace { return obs.NewTrace(name) }
 
+// PerfettoTrace is a span tree rendered in the Chrome/Perfetto
+// trace_event JSON shape, ready to open in a flamegraph viewer.
+type PerfettoTrace = obs.PerfettoTrace
+
+// PerfettoFromSpan converts a rendered trace (Trace.JSON) to
+// trace_event form. Nil in, nil out.
+func PerfettoFromSpan(root *SpanJSON) *PerfettoTrace { return obs.PerfettoFromSpan(root) }
+
+// ExplainReport is a query's structured plan + execution profile: the
+// algorithm and pruning rules chosen, the Rule-1 keyword order, the
+// window/pipeline policy, and the per-rule/per-phase cost counters the
+// run actually incurred. See Dataset.Explain.
+type ExplainReport = core.ExplainReport
+
+// ExplainPlan is the plan section of an ExplainReport.
+type ExplainPlan = core.ExplainPlan
+
+// ExplainProfile is the execution-profile section of an ExplainReport.
+type ExplainProfile = core.ExplainProfile
+
+// ExplainShard is one shard's dispatch record in a sharded
+// ExplainReport (filled by the serving layer).
+type ExplainShard = core.ExplainShard
+
 // PanicError reports a panic recovered during query evaluation: the
 // query failed, but the dataset and the process are intact. Detect it
 // with errors.As to distinguish an internal fault (HTTP 500 territory)
@@ -321,6 +345,35 @@ func (d *Dataset) SearchWith(algo Algorithm, q Query, opts Options) ([]Result, *
 	default:
 		return nil, nil, fmt.Errorf("ksp: unknown algorithm %v", algo)
 	}
+}
+
+// Explain answers q exactly like SearchWith and additionally returns
+// the structured plan + execution profile — the EXPLAIN surface behind
+// /search?explain=1 and kspquery -explain. The report is assembled from
+// the run's Stats; no span capture is involved.
+func (d *Dataset) Explain(algo Algorithm, q Query, opts Options) ([]Result, *ExplainReport, error) {
+	res, stats, err := d.SearchWith(algo, q, opts)
+	if err != nil {
+		return res, nil, err
+	}
+	return res, d.engine.Explain(algo.String(), q, opts, stats, len(res)), nil
+}
+
+// ExplainFor assembles an ExplainReport for a query that already ran
+// (with SearchWith) and produced stats — the server uses it to attach
+// EXPLAIN output without evaluating twice.
+func (d *Dataset) ExplainFor(algo Algorithm, q Query, opts Options, stats *Stats, results int) *ExplainReport {
+	return d.engine.Explain(algo.String(), q, opts, stats, results)
+}
+
+// AlphaRadius reports the α of the word-neighbourhood index, 0 when the
+// index is absent (diagnostics surfaces record it as part of the query's
+// plan context).
+func (d *Dataset) AlphaRadius() int {
+	if a := d.engine.Alpha; a != nil {
+		return a.Alpha
+	}
+	return 0
 }
 
 // Save persists the dataset — the graph and, when present, the expensive
