@@ -44,6 +44,7 @@ func main() {
 	var (
 		data     = flag.String("data", "", "N-Triples dataset to load")
 		snapshot = flag.String("snapshot", "", "snapshot produced by Dataset.Save (faster startup)")
+		mmap     = flag.Bool("mmap", false, "serve documents and α postings straight from the snapshot file via a read-only memory mapping (requires -snapshot; falls back to positioned reads where mmap is unavailable)")
 		addr     = flag.String("addr", ":8080", "listen address")
 		alphaR   = flag.Int("alpha", 3, "α radius (N-Triples loading only)")
 		maxK     = flag.Int("maxk", 100, "largest k a request may ask for")
@@ -88,6 +89,11 @@ func main() {
 	var ds *ksp.Dataset
 	start := time.Now()
 	switch {
+	case *mmap && *snapshot == "":
+		fatal(logger, "-mmap requires -snapshot")
+	case *mmap:
+		cfg.Mmap = true
+		ds, err = ksp.LoadSnapshotDisk(*snapshot, cfg)
 	case *snapshot != "":
 		ds, err = ksp.LoadSnapshot(*snapshot, cfg)
 	case *data != "":
@@ -101,6 +107,7 @@ func main() {
 	st := ds.Stats()
 	logger.Info("dataset loaded",
 		"vertices", st.Vertices, "edges", st.Edges, "places", st.Places,
+		"docsOnDisk", st.DocsOnDisk, "mmap", st.MemoryMapped,
 		"loadTime", time.Since(start).Round(time.Millisecond).String())
 
 	if *pprof != "" {
@@ -174,6 +181,9 @@ func main() {
 			// After the drain: no in-flight gather needs the health checker
 			// or the breakers anymore.
 			coord.Close()
+		}
+		if err := ds.Close(); err != nil {
+			logger.Error("dataset close failed", "error", err.Error())
 		}
 		if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 			fatal(logger, err.Error())

@@ -45,6 +45,11 @@ type Index struct {
 	PlaceIdx invindex.Index
 	// NodeIdx: term -> postings of (R-tree node ID, dg(N,t)).
 	NodeIdx invindex.Index
+
+	// qvPool recycles QueryViews (and the flat arrays inside them)
+	// across queries; the zero value is ready to use, so composite
+	// literals constructing Index keep working.
+	qvPool sync.Pool
 }
 
 // Build computes the neighbourhoods by a depth-α BFS per place, then
@@ -158,56 +163,153 @@ func (ix *Index) ApproxBytes() int64 {
 	return (p + n) * 5
 }
 
-// QueryView holds the keyword-relevant slice of the neighbourhoods for one
-// query: per query keyword, entry-ID -> distance maps for places and nodes.
+// flatPostings is the keyword-relevant slice of one inverted file in
+// flat form: per keyword i, ids[off[i]:off[i+1]] are the ID-sorted
+// entries of WN containing that keyword and w holds the parallel
+// distances. Replacing the per-keyword map[uint32]uint8 with two dense
+// arrays removes the per-query map builds, the per-probe hashing, and
+// every pointer the GC would otherwise scan.
+type flatPostings struct {
+	off []int32
+	ids []uint32
+	w   []uint8
+}
+
+func (f *flatPostings) reset() {
+	f.off = append(f.off[:0], 0)
+	f.ids = f.ids[:0]
+	f.w = f.w[:0]
+}
+
+// add appends one keyword's posting list as the next segment. Posting
+// lists arrive ID-sorted and deduplicated from both index
+// representations; defensively, out-of-order input (possible only from
+// corrupt disk data) falls back to an insertion fix-up with last-wins
+// duplicate semantics — exactly what the map construction used to
+// produce.
+func (f *flatPostings) add(pl []invindex.Posting) {
+	segStart := int(f.off[len(f.off)-1])
+	for _, p := range pl {
+		if n := len(f.ids); n > segStart && p.ID <= f.ids[n-1] {
+			f.fixUp(p, segStart)
+			continue
+		}
+		f.ids = append(f.ids, p.ID)
+		f.w = append(f.w, p.Weight)
+	}
+	f.off = append(f.off, int32(len(f.ids)))
+}
+
+// fixUp inserts p into the current (still-open) segment starting at lo,
+// keeping it sorted and overwriting an existing entry with the same ID.
+func (f *flatPostings) fixUp(p invindex.Posting, lo int) {
+	i := lo
+	for i < len(f.ids) && f.ids[i] < p.ID {
+		i++
+	}
+	if i < len(f.ids) && f.ids[i] == p.ID {
+		f.w[i] = p.Weight // last wins, matching map semantics
+		return
+	}
+	f.ids = append(f.ids, 0)
+	f.w = append(f.w, 0)
+	copy(f.ids[i+1:], f.ids[i:])
+	copy(f.w[i+1:], f.w[i:])
+	f.ids[i] = p.ID
+	f.w[i] = p.Weight
+}
+
+// dist looks id up in keyword kw's segment via a branch-light binary
+// search: the loop halves a [lo, lo+n) window with one predictable
+// comparison per step (no three-way branch), then a single equality
+// check resolves the hit.
+func (f *flatPostings) dist(kw int, id uint32) (uint8, bool) {
+	lo, hi := int(f.off[kw]), int(f.off[kw+1])
+	n := hi - lo
+	if n == 0 {
+		return 0, false
+	}
+	for n > 1 {
+		half := n >> 1
+		if f.ids[lo+half] <= id {
+			lo += half
+		}
+		n -= half
+	}
+	if f.ids[lo] == id {
+		return f.w[lo], true
+	}
+	return 0, false
+}
+
+// QueryView holds the keyword-relevant slice of the neighbourhoods for
+// one query as flat sorted posting arrays (see flatPostings). Obtain
+// one from LoadQuery and return it with Release when the query
+// finishes; a released view must not be used again.
 type QueryView struct {
-	alpha     int
-	m         int
-	placeDist []map[uint32]uint8
-	nodeDist  []map[uint32]uint8
+	alpha int
+	m     int
+	place flatPostings
+	node  flatPostings
+
+	owner *Index             // pool to return to; nil after Release
+	buf   []invindex.Posting // pooled read scratch for LoadQuery
 }
 
 // LoadQuery fetches the posting lists of the query keywords. The order of
-// terms fixes the keyword positions in the view.
+// terms fixes the keyword positions in the view. Views come from a pool
+// on the Index, so the warm path reuses the flat arrays instead of
+// building maps.
 func (ix *Index) LoadQuery(terms []uint32) (*QueryView, error) {
-	qv := &QueryView{
-		alpha:     ix.Alpha,
-		m:         len(terms),
-		placeDist: make([]map[uint32]uint8, len(terms)),
-		nodeDist:  make([]map[uint32]uint8, len(terms)),
+	qv, _ := ix.qvPool.Get().(*QueryView)
+	if qv == nil {
+		qv = &QueryView{}
 	}
-	var buf []invindex.Posting
+	qv.owner = ix
+	qv.alpha = ix.Alpha
+	qv.m = len(terms)
+	qv.place.reset()
+	qv.node.reset()
 	var err error
-	for i, t := range terms {
-		buf, err = ix.PlaceIdx.Postings(t, buf[:0])
+	for _, t := range terms {
+		qv.buf, err = ix.PlaceIdx.Postings(t, qv.buf[:0])
 		if err != nil {
+			qv.Release()
 			return nil, err
 		}
-		mp := make(map[uint32]uint8, len(buf))
-		for _, p := range buf {
-			mp[p.ID] = p.Weight
-		}
-		qv.placeDist[i] = mp
+		qv.place.add(qv.buf)
 
-		buf, err = ix.NodeIdx.Postings(t, buf[:0])
+		qv.buf, err = ix.NodeIdx.Postings(t, qv.buf[:0])
 		if err != nil {
+			qv.Release()
 			return nil, err
 		}
-		mn := make(map[uint32]uint8, len(buf))
-		for _, p := range buf {
-			mn[p.ID] = p.Weight
-		}
-		qv.nodeDist[i] = mn
+		qv.node.add(qv.buf)
 	}
 	return qv, nil
 }
 
+// Release returns the view to its index's pool. Callers must drop every
+// reference: the arrays are reused by later LoadQuery calls. Safe to
+// call more than once; only the first has effect.
+func (qv *QueryView) Release() {
+	if qv == nil || qv.owner == nil {
+		return
+	}
+	ix := qv.owner
+	qv.owner = nil
+	ix.qvPool.Put(qv)
+}
+
 // PlaceBound returns LαB(Tp) (Lemma 2): 1 + Σ dg over keywords found in
-// WN(p) + (α+1) for each keyword absent from it.
+// WN(p) + (α+1) for each keyword absent from it. The keyword loop and
+// the accumulation order are identical to the original map-based
+// implementation — every addend is a small non-negative integer, so the
+// float sums are bit-identical — and the lookups allocate nothing.
 func (qv *QueryView) PlaceBound(p uint32) float64 {
 	lb := 1.0
 	for i := 0; i < qv.m; i++ {
-		if d, ok := qv.placeDist[i][p]; ok {
+		if d, ok := qv.place.dist(i, p); ok {
 			lb += float64(d)
 		} else {
 			lb += float64(qv.alpha + 1)
@@ -220,7 +322,7 @@ func (qv *QueryView) PlaceBound(p uint32) float64 {
 func (qv *QueryView) NodeBound(nodeID uint32) float64 {
 	lb := 1.0
 	for i := 0; i < qv.m; i++ {
-		if d, ok := qv.nodeDist[i][nodeID]; ok {
+		if d, ok := qv.node.dist(i, nodeID); ok {
 			lb += float64(d)
 		} else {
 			lb += float64(qv.alpha + 1)

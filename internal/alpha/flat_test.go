@@ -1,0 +1,229 @@
+package alpha
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"ksp/internal/invindex"
+	"ksp/internal/rdf"
+	"ksp/internal/rtree"
+)
+
+// mapView is the original map-based QueryView, kept here as the
+// reference implementation for the bit-identity property: per keyword,
+// entry-ID -> distance maps built from the same posting lists.
+type mapView struct {
+	alpha     int
+	placeDist []map[uint32]uint8
+	nodeDist  []map[uint32]uint8
+}
+
+func loadMapView(t *testing.T, ix *Index, terms []uint32) *mapView {
+	t.Helper()
+	mv := &mapView{
+		alpha:     ix.Alpha,
+		placeDist: make([]map[uint32]uint8, len(terms)),
+		nodeDist:  make([]map[uint32]uint8, len(terms)),
+	}
+	var buf []invindex.Posting
+	var err error
+	for i, term := range terms {
+		buf, err = ix.PlaceIdx.Postings(term, buf[:0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		mp := make(map[uint32]uint8, len(buf))
+		for _, p := range buf {
+			mp[p.ID] = p.Weight
+		}
+		mv.placeDist[i] = mp
+		buf, err = ix.NodeIdx.Postings(term, buf[:0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		mn := make(map[uint32]uint8, len(buf))
+		for _, p := range buf {
+			mn[p.ID] = p.Weight
+		}
+		mv.nodeDist[i] = mn
+	}
+	return mv
+}
+
+func (mv *mapView) placeBound(p uint32) float64 {
+	lb := 1.0
+	for i := range mv.placeDist {
+		if d, ok := mv.placeDist[i][p]; ok {
+			lb += float64(d)
+		} else {
+			lb += float64(mv.alpha + 1)
+		}
+	}
+	return lb
+}
+
+func (mv *mapView) nodeBound(n uint32) float64 {
+	lb := 1.0
+	for i := range mv.nodeDist {
+		if d, ok := mv.nodeDist[i][n]; ok {
+			lb += float64(d)
+		} else {
+			lb += float64(mv.alpha + 1)
+		}
+	}
+	return lb
+}
+
+// randomGraph builds a synthetic graph with places, edges and skewed
+// term documents, plus its R-tree.
+func randomGraph(t testing.TB, seed int64, n int) (*rdf.Graph, *rtree.RTree) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	b := rdf.NewBuilder()
+	for i := 0; i < n; i++ {
+		v := b.AddBareVertex(fmt.Sprintf("v%d", i))
+		for j := 0; j <= rng.Intn(4); j++ {
+			b.AddTermID(v, b.Vocab.ID(fmt.Sprintf("w%d", rng.Intn(60))))
+		}
+		if i > 0 {
+			b.AddEdge(uint32(rng.Intn(i)), v, "p")
+			b.AddEdge(v, uint32(rng.Intn(i)), "q")
+		}
+		if i%4 == 0 {
+			b.SetLocation(v, geoPoint(rng.Float64()*100, rng.Float64()*100))
+		}
+	}
+	g := b.Build()
+	items := make([]rtree.Item, 0, len(g.Places()))
+	for _, p := range g.Places() {
+		items = append(items, rtree.Item{ID: p, Loc: g.Loc(p)})
+	}
+	return g, rtree.Bulk(items, 8)
+}
+
+// The tentpole property: flat QueryView bounds are bit-identical to the
+// map-based implementation across datasets × α × keyword sets, probed
+// at every place, every tree node, and out-of-index IDs. Float equality
+// here is exact (==), not approximate.
+func TestFlatBoundsBitIdenticalToMaps(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		for _, alphaRadius := range []int{1, 3} {
+			g, tree := randomGraph(t, seed, 300)
+			ix := Build(g, tree, alphaRadius, rdf.Outgoing)
+			rng := rand.New(rand.NewSource(seed * 1000))
+			for trial := 0; trial < 20; trial++ {
+				m := 1 + rng.Intn(4)
+				terms := make([]uint32, m)
+				for i := range terms {
+					// Mix known terms and IDs beyond the vocabulary.
+					terms[i] = uint32(rng.Intn(70))
+				}
+				qv, err := ix.LoadQuery(terms)
+				if err != nil {
+					t.Fatal(err)
+				}
+				mv := loadMapView(t, ix, terms)
+				for _, p := range g.Places() {
+					if got, want := qv.PlaceBound(p), mv.placeBound(p); got != want {
+						t.Fatalf("seed %d α=%d terms %v: PlaceBound(%d) = %v, map %v",
+							seed, alphaRadius, terms, p, got, want)
+					}
+				}
+				probes := []uint32{0, 1, 999999, ^uint32(0)}
+				for n := uint32(0); int(n) < 2*tree.Len()+4; n++ {
+					probes = append(probes, n)
+				}
+				for _, n := range probes {
+					if got, want := qv.NodeBound(n), mv.nodeBound(n); got != want {
+						t.Fatalf("seed %d α=%d terms %v: NodeBound(%d) = %v, map %v",
+							seed, alphaRadius, terms, n, got, want)
+					}
+				}
+				qv.Release()
+			}
+		}
+	}
+}
+
+// Released views must come back from the pool with correct contents for
+// the new keyword set — stale segments from a previous query must never
+// leak into bounds.
+func TestQueryViewPoolReuse(t *testing.T) {
+	g, tree := randomGraph(t, 7, 300)
+	ix := Build(g, tree, 2, rdf.Outgoing)
+	rng := rand.New(rand.NewSource(99))
+	for round := 0; round < 50; round++ {
+		m := 1 + rng.Intn(5)
+		terms := make([]uint32, m)
+		for i := range terms {
+			terms[i] = uint32(rng.Intn(70))
+		}
+		qv, err := ix.LoadQuery(terms)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mv := loadMapView(t, ix, terms)
+		for _, p := range g.Places()[:10] {
+			if got, want := qv.PlaceBound(p), mv.placeBound(p); got != want {
+				t.Fatalf("round %d: PlaceBound(%d) = %v, want %v", round, p, got, want)
+			}
+		}
+		qv.Release()
+		qv.Release() // double release must be a no-op
+	}
+}
+
+// PlaceBound and NodeBound must allocate nothing, and a warm
+// LoadQuery/Release cycle must stay allocation-free too (pooled view,
+// pooled scratch, reused flat arrays).
+func TestBoundsZeroAllocWarm(t *testing.T) {
+	g, tree := randomGraph(t, 13, 400)
+	ix := Build(g, tree, 3, rdf.Outgoing)
+	terms := []uint32{3, 17, 42}
+	qv, err := ix.LoadQuery(terms)
+	if err != nil {
+		t.Fatal(err)
+	}
+	places := g.Places()
+	var sink float64
+	allocs := testing.AllocsPerRun(200, func() {
+		for _, p := range places[:20] {
+			sink += qv.PlaceBound(p)
+		}
+		for n := uint32(0); n < 20; n++ {
+			sink += qv.NodeBound(n)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("PlaceBound/NodeBound allocated %v times per run, want 0", allocs)
+	}
+	qv.Release()
+
+	// Warm the pool, then require steady-state LoadQuery to be
+	// allocation-free as well. The race detector makes sync.Pool drop
+	// Puts at random, so the pooled half only holds without it (CI's
+	// bench-guard job runs it race-free).
+	if raceEnabled {
+		t.Skip("sync.Pool drops entries under the race detector")
+	}
+	for i := 0; i < 10; i++ {
+		v, err := ix.LoadQuery(terms)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v.Release()
+	}
+	allocs = testing.AllocsPerRun(100, func() {
+		v, err := ix.LoadQuery(terms)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sink += v.PlaceBound(places[0])
+		v.Release()
+	})
+	if allocs != 0 {
+		t.Errorf("warm LoadQuery allocated %v times per run, want 0", allocs)
+	}
+	_ = sink
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package alpha
+
+const raceEnabled = false

@@ -1,0 +1,8 @@
+//go:build race
+
+package alpha
+
+// raceEnabled reports whether this test binary was built with the race
+// detector, which makes sync.Pool randomly drop Puts and so breaks
+// zero-allocation assertions on pooled paths.
+const raceEnabled = true

@@ -31,7 +31,7 @@ func ExperimentIDs() []string {
 	return []string{
 		"table4", "table5", "table6", "table7",
 		"fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10",
-		"ablation", "freq", "parallel", "window", "multicore", "load",
+		"ablation", "freq", "parallel", "window", "multicore", "load", "memory",
 	}
 }
 
@@ -96,6 +96,8 @@ func (s *Suite) Experiment(id string) ([]*Report, error) {
 		return s.multicore()
 	case "load":
 		return s.load()
+	case "memory":
+		return s.memory()
 	default:
 		return nil, fmt.Errorf("bench: unknown experiment %q (have %v)", id, ExperimentIDs())
 	}

@@ -24,6 +24,9 @@ type Report struct {
 	// Load carries the machine-readable cells behind the "load"
 	// experiment's rows, so JSON baselines keep exact latency quantiles.
 	Load []LoadResult `json:"load,omitempty"`
+	// Memory carries the machine-readable cells behind the "memory"
+	// experiment's rows (per-mode footprint and per-query allocation).
+	Memory []MemoryResult `json:"memory,omitempty"`
 }
 
 // AddRow appends a formatted row.

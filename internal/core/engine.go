@@ -255,6 +255,13 @@ func (e *Engine) EnableReach() {
 // the inverted index is disk-resident"). The caller owns the file's
 // lifetime; Close the returned index when the engine is discarded.
 func (e *Engine) UseDiskDocIndex(path string) (*invindex.DiskIndex, error) {
+	return e.UseDiskDocIndexMode(path, false)
+}
+
+// UseDiskDocIndexMode is UseDiskDocIndex with a choice of I/O mode:
+// useMmap serves posting lists through a read-only memory mapping
+// (falling back to pread where mapping is unavailable).
+func (e *Engine) UseDiskDocIndexMode(path string, useMmap bool) (*invindex.DiskIndex, error) {
 	mem, ok := e.Doc.(*invindex.MemIndex)
 	if !ok {
 		return nil, fmt.Errorf("core: document index already replaced")
@@ -262,7 +269,7 @@ func (e *Engine) UseDiskDocIndex(path string) (*invindex.DiskIndex, error) {
 	if err := mem.WriteFile(path); err != nil {
 		return nil, err
 	}
-	disk, err := invindex.Open(path)
+	disk, err := invindex.OpenFile(path, useMmap)
 	if err != nil {
 		return nil, err
 	}
@@ -343,11 +350,20 @@ func termSig(terms []uint32) string {
 }
 
 // releasePrep returns a prepared query's pooled scratch to the engine.
-// The prepQuery must not be used afterwards.
+// The prepQuery must not be used afterwards. Always called after the
+// query's pipeline has fully drained (deferred at the algorithm
+// function scope), so the α query view can go back to its pool.
 func (e *Engine) releasePrep(pq *prepQuery) {
-	if pq != nil && pq.mq != nil {
+	if pq == nil {
+		return
+	}
+	if pq.mq != nil {
 		e.pools.putMQ(pq.mq)
 		pq.mq = nil
+	}
+	if pq.qv != nil {
+		pq.qv.Release()
+		pq.qv = nil
 	}
 }
 

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"container/heap"
 	"math"
 
 	"ksp/internal/alpha"
@@ -111,7 +110,7 @@ type spSource struct {
 
 func (s *spSource) next() (candidate, bool) {
 	for s.pqueue.Len() > 0 {
-		ent := heap.Pop(&s.pqueue).(spEntry)
+		ent := s.pqueue.pop()
 		// Termination (Algorithm 4 line 9): every remaining entry's bound
 		// is at least ent.bound.
 		if ent.bound >= s.theta() {
@@ -136,7 +135,7 @@ func (s *spSource) next() (candidate, bool) {
 				}
 				fb := s.e.Rank.Score(s.qv.PlaceBound(it.ID), d)
 				if fb < th {
-					heap.Push(&s.pqueue, spEntry{bound: fb, dist: d, place: it.ID})
+					s.pqueue.push(spEntry{bound: fb, dist: d, place: it.ID})
 				} else {
 					s.stats.PrunedAlphaPlaces++ // Pruning Rule 3
 				}
@@ -149,7 +148,7 @@ func (s *spSource) next() (candidate, bool) {
 				}
 				fb := s.e.Rank.Score(s.qv.NodeBound(ch.ID), d)
 				if fb < th {
-					heap.Push(&s.pqueue, spEntry{bound: fb, dist: d, node: ch})
+					s.pqueue.push(spEntry{bound: fb, dist: d, node: ch})
 				} else {
 					s.stats.PrunedAlphaNodes++ // Pruning Rule 4
 				}

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"container/heap"
 	"fmt"
 	"time"
 
@@ -53,10 +52,16 @@ type spEntry struct {
 	place uint32
 }
 
+// spHeap is a binary min-heap of spEntry with hand-rolled sift methods:
+// container/heap boxes every pushed element into an interface{}, which
+// made each SP enqueue an allocation — the dominant per-query cost once
+// the query view went flat. The sift logic mirrors container/heap's
+// algorithm exactly (same comparisons, same swaps), so the pop order —
+// and therefore the candidate stream — is bit-identical to the old code.
 type spHeap []spEntry
 
 func (h spHeap) Len() int { return len(h) }
-func (h spHeap) Less(i, j int) bool {
+func (h spHeap) less(i, j int) bool {
 	if h[i].bound != h[j].bound {
 		return h[i].bound < h[j].bound
 	}
@@ -70,14 +75,50 @@ func (h spHeap) Less(i, j int) bool {
 	}
 	return ni.ID < nj.ID
 }
-func (h spHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *spHeap) Push(x interface{}) { *h = append(*h, x.(spEntry)) }
-func (h *spHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
+
+func (h *spHeap) push(e spEntry) {
+	*h = append(*h, e)
+	h.up(len(*h) - 1)
+}
+
+func (h *spHeap) pop() spEntry {
+	s := *h
+	n := len(s) - 1
+	s[0], s[n] = s[n], s[0]
+	h.down(0, n)
+	e := s[n]
+	s[n] = spEntry{} // clear the node pointer so the GC can reclaim subtrees
+	*h = s[:n]
 	return e
+}
+
+func (h spHeap) up(j int) {
+	for j > 0 {
+		i := (j - 1) / 2
+		if !h.less(j, i) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		j = i
+	}
+}
+
+func (h spHeap) down(i, n int) {
+	for {
+		j1 := 2*i + 1
+		if j1 >= n {
+			return
+		}
+		j := j1
+		if j2 := j1 + 1; j2 < n && h.less(j2, j1) {
+			j = j2
+		}
+		if !h.less(j, i) {
+			return
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
 }
 
 func (e *Engine) spLoop(pq *prepQuery, opts Options, hk *topK, stats *Stats) error {
@@ -91,9 +132,8 @@ func (e *Engine) spLoop(pq *prepQuery, opts Options, hk *topK, stats *Stats) err
 		if e.Tree.Len() > 0 {
 			root := e.Tree.Root()
 			d := root.Rect.MinDist(qloc)
-			src.pqueue = append(src.pqueue, spEntry{bound: e.Rank.Score(qv.NodeBound(root.ID), d), dist: d, node: root})
+			src.pqueue.push(spEntry{bound: e.Rank.Score(qv.NodeBound(root.ID), d), dist: d, node: root})
 		}
-		heap.Init(&src.pqueue)
 		return src, nil
 	}
 	return e.run(mk, pq, opts, hk, stats, e.Reach != nil && !opts.NoRule1, !opts.NoRule2)

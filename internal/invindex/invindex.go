@@ -20,6 +20,8 @@ import (
 	"io"
 	"os"
 	"sort"
+
+	"ksp/internal/mmapfile"
 )
 
 // Posting is one entry of a posting list: the vertex (or R-tree entry)
@@ -44,20 +46,27 @@ type Index interface {
 
 // AvgPostingLen returns the average posting-list length over terms that
 // have at least one posting — the keyword-frequency statistic the paper
-// reports for DBpedia (56.46) and Yago (7.83).
+// reports for DBpedia (56.46) and Yago (7.83). Both built-in
+// representations count non-empty terms from resident metadata (list
+// lengths or the offset table) without touching posting data; the
+// per-term read loop remains only as a fallback for foreign Index
+// implementations.
 func AvgPostingLen(ix Index) float64 {
 	n := ix.NumPostings()
 	if n == 0 {
 		return 0
 	}
-	// Count non-empty terms.
 	var nonEmpty int64
-	var buf []Posting
-	for t := 0; t < ix.NumTerms(); t++ {
-		//ksplint:ignore droppederr -- diagnostic statistic; a read failure skews the average, never a query result
-		buf, _ = ix.Postings(uint32(t), buf[:0])
-		if len(buf) > 0 {
-			nonEmpty++
+	if c, ok := ix.(interface{ NonEmptyTerms() int64 }); ok {
+		nonEmpty = c.NonEmptyTerms()
+	} else {
+		var buf []Posting
+		for t := 0; t < ix.NumTerms(); t++ {
+			//ksplint:ignore droppederr -- diagnostic statistic; a read failure skews the average, never a query result
+			buf, _ = ix.Postings(uint32(t), buf[:0])
+			if len(buf) > 0 {
+				nonEmpty++
+			}
 		}
 	}
 	if nonEmpty == 0 {
@@ -142,6 +151,17 @@ func (m *MemIndex) NumTerms() int { return len(m.lists) }
 
 // NumPostings implements Index.
 func (m *MemIndex) NumPostings() int64 { return m.total }
+
+// NonEmptyTerms returns the number of terms with at least one posting.
+func (m *MemIndex) NonEmptyTerms() int64 {
+	var n int64
+	for _, pl := range m.lists {
+		if len(pl) > 0 {
+			n++
+		}
+	}
+	return n
+}
 
 // MemSize estimates the in-memory footprint in bytes.
 func (m *MemIndex) MemSize() int64 {
@@ -242,6 +262,35 @@ func (m *MemIndex) Write(w io.Writer) error {
 // sequential stream, materializing it in memory. (Open, by contrast, maps
 // a file for on-demand posting reads.)
 func ReadFrom(r io.Reader) (*MemIndex, error) {
+	offsets, err := readOffsets(r)
+	if err != nil {
+		return nil, err
+	}
+	numTerms := len(offsets) - 1
+	data, err := readFullCapped(r, int64(offsets[numTerms]))
+	if err != nil {
+		return nil, fmt.Errorf("invindex: reading postings: %w", err)
+	}
+	m := &MemIndex{lists: make([][]Posting, numTerms)}
+	for t := 0; t < numTerms; t++ {
+		if offsets[t] == offsets[t+1] {
+			continue
+		}
+		pl, err := decodeList(data[offsets[t]:offsets[t+1]], nil)
+		if err != nil {
+			return nil, fmt.Errorf("invindex: term %d: %w", t, err)
+		}
+		m.lists[t] = pl
+		m.total += int64(len(pl))
+	}
+	return m, nil
+}
+
+// readOffsets consumes the fixed header plus the offset table — the
+// resident prefix of the encoding — validating magic, version, and
+// offset monotonicity. The stream is left positioned at the posting
+// area, whose length is the last offset.
+func readOffsets(r io.Reader) ([]uint64, error) {
 	var hdr [12]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, fmt.Errorf("invindex: reading header: %w", err)
@@ -266,23 +315,30 @@ func ReadFrom(r io.Reader) (*MemIndex, error) {
 			return nil, errors.New("invindex: corrupt offset table")
 		}
 	}
-	data, err := readFullCapped(r, int64(offsets[numTerms]))
+	return offsets, nil
+}
+
+// Scan consumes one index encoding (as produced by Write) from r,
+// retaining only the offset table and discarding the posting area after
+// reading it. Combined with NewView it lets a caller stream an embedded
+// index — e.g. to checksum a snapshot section — while deferring posting
+// reads to the containing file.
+func Scan(r io.Reader) ([]uint64, error) {
+	offsets, err := readOffsets(r)
 	if err != nil {
-		return nil, fmt.Errorf("invindex: reading postings: %w", err)
+		return nil, err
 	}
-	m := &MemIndex{lists: make([][]Posting, numTerms)}
-	for t := 0; t < numTerms; t++ {
-		if offsets[t] == offsets[t+1] {
-			continue
-		}
-		pl, err := decodeList(data[offsets[t]:offsets[t+1]], nil)
-		if err != nil {
-			return nil, fmt.Errorf("invindex: term %d: %w", t, err)
-		}
-		m.lists[t] = pl
-		m.total += int64(len(pl))
+	if _, err := io.CopyN(io.Discard, r, int64(offsets[len(offsets)-1])); err != nil {
+		return nil, fmt.Errorf("invindex: scanning postings: %w", err)
 	}
-	return m, nil
+	return offsets, nil
+}
+
+// EncodedSize returns the byte length of an index encoding with the
+// given offset table (header + table + posting area) — how far an
+// embedded index extends past its base offset.
+func EncodedSize(offsets []uint64) int64 {
+	return 12 + 8*int64(len(offsets)) + int64(offsets[len(offsets)-1])
 }
 
 // readFullCapped reads exactly n bytes, growing the buffer in bounded
@@ -309,77 +365,97 @@ func readFullCapped(r io.Reader, n int64) ([]byte, error) {
 	return buf, nil
 }
 
-// DiskIndex reads posting lists on demand from a file produced by Write.
-// The offset table is memory-resident; posting lists are fetched per call,
-// matching the paper's disk-resident inverted-index setting.
+// DiskIndex reads posting lists on demand from an index encoding on
+// disk — either a standalone file produced by WriteFile or a section
+// embedded in a larger file (NewView). Only the offset table is
+// memory-resident; posting lists are fetched per call, matching the
+// paper's disk-resident inverted-index setting. In mmap mode fetches
+// decode straight out of the mapping with no per-call buffer.
 type DiskIndex struct {
-	f        *os.File
+	src      *mmapfile.File
 	offsets  []uint64
-	dataBase int64
+	dataBase int64 // absolute offset of the posting area in src
 	total    int64
+	owns     bool // whether Close should close src
 }
 
-// Open maps an index file for querying.
-func Open(path string) (*DiskIndex, error) {
-	f, err := os.Open(path)
+// Open opens an index file for querying through pread calls.
+func Open(path string) (*DiskIndex, error) { return OpenFile(path, false) }
+
+// OpenMmap opens an index file for querying through a memory mapping
+// (falling back to pread on platforms without mmap).
+func OpenMmap(path string) (*DiskIndex, error) { return OpenFile(path, true) }
+
+// OpenFile opens an index file in the chosen I/O mode.
+func OpenFile(path string, useMmap bool) (*DiskIndex, error) {
+	src, err := mmapfile.OpenMode(path, useMmap)
 	if err != nil {
 		return nil, err
 	}
-	d, err := openFrom(f)
+	offsets, err := readOffsets(io.NewSectionReader(src, 0, src.Size()))
 	if err != nil {
 		//ksplint:ignore droppederr -- error-path cleanup; the open error already wins
-		f.Close()
+		src.Close()
 		return nil, err
 	}
+	d := newView(src, 0, offsets)
+	d.owns = true
 	return d, nil
 }
 
-// openFrom reads the header and offset table; the caller owns f and
-// closes it if this fails.
-func openFrom(f *os.File) (*DiskIndex, error) {
-	var hdr [12]byte
-	if _, err := io.ReadFull(f, hdr[:]); err != nil {
-		return nil, fmt.Errorf("invindex: reading header: %w", err)
-	}
-	if binary.LittleEndian.Uint32(hdr[0:]) != magic {
-		return nil, errors.New("invindex: bad magic")
-	}
-	if binary.LittleEndian.Uint32(hdr[4:]) != version {
-		return nil, errors.New("invindex: unsupported version")
-	}
-	numTerms := binary.LittleEndian.Uint32(hdr[8:])
-	offBytes := make([]byte, 8*(int(numTerms)+1))
-	if _, err := io.ReadFull(f, offBytes); err != nil {
-		return nil, fmt.Errorf("invindex: reading offsets: %w", err)
-	}
-	offsets := make([]uint64, numTerms+1)
-	for i := range offsets {
-		offsets[i] = binary.LittleEndian.Uint64(offBytes[8*i:])
-	}
-	d := &DiskIndex{f: f, offsets: offsets, dataBase: int64(len(hdr)) + int64(len(offBytes))}
-	// Total postings: decode lazily is costly; store -1 and compute on
-	// demand would complicate the interface, so count during Open by
-	// scanning counts only when asked. Keep it simple: computed lazily.
-	d.total = -1
-	return d, nil
+// NewView serves postings from an index encoding embedded in src at
+// base (the offset of the index magic). offsets must be the table
+// returned by Scan (or readOffsets) over the same bytes. The view does
+// not own src: Close is a no-op and the caller manages src's lifetime.
+func NewView(src *mmapfile.File, base int64, offsets []uint64) *DiskIndex {
+	return newView(src, base, offsets)
 }
 
-// Close releases the underlying file.
-func (d *DiskIndex) Close() error { return d.f.Close() }
+func newView(src *mmapfile.File, base int64, offsets []uint64) *DiskIndex {
+	return &DiskIndex{
+		src:      src,
+		offsets:  offsets,
+		dataBase: base + 12 + 8*int64(len(offsets)),
+		total:    -1, // NumPostings computes on first use
+	}
+}
+
+// Close releases the underlying file when this index owns it (opened
+// via Open/OpenFile); for views over a shared file it is a no-op.
+func (d *DiskIndex) Close() error {
+	if !d.owns {
+		return nil
+	}
+	return d.src.Close()
+}
+
+// Mapped reports whether posting reads are served from a memory mapping.
+func (d *DiskIndex) Mapped() bool { return d.src.Mapped() }
 
 // NumTerms implements Index.
 func (d *DiskIndex) NumTerms() int { return len(d.offsets) - 1 }
 
-// FileSize returns the index size on disk in bytes.
-func (d *DiskIndex) FileSize() int64 {
-	st, err := d.f.Stat()
-	if err != nil {
-		return 0
+// FileSize returns the size on disk of the file backing the index. For
+// embedded views this is the containing file's size.
+func (d *DiskIndex) FileSize() int64 { return d.src.Size() }
+
+// NonEmptyTerms returns the number of terms with at least one posting,
+// read off the resident offset table: an empty list encodes to exactly
+// one byte (the zero count varint), while any non-empty list needs at
+// least three (count, first ID, weight), so encoded length > 1 is
+// exactly "non-empty". No posting data is touched.
+func (d *DiskIndex) NonEmptyTerms() int64 {
+	var n int64
+	for t := 1; t < len(d.offsets); t++ {
+		if d.offsets[t]-d.offsets[t-1] > 1 {
+			n++
+		}
 	}
-	return st.Size()
+	return n
 }
 
-// Postings implements Index, reading the term's block from disk.
+// Postings implements Index, reading the term's block from disk. In
+// mmap mode the block decodes zero-copy out of the mapping.
 func (d *DiskIndex) Postings(term uint32, dst []Posting) ([]Posting, error) {
 	if int(term) >= d.NumTerms() {
 		return dst, nil
@@ -388,8 +464,8 @@ func (d *DiskIndex) Postings(term uint32, dst []Posting) ([]Posting, error) {
 	if start == end {
 		return dst, nil
 	}
-	buf := make([]byte, end-start)
-	if _, err := d.f.ReadAt(buf, d.dataBase+int64(start)); err != nil {
+	buf, err := d.src.Range(d.dataBase+int64(start), int64(end-start))
+	if err != nil {
 		return dst, fmt.Errorf("invindex: term %d: %w", term, err)
 	}
 	return decodeList(buf, dst)
@@ -442,7 +518,7 @@ func (d *DiskIndex) NumPostings() int64 {
 		if n > len(buf) {
 			n = len(buf)
 		}
-		if _, err := d.f.ReadAt(buf[:n], d.dataBase+int64(start)); err != nil {
+		if _, err := d.src.ReadAt(buf[:n], d.dataBase+int64(start)); err != nil {
 			return 0
 		}
 		c, k := binary.Uvarint(buf[:n])

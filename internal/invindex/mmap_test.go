@@ -1,0 +1,162 @@
+package invindex
+
+import (
+	"bytes"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"ksp/internal/mmapfile"
+)
+
+func randomMem(t testing.TB, seed int64, n int) *MemIndex {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	b := NewBuilder()
+	b.Reserve(150) // leave some trailing empty terms
+	for i := 0; i < n; i++ {
+		b.Add(uint32(rng.Intn(120)), uint32(rng.Intn(50000)), uint8(rng.Intn(6)))
+	}
+	return b.Build()
+}
+
+// The three I/O representations — in-memory, pread, mmap — must agree
+// posting-for-posting on every term.
+func TestMmapMatchesPreadAndMem(t *testing.T) {
+	mem := randomMem(t, 11, 8000)
+	path := filepath.Join(t.TempDir(), "ix.bin")
+	if err := mem.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	pread, err := OpenFile(path, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pread.Close()
+	mapped, err := OpenMmap(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mapped.Close()
+	if pread.Mapped() {
+		t.Fatal("pread index reports mapped")
+	}
+	if mapped.NumTerms() != mem.NumTerms() || pread.NumTerms() != mem.NumTerms() {
+		t.Fatalf("NumTerms: mem %d pread %d mmap %d", mem.NumTerms(), pread.NumTerms(), mapped.NumTerms())
+	}
+	for term := 0; term < mem.NumTerms(); term++ {
+		want, _ := mem.Postings(uint32(term), nil)
+		a, err := pread.Postings(uint32(term), nil)
+		if err != nil {
+			t.Fatalf("pread term %d: %v", term, err)
+		}
+		b, err := mapped.Postings(uint32(term), nil)
+		if err != nil {
+			t.Fatalf("mmap term %d: %v", term, err)
+		}
+		if !reflect.DeepEqual(a, want) || !reflect.DeepEqual(b, want) {
+			t.Fatalf("term %d: mem %v pread %v mmap %v", term, want, a, b)
+		}
+	}
+	if mapped.NumPostings() != mem.NumPostings() {
+		t.Fatalf("NumPostings: mmap %d mem %d", mapped.NumPostings(), mem.NumPostings())
+	}
+}
+
+// NonEmptyTerms must agree across representations and keep
+// AvgPostingLen exact — the offset-table shortcut (encoded length > 1)
+// must count precisely the terms with postings.
+func TestNonEmptyTerms(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		mem := randomMem(t, seed, 500)
+		path := filepath.Join(t.TempDir(), "ne.bin")
+		if err := mem.WriteFile(path); err != nil {
+			t.Fatal(err)
+		}
+		disk, err := Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want int64
+		var buf []Posting
+		for term := 0; term < mem.NumTerms(); term++ {
+			buf, _ = mem.Postings(uint32(term), buf[:0])
+			if len(buf) > 0 {
+				want++
+			}
+		}
+		if got := mem.NonEmptyTerms(); got != want {
+			t.Errorf("seed %d: mem NonEmptyTerms = %d, want %d", seed, got, want)
+		}
+		if got := disk.NonEmptyTerms(); got != want {
+			t.Errorf("seed %d: disk NonEmptyTerms = %d, want %d", seed, got, want)
+		}
+		if a, b := AvgPostingLen(disk), AvgPostingLen(mem); a != b {
+			t.Errorf("seed %d: AvgPostingLen disk %v mem %v", seed, a, b)
+		}
+		if err := disk.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// Scan + NewView: an index embedded mid-file must serve identical
+// postings to the standalone representations, and Scan must consume
+// exactly the encoding so trailing bytes stay readable.
+func TestScanAndView(t *testing.T) {
+	mem := randomMem(t, 21, 3000)
+	var enc bytes.Buffer
+	if err := mem.Write(&enc); err != nil {
+		t.Fatal(err)
+	}
+	prefix := []byte("0123456789abcdef")
+	suffix := []byte("TRAILER")
+	blob := append(append(append([]byte(nil), prefix...), enc.Bytes()...), suffix...)
+	path := filepath.Join(t.TempDir(), "embedded.bin")
+	if err := os.WriteFile(path, blob, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, useMmap := range []bool{false, true} {
+		src, err := mmapfile.OpenMode(path, useMmap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := bytes.NewReader(blob[len(prefix):])
+		offsets, err := Scan(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := enc.Len(); EncodedSize(offsets) != int64(got) {
+			t.Fatalf("EncodedSize = %d, want %d", EncodedSize(offsets), got)
+		}
+		if rest := r.Len(); rest != len(suffix) {
+			t.Fatalf("Scan left %d bytes, want %d", rest, len(suffix))
+		}
+		view := NewView(src, int64(len(prefix)), offsets)
+		for term := 0; term < mem.NumTerms(); term++ {
+			want, _ := mem.Postings(uint32(term), nil)
+			got, err := view.Postings(uint32(term), nil)
+			if err != nil {
+				t.Fatalf("term %d: %v", term, err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("term %d: view %v mem %v", term, got, want)
+			}
+		}
+		if view.NumPostings() != mem.NumPostings() {
+			t.Fatalf("view NumPostings = %d, want %d", view.NumPostings(), mem.NumPostings())
+		}
+		// Views never own the source: Close must not close src.
+		if err := view.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := src.Range(0, int64(len(prefix))); err != nil {
+			t.Fatalf("src unusable after view close: %v", err)
+		}
+		if err := src.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,17 @@
+//go:build linux
+
+package mmapfile
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmap maps size bytes of f read-only and shared: the pages are backed
+// by the page cache, so concurrently opened views of the same file
+// share physical memory and the kernel evicts under pressure.
+func mmap(f *os.File, size int64) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+}
+
+func munmap(data []byte) error { return syscall.Munmap(data) }

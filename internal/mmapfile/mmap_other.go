@@ -1,0 +1,17 @@
+//go:build !linux
+
+package mmapfile
+
+import (
+	"errors"
+	"os"
+)
+
+var errNoMmap = errors.New("mmapfile: memory mapping unsupported on this platform")
+
+// mmap always fails on platforms without a wired syscall implementation;
+// OpenMode treats the failure as "serve through pread", so callers see
+// identical bytes either way.
+func mmap(_ *os.File, _ int64) ([]byte, error) { return nil, errNoMmap }
+
+func munmap(_ []byte) error { return nil }

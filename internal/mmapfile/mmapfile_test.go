@@ -1,0 +1,110 @@
+package mmapfile
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+)
+
+func writeTemp(t *testing.T, data []byte) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "blob")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// Both modes must expose identical bytes through ReadAt and Range.
+func TestModesAgree(t *testing.T) {
+	data := make([]byte, 10000)
+	for i := range data {
+		data[i] = byte(i * 31)
+	}
+	path := writeTemp(t, data)
+	for _, useMmap := range []bool{false, true} {
+		m, err := OpenMode(path, useMmap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Size() != int64(len(data)) {
+			t.Fatalf("Size() = %d, want %d", m.Size(), len(data))
+		}
+		if useMmap && runtime.GOOS == "linux" && !m.Mapped() {
+			t.Fatal("mmap mode not mapped on linux")
+		}
+		if !useMmap && m.Mapped() {
+			t.Fatal("pread mode reports mapped")
+		}
+		for _, r := range [][2]int64{{0, 100}, {9000, 1000}, {4321, 0}, {0, 10000}} {
+			got, err := m.Range(r[0], r[1])
+			if err != nil {
+				t.Fatalf("Range(%d,%d): %v", r[0], r[1], err)
+			}
+			if !bytes.Equal(got, data[r[0]:r[0]+r[1]]) {
+				t.Fatalf("Range(%d,%d) mismatch (mmap=%v)", r[0], r[1], useMmap)
+			}
+			buf := make([]byte, r[1])
+			if _, err := m.ReadAt(buf, r[0]); err != nil {
+				t.Fatalf("ReadAt(%d,%d): %v", r[0], r[1], err)
+			}
+			if !bytes.Equal(buf, data[r[0]:r[0]+r[1]]) {
+				t.Fatalf("ReadAt(%d,%d) mismatch (mmap=%v)", r[0], r[1], useMmap)
+			}
+		}
+		if _, err := m.Range(9999, 2); err == nil {
+			t.Fatal("Range past EOF succeeded")
+		}
+		if _, err := m.Range(-1, 1); err == nil {
+			t.Fatal("Range with negative offset succeeded")
+		}
+		if err := m.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestReadAtShortTail(t *testing.T) {
+	path := writeTemp(t, []byte("hello"))
+	for _, useMmap := range []bool{false, true} {
+		m, err := OpenMode(path, useMmap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf := make([]byte, 10)
+		n, err := m.ReadAt(buf, 3)
+		if n != 2 || err != io.EOF {
+			t.Fatalf("short tail: n=%d err=%v, want 2, io.EOF (mmap=%v)", n, err, useMmap)
+		}
+		if string(buf[:n]) != "lo" {
+			t.Fatalf("short tail bytes %q", buf[:n])
+		}
+		if err := m.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// Zero-length files must open in either mode (never mapped: zero-length
+// mappings are invalid).
+func TestEmptyFile(t *testing.T) {
+	path := writeTemp(t, nil)
+	for _, useMmap := range []bool{false, true} {
+		m, err := OpenMode(path, useMmap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Mapped() {
+			t.Fatal("empty file mapped")
+		}
+		if got, err := m.Range(0, 0); err != nil || len(got) != 0 {
+			t.Fatalf("Range(0,0) = %v, %v", got, err)
+		}
+		if err := m.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package rdf
 
 import (
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -230,10 +231,32 @@ func (b *Builder) Build() *Graph {
 	g := &Graph{
 		Vocab:     b.Vocab,
 		analyzer:  b.Analyzer,
-		uris:      b.uris,
-		uriIDs:    b.uriIDs,
 		predNames: b.preds,
 	}
+
+	// Flatten the URI table: the build-time []string + map give way to
+	// one byte blob, uint32 offsets, and a URI-sorted permutation of
+	// vertex IDs for lookups (see Graph.VertexByURI).
+	var uriTotal int
+	for _, u := range b.uris {
+		uriTotal += len(u)
+	}
+	if int64(uriTotal) > math.MaxUint32 {
+		panic("rdf: URI table exceeds 4 GiB; uint32 offsets cannot address it")
+	}
+	g.uriOff = make([]uint32, n+1)
+	g.uriBlob = make([]byte, 0, uriTotal)
+	for v, u := range b.uris {
+		g.uriBlob = append(g.uriBlob, u...)
+		g.uriOff[v+1] = uint32(len(g.uriBlob))
+	}
+	g.uriSort = make([]uint32, n)
+	for i := range g.uriSort {
+		g.uriSort[i] = uint32(i)
+	}
+	sort.Slice(g.uriSort, func(i, j int) bool {
+		return b.uris[g.uriSort[i]] < b.uris[g.uriSort[j]]
+	})
 
 	// Deduplicate identical (s, pred, o) edges, then lay out CSR.
 	sort.Slice(b.edges, func(i, j int) bool {
@@ -319,6 +342,8 @@ func (b *Builder) Build() *Graph {
 	}
 	sort.Slice(g.places, func(i, j int) bool { return g.places[i] < g.places[j] })
 
+	b.uris = nil
+	b.uriIDs = nil
 	b.docs = nil
 	b.edges = nil
 	return g

@@ -9,17 +9,28 @@ import (
 	"sync/atomic"
 
 	"ksp/internal/lru"
+	"ksp/internal/mmapfile"
 )
 
 // docFile serves vertex documents from disk with an LRU cache in front —
 // the out-of-core representation the paper points to for data beyond main
 // memory (footnote 1 / Section 8). Only the offset table (4 bytes per
-// vertex) stays resident.
+// vertex) stays resident. The backing file is either a spill file this
+// graph wrote (flat term array, owned and deleted on close) or a region
+// of an externally managed file such as a snapshot (counted per-vertex
+// layout, not owned); either serves through mmapfile, so reads are
+// zero-copy when the file is mapped.
 type docFile struct {
-	f     *os.File
-	mu    sync.Mutex
-	cache *lru.Cache[uint32, []uint32]
-	reads int64
+	src  *mmapfile.File
+	base int64 // file offset where the term area begins
+	// counted selects the snapshot layout — per vertex, a u32 term count
+	// followed by the terms — over the spill layout's flat term array.
+	counted bool
+	owns    bool   // close (and delete) src on CloseDocFile
+	name    string // path for deletion when owned
+	mu      sync.Mutex
+	cache   *lru.Cache[uint32, []uint32]
+	reads   int64
 }
 
 // DefaultDocCacheEntries is the default LRU budget of SpillDocs, in
@@ -40,6 +51,13 @@ func docCost(_ uint32, doc []uint32) int64 { return 1 + int64(len(doc))/16 }
 // The caller owns the file's lifetime; it is removed with CloseDocFile or
 // by the process exiting.
 func (g *Graph) SpillDocs(path string, cacheEntries int) error {
+	return g.SpillDocsMode(path, cacheEntries, false)
+}
+
+// SpillDocsMode is SpillDocs with an explicit I/O mode: with useMmap the
+// spill file serves through a read-only memory mapping (falling back to
+// pread on platforms without mmap support).
+func (g *Graph) SpillDocsMode(path string, cacheEntries int, useMmap bool) error {
 	if g.docTerms == nil && g.spill != nil {
 		return fmt.Errorf("rdf: documents already spilled")
 	}
@@ -65,25 +83,72 @@ func (g *Graph) SpillDocs(path string, cacheEntries int) error {
 		f.Close()
 		return err
 	}
-	g.spill = &docFile{f: f, cache: lru.NewSized[uint32, []uint32](int64(cacheEntries), docCost)}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	src, err := mmapfile.OpenMode(path, useMmap)
+	if err != nil {
+		return err
+	}
+	g.spill = &docFile{
+		src:   src,
+		owns:  true,
+		name:  path,
+		cache: lru.NewSized[uint32, []uint32](int64(cacheEntries), docCost),
+	}
 	g.docTerms = nil
+	return nil
+}
+
+// AttachExternalDocs wires the graph's documents to a counted per-vertex
+// region of an already-open file: at base, each vertex contributes a u32
+// term count followed by its term IDs (the snapshot documents-section
+// layout). lengths[v] is vertex v's term count and replaces the graph's
+// document offsets. The graph does not own src — the caller (typically a
+// store.Snapshot) manages its lifetime, and CloseDocFile is a no-op.
+func (g *Graph) AttachExternalDocs(lengths []uint32, src *mmapfile.File, base int64, cacheEntries int) error {
+	if g.spill != nil {
+		return fmt.Errorf("rdf: documents already spilled")
+	}
+	if len(lengths) != g.NumVertices() {
+		return fmt.Errorf("rdf: %d document lengths for %d vertices", len(lengths), g.NumVertices())
+	}
+	if cacheEntries <= 0 {
+		cacheEntries = DefaultDocCacheEntries
+	}
+	off := make([]uint32, len(lengths)+1)
+	for v, dl := range lengths {
+		off[v+1] = off[v] + dl
+	}
+	g.docOff = off
+	g.docTerms = nil
+	g.spill = &docFile{
+		src:     src,
+		base:    base,
+		counted: true,
+		cache:   lru.NewSized[uint32, []uint32](int64(cacheEntries), docCost),
+	}
 	return nil
 }
 
 // DocsOnDisk reports whether the documents live in a spill file.
 func (g *Graph) DocsOnDisk() bool { return g.spill != nil }
 
+// DocsMapped reports whether on-disk documents serve from a memory
+// mapping.
+func (g *Graph) DocsMapped() bool { return g.spill != nil && g.spill.src.Mapped() }
+
 // CloseDocFile closes and deletes the spill file. The graph must not be
-// queried afterwards.
+// queried afterwards. For externally attached documents
+// (AttachExternalDocs) it is a no-op: the source's owner closes it.
 func (g *Graph) CloseDocFile() error {
-	if g.spill == nil {
+	if g.spill == nil || !g.spill.owns {
 		return nil
 	}
-	name := g.spill.f.Name()
-	if err := g.spill.f.Close(); err != nil {
+	if err := g.spill.src.Close(); err != nil {
 		return err
 	}
-	return os.Remove(name)
+	return os.Remove(g.spill.name)
 }
 
 // DocReads returns the number of disk reads served (cache misses).
@@ -92,6 +157,14 @@ func (g *Graph) DocReads() int64 {
 		return 0
 	}
 	return atomic.LoadInt64(&g.spill.reads)
+}
+
+// memSize estimates the resident footprint: the LRU cache's used budget
+// is in docCost units of ~16 terms, so ~64 bytes each.
+func (d *docFile) memSize() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.cache.Used() * 64
 }
 
 // doc fetches one document, from cache or disk.
@@ -103,13 +176,20 @@ func (d *docFile) doc(v uint32, start, end uint32) []uint32 {
 	}
 	d.mu.Unlock()
 
+	off := d.base + 4*int64(start)
+	if d.counted {
+		// Counted layout: v+1 count words (vertices 0..v) precede the
+		// terms of vertex v, on top of the start (= docOff[v]) terms of
+		// the vertices before it.
+		off += 4 * (int64(v) + 1)
+	}
 	n := int(end - start)
-	raw := make([]byte, 4*n)
-	if _, err := d.f.ReadAt(raw, int64(start)*4); err != nil {
-		// A read failure on the spill file is unrecoverable corruption of
+	raw, err := d.src.Range(off, 4*int64(n))
+	if err != nil {
+		// A read failure on the doc region is unrecoverable corruption of
 		// our own managed file; an empty doc would silently corrupt
 		// results, so fail loudly.
-		panic(fmt.Sprintf("rdf: doc spill read failed: %v", err))
+		panic(fmt.Sprintf("rdf: doc read failed: %v", err))
 	}
 	atomic.AddInt64(&d.reads, 1)
 	doc := make([]uint32, n)

@@ -1,10 +1,15 @@
 package rdf
 
 import (
+	"bufio"
+	"encoding/binary"
+	"os"
 	"path/filepath"
 	"reflect"
 	"sync"
 	"testing"
+
+	"ksp/internal/mmapfile"
 )
 
 func spillFixture(t *testing.T, cacheEntries int) (*Graph, [][]uint32) {
@@ -125,6 +130,128 @@ func TestSpillDocsTwiceFails(t *testing.T) {
 	g, _ := spillFixture(t, 8)
 	if err := g.SpillDocs(filepath.Join(t.TempDir(), "again.bin"), 8); err == nil {
 		t.Fatal("second spill should fail")
+	}
+}
+
+// A memory-mapped spill must serve the same documents as the pread
+// spill built from an identical graph.
+func TestSpillDocsMmapMatchesPread(t *testing.T) {
+	build := func() *Graph {
+		b := NewBuilder()
+		for i := 0; i < 100; i++ {
+			v := b.AddBareVertex(string(rune('a'+i%26)) + string(rune('0'+i/26)))
+			for j := 0; j <= i%5; j++ {
+				b.AddTermID(v, b.Vocab.ID(string(rune('a'+(i+j)%26))))
+			}
+		}
+		return b.Build()
+	}
+	pread, mapped := build(), build()
+	if err := pread.SpillDocsMode(filepath.Join(t.TempDir(), "p.bin"), 4, false); err != nil {
+		t.Fatal(err)
+	}
+	defer pread.CloseDocFile()
+	if err := mapped.SpillDocsMode(filepath.Join(t.TempDir(), "m.bin"), 4, true); err != nil {
+		t.Fatal(err)
+	}
+	defer mapped.CloseDocFile()
+	for v := uint32(0); int(v) < pread.NumVertices(); v++ {
+		a := append([]uint32(nil), pread.Doc(v)...)
+		b := append([]uint32(nil), mapped.Doc(v)...)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("Doc(%d): pread %v mmap %v", v, a, b)
+		}
+	}
+}
+
+// AttachExternalDocs serves the counted per-vertex layout (the snapshot
+// documents section) from a shared file the graph does not own.
+func TestAttachExternalDocs(t *testing.T) {
+	b := NewBuilder()
+	var want [][]uint32
+	for i := 0; i < 60; i++ {
+		v := b.AddBareVertex(string(rune('a'+i%26)) + string(rune('0'+i/26)))
+		var doc []uint32
+		for j := 0; j <= i%4; j++ {
+			term := b.Vocab.ID(string(rune('a' + (i+j)%26)))
+			b.AddTermID(v, term)
+			doc = append(doc, term)
+		}
+		want = append(want, dedupeSorted(doc))
+	}
+	ref := b.Build()
+
+	// Write the counted layout at a nonzero base, like a snapshot section.
+	path := filepath.Join(t.TempDir(), "ext.bin")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bw := bufio.NewWriter(f)
+	header := []byte("HEADERBYTES")
+	if _, err := bw.Write(header); err != nil {
+		t.Fatal(err)
+	}
+	lengths := make([]uint32, ref.NumVertices())
+	var u32 [4]byte
+	for v := 0; v < ref.NumVertices(); v++ {
+		doc := ref.Doc(uint32(v))
+		lengths[v] = uint32(len(doc))
+		binary.LittleEndian.PutUint32(u32[:], uint32(len(doc)))
+		if _, err := bw.Write(u32[:]); err != nil {
+			t.Fatal(err)
+		}
+		for _, term := range doc {
+			binary.LittleEndian.PutUint32(u32[:], term)
+			if _, err := bw.Write(u32[:]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, useMmap := range []bool{false, true} {
+		// A vertex-compatible graph with no documents of its own.
+		b2 := NewBuilder()
+		for i := 0; i < 60; i++ {
+			b2.AddBareVertex(string(rune('a'+i%26)) + string(rune('0'+i/26)))
+		}
+		g := b2.Build()
+		src, err := mmapfile.OpenMode(path, useMmap)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := g.AttachExternalDocs(lengths, src, int64(len(header)), 4); err != nil {
+			t.Fatal(err)
+		}
+		if !g.DocsOnDisk() {
+			t.Fatal("DocsOnDisk should be true after attach")
+		}
+		for v := uint32(0); int(v) < g.NumVertices(); v++ {
+			got := append([]uint32(nil), g.Doc(v)...)
+			if !reflect.DeepEqual(got, want[v]) {
+				t.Fatalf("mmap=%v: Doc(%d) = %v, want %v", useMmap, v, got, want[v])
+			}
+		}
+		// The graph must not own the source: CloseDocFile leaves it open
+		// and the file on disk.
+		if err := g.CloseDocFile(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := src.Range(0, int64(len(header))); err != nil {
+			t.Fatalf("source closed by CloseDocFile: %v", err)
+		}
+		if err := src.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := os.Stat(path); err != nil {
+			t.Fatalf("external file removed: %v", err)
+		}
 	}
 }
 

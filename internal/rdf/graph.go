@@ -44,8 +44,14 @@ type Graph struct {
 
 	analyzer text.Analyzer
 
-	uris   []string
-	uriIDs map[string]uint32
+	// URI table, flattened: one contiguous byte blob plus uint32
+	// offsets (uriOff[v]..uriOff[v+1] delimit vertex v's URI) and a
+	// permutation of vertex IDs sorted by URI for binary-search lookup.
+	// Two GC-opaque slices replace the n strings + n map entries a
+	// []string + map[string]uint32 layout costs the collector.
+	uriBlob []byte
+	uriOff  []uint32
+	uriSort []uint32
 
 	// CSR adjacency. outEdges[outOff[v]:outOff[v+1]] are v's successors;
 	// outPreds is parallel to outEdges and holds predicate-name indexes.
@@ -70,13 +76,23 @@ type Graph struct {
 }
 
 // NumVertices returns the vertex count.
-func (g *Graph) NumVertices() int { return len(g.uris) }
+func (g *Graph) NumVertices() int {
+	if len(g.uriOff) == 0 {
+		return 0
+	}
+	return len(g.uriOff) - 1
+}
 
 // NumEdges returns the directed edge count.
 func (g *Graph) NumEdges() int { return len(g.outEdges) }
 
-// URI returns the URI (or blank label) of vertex v.
-func (g *Graph) URI(v uint32) string { return g.uris[v] }
+// URI returns the URI (or blank label) of vertex v. The string is
+// copied out of the flat table; hot paths should hold vertex IDs, not
+// URIs.
+func (g *Graph) URI(v uint32) string { return string(g.uriBytes(v)) }
+
+// uriBytes returns vertex v's URI as a slice of the flat blob.
+func (g *Graph) uriBytes(v uint32) []byte { return g.uriBlob[g.uriOff[v]:g.uriOff[v+1]] }
 
 // Analyzer returns the text analyzer the documents were built with;
 // queries must normalize keywords through it.
@@ -86,9 +102,50 @@ func (g *Graph) Analyzer() text.Analyzer { return g.analyzer }
 func (g *Graph) Analyze(s string) []string { return g.analyzer.Analyze(s) }
 
 // VertexByURI resolves a URI to a vertex ID; ok is false when absent.
+// Lookup is a binary search over the URI-sorted permutation —
+// O(log n) byte comparisons against the flat blob, no per-call
+// allocation.
 func (g *Graph) VertexByURI(uri string) (uint32, bool) {
-	id, ok := g.uriIDs[uri]
-	return id, ok
+	lo, hi := 0, len(g.uriSort)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if cmpBytesString(g.uriBytes(g.uriSort[mid]), uri) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(g.uriSort) {
+		v := g.uriSort[lo]
+		if cmpBytesString(g.uriBytes(v), uri) == 0 {
+			return v, true
+		}
+	}
+	return NoVertex, false
+}
+
+// cmpBytesString is bytes.Compare against a string, avoiding the
+// []byte(string) conversion an equality through string(b) would cost.
+func cmpBytesString(b []byte, s string) int {
+	n := len(b)
+	if len(s) < n {
+		n = len(s)
+	}
+	for i := 0; i < n; i++ {
+		if b[i] != s[i] {
+			if b[i] < s[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	switch {
+	case len(b) < len(s):
+		return -1
+	case len(b) > len(s):
+		return 1
+	}
+	return 0
 }
 
 // Out returns the successors of v. The returned slice is shared; do not
@@ -140,23 +197,32 @@ func (g *Graph) Places() []uint32 { return g.places }
 
 // Degree statistics used by dataset reports.
 func (g *Graph) AvgOutDegree() float64 {
-	if len(g.uris) == 0 {
+	n := g.NumVertices()
+	if n == 0 {
 		return 0
 	}
-	return float64(len(g.outEdges)) / float64(len(g.uris))
+	return float64(len(g.outEdges)) / float64(n)
 }
 
-// MemSize estimates the in-memory footprint in bytes (Table 4 experiment):
-// adjacency arrays, documents, coordinates and URI strings.
+// MemSize estimates the in-memory footprint in bytes (Table 4
+// experiment): adjacency arrays, documents, coordinates, the place
+// list, and the flat URI table (blob + offsets + sorted permutation).
+// With spilled documents the resident cost is the offset table plus an
+// estimate of the LRU cache, not the on-disk term array.
 func (g *Graph) MemSize() int64 {
 	var sz int64
 	sz += int64(len(g.outOff)+len(g.outEdges)+len(g.outPreds)+len(g.inOff)+len(g.inEdges)) * 4
-	sz += int64(len(g.docOff)+len(g.docTerms)) * 4
+	sz += int64(len(g.docOff)) * 4
+	if g.spill != nil {
+		sz += g.spill.memSize()
+	} else {
+		sz += int64(len(g.docTerms)) * 4
+	}
 	sz += int64(len(g.coords)) * 16
 	sz += int64(len(g.isPlace))
-	for _, u := range g.uris {
-		sz += int64(len(u)) + 16
-	}
+	sz += int64(len(g.places)) * 4
+	sz += int64(len(g.uriBlob))
+	sz += int64(len(g.uriOff)+len(g.uriSort)) * 4
 	for _, p := range g.predNames {
 		sz += int64(len(p)) + 16
 	}
@@ -191,13 +257,18 @@ func (g *Graph) WCCSizes() []int {
 			union(int32(v), int32(w))
 		}
 	}
-	counts := make(map[int32]int)
+	// Component sizes, counted into a dense slice indexed by root: every
+	// root is a vertex ID, so a []int over the vertex space replaces the
+	// map the old implementation allocated per call.
+	counts := make([]int, n)
 	for v := 0; v < n; v++ {
 		counts[find(int32(v))]++
 	}
-	sizes := make([]int, 0, len(counts))
+	var sizes []int
 	for _, c := range counts {
-		sizes = append(sizes, c)
+		if c > 0 {
+			sizes = append(sizes, c)
+		}
 	}
 	sort.Sort(sort.Reverse(sort.IntSlice(sizes)))
 	return sizes

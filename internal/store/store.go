@@ -35,6 +35,7 @@ import (
 	"ksp/internal/alpha"
 	"ksp/internal/geo"
 	"ksp/internal/invindex"
+	"ksp/internal/mmapfile"
 	"ksp/internal/rdf"
 	"ksp/internal/text"
 )
@@ -58,11 +59,18 @@ type Snapshot struct {
 	Graph *rdf.Graph
 	// AlphaRadius and Dir describe the persisted α index; AlphaPlace /
 	// AlphaNode are its two inverted files. AlphaRadius == 0 means no α
-	// index was persisted.
+	// index was persisted. Read materializes both as *invindex.MemIndex;
+	// OpenDisk leaves them as views over the snapshot file.
 	AlphaRadius int
 	Dir         rdf.Direction
-	AlphaPlace  *invindex.MemIndex
-	AlphaNode   *invindex.MemIndex
+	AlphaPlace  invindex.Index
+	AlphaNode   invindex.Index
+
+	// src backs a disk-resident snapshot (OpenDisk): the documents
+	// section and the α posting areas are served from it on demand. Nil
+	// for fully materialized snapshots. Owned by the Snapshot; release
+	// with Close.
+	src *mmapfile.File
 }
 
 // Write serializes the snapshot.
@@ -157,15 +165,20 @@ func writeVersion(w io.Writer, s *Snapshot, version uint32) error {
 		return h.err
 	}
 	if s.AlphaRadius > 0 {
+		place, okP := s.AlphaPlace.(*invindex.MemIndex)
+		node, okN := s.AlphaNode.(*invindex.MemIndex)
+		if !okP || !okN {
+			return errors.New("store: cannot serialize a disk-resident snapshot; load it with Read first")
+		}
 		// The index serializers write through cw, so the trailers cover
 		// their bytes too.
-		if err := s.AlphaPlace.Write(cw); err != nil {
+		if err := place.Write(cw); err != nil {
 			return err
 		}
 		if err := cw.trailer(); err != nil {
 			return err
 		}
-		if err := s.AlphaNode.Write(cw); err != nil {
+		if err := node.Write(cw); err != nil {
 			return err
 		}
 		if err := cw.trailer(); err != nil {
@@ -175,12 +188,32 @@ func writeVersion(w io.Writer, s *Snapshot, version uint32) error {
 	return bw.Flush()
 }
 
-// Read restores a snapshot written by Write.
+// Read restores a snapshot written by Write, fully materialized in
+// memory.
 func Read(r io.Reader) (*Snapshot, error) {
 	br := bufio.NewReaderSize(r, 1<<20)
 	cr := &crcReader{r: br, crc: crc32.NewIEEE(), on: true}
-	h := newSectionReader(cr)
+	return readSnapshot(newSectionReader(cr), cr, nil)
+}
 
+// diskLoad carries the state of a disk-resident open (OpenDisk): the
+// backing file, a position tracker aligned with the decoded byte stream,
+// and the document cache size to install.
+type diskLoad struct {
+	src          *mmapfile.File
+	pos          *posReader
+	cacheEntries int
+}
+
+// readSnapshot decodes the snapshot stream. With disk == nil every
+// section is materialized (Read). In disk mode the stream is still
+// consumed end to end — so every CRC trailer is verified and every
+// structural check runs exactly as in Read — but the two large payloads
+// are not kept: the documents section contributes only per-vertex
+// lengths (the terms are later served from disk via AttachExternalDocs)
+// and the α posting areas are scanned past, leaving lazy DiskIndex
+// views over the file.
+func readSnapshot(h *sectionReader, cr *crcReader, disk *diskLoad) (*Snapshot, error) {
 	if h.u32() != snapMagic {
 		if h.err != nil {
 			return nil, h.end("header")
@@ -212,7 +245,15 @@ func Read(r io.Reader) (*Snapshot, error) {
 	vocabLen := int(h.u32())
 	terms := make([]uint32, 0, capHint(vocabLen))
 	for t := 0; t < vocabLen && h.err == nil; t++ {
-		terms = append(terms, b.Vocab.ID(h.str()))
+		id := b.Vocab.ID(h.str())
+		if disk != nil && id != uint32(len(terms)) {
+			// Disk mode serves document term IDs raw from the file, which
+			// is only sound when snapshot term slots and vocabulary IDs
+			// coincide — true for every snapshot Write produces (it emits
+			// each term once, in ID order).
+			return nil, fmt.Errorf("%w: duplicate vocabulary term", ErrCorrupt)
+		}
+		terms = append(terms, id)
 	}
 	if err := h.end("vocabulary"); err != nil {
 		return nil, err
@@ -250,8 +291,17 @@ func Read(r io.Reader) (*Snapshot, error) {
 		return nil, err
 	}
 
+	var docBase int64
+	var docLens []uint32
+	if disk != nil {
+		docBase = disk.pos.n
+		docLens = make([]uint32, 0, capHint(n))
+	}
 	for v := 0; v < n && h.err == nil; v++ {
 		dl := int(h.u32())
+		if disk != nil {
+			docLens = append(docLens, uint32(dl))
+		}
 		for i := 0; i < dl && h.err == nil; i++ {
 			t := h.u32()
 			if h.err != nil {
@@ -260,7 +310,9 @@ func Read(r io.Reader) (*Snapshot, error) {
 			if int(t) >= vocabLen {
 				return nil, fmt.Errorf("%w: document references out-of-range term", ErrCorrupt)
 			}
-			b.AddTermID(ids[v], terms[t])
+			if disk == nil {
+				b.AddTermID(ids[v], terms[t])
+			}
 		}
 	}
 	if err := h.end("documents"); err != nil {
@@ -291,21 +343,51 @@ func Read(r io.Reader) (*Snapshot, error) {
 		return nil, err
 	}
 	s.Graph = b.Build()
+	if disk != nil {
+		if err := s.Graph.AttachExternalDocs(docLens, disk.src, docBase, disk.cacheEntries); err != nil {
+			return nil, err
+		}
+		s.src = disk.src
+	}
 	if s.AlphaRadius > 0 {
-		var err error
-		s.AlphaPlace, err = invindex.ReadFrom(cr)
-		if err != nil {
-			return nil, alphaErr("α place index", err)
-		}
-		if err := cr.verify("α place index"); err != nil {
-			return nil, err
-		}
-		s.AlphaNode, err = invindex.ReadFrom(cr)
-		if err != nil {
-			return nil, alphaErr("α node index", err)
-		}
-		if err := cr.verify("α node index"); err != nil {
-			return nil, err
+		if disk == nil {
+			var err error
+			s.AlphaPlace, err = invindex.ReadFrom(cr)
+			if err != nil {
+				return nil, alphaErr("α place index", err)
+			}
+			if err := cr.verify("α place index"); err != nil {
+				return nil, err
+			}
+			s.AlphaNode, err = invindex.ReadFrom(cr)
+			if err != nil {
+				return nil, alphaErr("α node index", err)
+			}
+			if err := cr.verify("α node index"); err != nil {
+				return nil, err
+			}
+		} else {
+			// Scan past each index through the CRC reader (full integrity
+			// check), keeping only the offset table; the posting areas stay
+			// on disk behind lazy views.
+			base := disk.pos.n
+			offs, err := invindex.Scan(cr)
+			if err != nil {
+				return nil, alphaErr("α place index", err)
+			}
+			if err := cr.verify("α place index"); err != nil {
+				return nil, err
+			}
+			s.AlphaPlace = invindex.NewView(disk.src, base, offs)
+			base = disk.pos.n
+			offs, err = invindex.Scan(cr)
+			if err != nil {
+				return nil, alphaErr("α node index", err)
+			}
+			if err := cr.verify("α node index"); err != nil {
+				return nil, err
+			}
+			s.AlphaNode = invindex.NewView(disk.src, base, offs)
 		}
 	}
 	return s, nil

@@ -218,6 +218,13 @@ type Config struct {
 	// main memory (footnote 1). Search is unaffected (keyword matching
 	// goes through the inverted index); Describe pages from disk.
 	DocStorePath string
+	// Mmap serves every disk-resident structure (DiskIndexPath,
+	// DocStorePath, LoadSnapshotDisk) through a read-only memory mapping
+	// instead of positioned reads: posting lists and documents become
+	// zero-copy slices of the page cache. Platforms without mmap support
+	// silently fall back to positioned reads. Results are identical in
+	// either mode.
+	Mmap bool
 	// LoosenessCacheEntries enables the engine's cross-query looseness
 	// cache with the given entry capacity: exact L(Tp) values and Rule-2
 	// lower bounds are remembered per (place, keyword-set) and reused by
@@ -249,6 +256,18 @@ type Dataset struct {
 	g      *rdf.Graph
 	engine *core.Engine
 	cfg    Config
+	snap   *store.Snapshot // non-nil when opened disk-resident (LoadSnapshotDisk)
+}
+
+// Close releases resources a disk-resident dataset holds open (the
+// snapshot file backing documents and α postings). In-memory datasets
+// need no Close; calling it is a harmless no-op. The dataset must not
+// serve queries after Close.
+func (d *Dataset) Close() error {
+	if d.snap != nil {
+		return d.snap.Close()
+	}
+	return nil
 }
 
 // Open parses N-Triples from r and indexes the data.
@@ -294,12 +313,12 @@ func NewDatasetFromGraph(g *rdf.Graph, cfg Config) (*Dataset, error) {
 		e.EnableAlpha(cfg.AlphaRadius)
 	}
 	if cfg.DiskIndexPath != "" {
-		if _, err := e.UseDiskDocIndex(cfg.DiskIndexPath); err != nil {
+		if _, err := e.UseDiskDocIndexMode(cfg.DiskIndexPath, cfg.Mmap); err != nil {
 			return nil, err
 		}
 	}
 	if cfg.DocStorePath != "" {
-		if err := g.SpillDocs(cfg.DocStorePath, 0); err != nil {
+		if err := g.SpillDocsMode(cfg.DocStorePath, 0, cfg.Mmap); err != nil {
 			return nil, err
 		}
 	}
@@ -404,6 +423,38 @@ func LoadSnapshot(path string, cfg Config) (*Dataset, error) {
 	if err != nil {
 		return nil, err
 	}
+	return datasetFromSnapshot(snap, cfg)
+}
+
+// LoadSnapshotDisk restores a dataset saved with Save in disk-resident
+// mode: the graph structure and cheap indexes live in memory exactly as
+// with LoadSnapshot, but the vertex documents and the α-radius posting
+// lists are served from the snapshot file on demand — through a
+// read-only memory mapping when cfg.Mmap is set, positioned reads
+// otherwise. Query results are identical to LoadSnapshot's. The dataset
+// holds the snapshot file open; call Close when done.
+//
+// cfg.DocStorePath is ignored (the documents are already disk-resident).
+func LoadSnapshotDisk(path string, cfg Config) (*Dataset, error) {
+	snap, err := store.OpenDisk(path, cfg.Mmap)
+	if err != nil {
+		return nil, err
+	}
+	cfg.DocStorePath = ""
+	ds, err := datasetFromSnapshot(snap, cfg)
+	if err != nil {
+		//ksplint:ignore droppederr -- error-path cleanup; the load error already wins
+		snap.Close()
+		return nil, err
+	}
+	ds.snap = snap
+	return ds, nil
+}
+
+// datasetFromSnapshot assembles the engine around a restored snapshot:
+// cheap indexes are rebuilt, the α index comes from the snapshot when
+// present, and the traversal direction always follows the snapshot.
+func datasetFromSnapshot(snap *store.Snapshot, cfg Config) (*Dataset, error) {
 	cfg.Direction = snap.Dir
 	g := snap.Graph
 	e := core.NewEngine(g, cfg.Direction)
@@ -419,12 +470,12 @@ func LoadSnapshot(path string, cfg Config) (*Dataset, error) {
 		e.EnableAlpha(cfg.AlphaRadius)
 	}
 	if cfg.DiskIndexPath != "" {
-		if _, err := e.UseDiskDocIndex(cfg.DiskIndexPath); err != nil {
+		if _, err := e.UseDiskDocIndexMode(cfg.DiskIndexPath, cfg.Mmap); err != nil {
 			return nil, err
 		}
 	}
 	if cfg.DocStorePath != "" {
-		if err := g.SpillDocs(cfg.DocStorePath, 0); err != nil {
+		if err := g.SpillDocsMode(cfg.DocStorePath, 0, cfg.Mmap); err != nil {
 			return nil, err
 		}
 	}
@@ -581,16 +632,39 @@ type DatasetStats struct {
 	Edges    int
 	Places   int
 	Terms    int
+	// DocsOnDisk reports whether vertex documents are served from disk
+	// (a spill file or a disk-resident snapshot) rather than memory.
+	DocsOnDisk bool
+	// AlphaOnDisk reports whether the α-radius posting lists are served
+	// from a disk-resident snapshot rather than memory.
+	AlphaOnDisk bool
+	// MemoryMapped reports whether at least one disk-resident structure
+	// (documents, α postings, document inverted index) is served through
+	// a memory mapping rather than positioned reads.
+	MemoryMapped bool
 }
 
 // Stats returns dataset summary statistics.
 func (d *Dataset) Stats() DatasetStats {
-	return DatasetStats{
-		Vertices: d.g.NumVertices(),
-		Edges:    d.g.NumEdges(),
-		Places:   len(d.g.Places()),
-		Terms:    d.g.Vocab.Len(),
+	st := DatasetStats{
+		Vertices:   d.g.NumVertices(),
+		Edges:      d.g.NumEdges(),
+		Places:     len(d.g.Places()),
+		Terms:      d.g.Vocab.Len(),
+		DocsOnDisk: d.g.DocsOnDisk(),
 	}
+	if a := d.engine.Alpha; a != nil {
+		if _, ok := a.PlaceIdx.(*invindex.MemIndex); !ok {
+			st.AlphaOnDisk = true
+		}
+	}
+	if d.g.DocsMapped() || (d.snap != nil && d.snap.Mapped()) {
+		st.MemoryMapped = true
+	}
+	if di, ok := d.engine.Doc.(*invindex.DiskIndex); ok && di.Mapped() {
+		st.MemoryMapped = true
+	}
+	return st
 }
 
 // Builder assembles a dataset programmatically, without N-Triples.
