@@ -263,7 +263,7 @@ type QueryView struct {
 func (ix *Index) LoadQuery(terms []uint32) (*QueryView, error) {
 	qv, _ := ix.qvPool.Get().(*QueryView)
 	if qv == nil {
-		qv = &QueryView{}
+		qv = &QueryView{} //ksplint:ignore allocbound -- pool-miss refill; qvPool amortizes it across queries
 	}
 	qv.owner = ix
 	qv.alpha = ix.Alpha

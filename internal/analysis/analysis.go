@@ -50,6 +50,8 @@ type Pass struct {
 	Info     *types.Info
 	Config   Config
 
+	pkg      *Package
+	mod      *modFacts
 	findings *[]Finding
 }
 
@@ -99,6 +101,40 @@ type Config struct {
 	// ErrSafeWriters are types (as "path.Type") whose Write methods
 	// cannot fail, making fmt.Fprint* into them safe.
 	ErrSafeWriters []string
+
+	// MmapSources are callee descriptions ("path.Type.Method" or
+	// "path.Func") whose slice results alias storage the callee owns —
+	// zero-copy reads valid only until the owner's Close (mmapfile
+	// ranges) or the next call (cache-owned documents). The mmaplife
+	// check tracks values derived from them.
+	MmapSources []string
+
+	// MmapOwnerPackages are import paths exempt from mmaplife's sinks:
+	// they own the backing store, so retaining views is their job.
+	MmapOwnerPackages []string
+
+	// MmapBoundaryPackages are import paths whose EXPORTED functions
+	// must never return a source-derived slice: they are the public
+	// Dataset boundary, past which callers cannot see Close coming.
+	MmapBoundaryPackages []string
+
+	// PoolTypes are the pooled-value protocols poolsafe enforces.
+	PoolTypes []PoolProtocol
+
+	// HotPathRoots supplements the //ksplint:hotpath directive with
+	// callee descriptions that root the allocbound closure.
+	HotPathRoots []string
+}
+
+// A PoolProtocol describes one recycled type: values of Type go back
+// to their pool through the Release method and must not be touched
+// afterwards. Idempotent marks protocols whose documented owner guard
+// makes a second Release a no-op (double-release is then legal; use
+// after release still is not).
+type PoolProtocol struct {
+	Type       string
+	Release    string
+	Idempotent bool
 }
 
 // DefaultConfig returns the configuration that encodes this repo's
@@ -150,6 +186,28 @@ func DefaultConfig(module string) Config {
 			// gone; there is no response left to salvage.
 			"net/http.ResponseWriter",
 		},
+		MmapSources: []string{
+			// Zero-copy view of the mapping; valid until File.Close.
+			module + "/internal/mmapfile.File.Range",
+			// Shared or LRU-cache-owned term slice; valid until the
+			// next Doc call evicts it (DESIGN.md §16).
+			module + "/internal/rdf.Graph.Doc",
+		},
+		MmapOwnerPackages: []string{
+			// These packages own the mmapped file (they hold it and call
+			// Close), so retaining views inside their structs is their
+			// documented job; mmaplife polices their CONSUMERS.
+			module + "/internal/mmapfile",
+			module + "/internal/invindex",
+			module + "/internal/rdf",
+		},
+		MmapBoundaryPackages: []string{module},
+		PoolTypes: []PoolProtocol{
+			// The α query view: owner-pointer guard makes double-Release
+			// a documented no-op, but a released view's flat arrays are
+			// already being refilled by someone else's LoadQuery.
+			{Type: module + "/internal/alpha.QueryView", Release: "Release", Idempotent: true},
+		},
 	}
 }
 
@@ -163,12 +221,16 @@ func (c Config) enabled(name string) bool {
 // AllChecks returns every registered analyzer, in stable order.
 func AllChecks() []*Analyzer {
 	return []*Analyzer{
+		AllocBoundCheck,
 		CtxCheck,
 		DeterminismCheck,
 		DroppedErrCheck,
+		LeakCheck,
 		LocksCheck,
 		MetricNameCheck,
+		MmapLifeCheck,
 		ObsNilCheck,
+		PoolSafeCheck,
 	}
 }
 
@@ -186,7 +248,35 @@ func CheckByName(name string) *Analyzer {
 // returns the surviving findings: suppressed ones are dropped, the rest
 // sorted by position then check name.
 func RunChecks(pkgs []*Package, cfg Config) []Finding {
-	var findings []Finding
+	findings, _ := runChecks(pkgs, cfg, false)
+	return findings
+}
+
+// RunChecksAudit is RunChecks plus the suppression audit: the second
+// slice holds one "unused-ignore" pseudo-finding per //ksplint:ignore
+// comment that suppressed nothing in this run. Meaningful only when
+// every check is enabled (cfg.Checks empty): an ignore for a disabled
+// check is not stale, just unexercised.
+func RunChecksAudit(pkgs []*Package, cfg Config) (findings, unused []Finding) {
+	return runChecks(pkgs, cfg, true)
+}
+
+// flowChecks are the analyzers that need the module-wide summary table.
+var flowChecks = map[string]bool{
+	"allocbound": true,
+	"leakcheck":  true,
+	"mmaplife":   true,
+	"poolsafe":   true,
+}
+
+func runChecks(pkgs []*Package, cfg Config, audit bool) (findings, unused []Finding) {
+	var mod *modFacts
+	for _, a := range AllChecks() {
+		if cfg.enabled(a.Name) && flowChecks[a.Name] {
+			mod = buildModFacts(pkgs, cfg)
+			break
+		}
+	}
 	for _, pkg := range pkgs {
 		for _, a := range AllChecks() {
 			if !cfg.enabled(a.Name) {
@@ -199,12 +289,20 @@ func RunChecks(pkgs []*Package, cfg Config) []Finding {
 				Pkg:      pkg.Types,
 				Info:     pkg.Info,
 				Config:   cfg,
+				pkg:      pkg,
+				mod:      mod,
 				findings: &findings,
 			}
 			a.Run(pass)
 		}
 	}
-	findings = filterSuppressed(findings, pkgs)
+	findings, unused = filterSuppressed(findings, pkgs, audit)
+	sortFindings(findings)
+	sortFindings(unused)
+	return findings, unused
+}
+
+func sortFindings(findings []Finding) {
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -218,5 +316,4 @@ func RunChecks(pkgs []*Package, cfg Config) []Finding {
 		}
 		return a.Check < b.Check
 	})
-	return findings
 }

@@ -1,0 +1,323 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// cfg.go is the first layer of the flow-aware core (DESIGN.md §17): a
+// per-function control-flow graph built directly over go/ast blocks,
+// with no dependency on x/tools. Blocks carry statements and the
+// condition expressions that guard their successors, in evaluation
+// order; edges follow Go's structured control flow. The deliberate
+// approximations, documented per construct below, all err toward MORE
+// paths (extra edges), which keeps the may-analyses built on top —
+// taint reachability, released-state propagation — sound for their
+// purpose: a fact that holds on some CFG path is reported even if that
+// path is dynamically dead.
+
+// A cfgBlock is one basic block: nodes in evaluation order, then edges.
+type cfgBlock struct {
+	nodes []ast.Node
+	succs []*cfgBlock
+	idx   int
+}
+
+// A funcCFG is the graph of one function body. exit is a synthetic
+// block every return (and panic-shaped divergence) feeds; it carries no
+// nodes of its own.
+type funcCFG struct {
+	entry  *cfgBlock
+	exit   *cfgBlock
+	blocks []*cfgBlock
+}
+
+type loopFrame struct {
+	label      string
+	breakTo    *cfgBlock
+	continueTo *cfgBlock // nil for switch/select frames
+}
+
+type cfgBuilder struct {
+	g     *funcCFG
+	loops []loopFrame
+}
+
+// buildCFG constructs the CFG of one function body. goto is
+// approximated as an edge to exit (none survive on analysed paths);
+// labeled break/continue resolve through the loop-frame stack.
+func buildCFG(body *ast.BlockStmt) *funcCFG {
+	b := &cfgBuilder{g: &funcCFG{}}
+	b.g.entry = b.newBlock()
+	b.g.exit = b.newBlock()
+	end := b.stmts(body.List, b.g.entry)
+	if end != nil {
+		b.edge(end, b.g.exit)
+	}
+	return b.g
+}
+
+func (b *cfgBuilder) newBlock() *cfgBlock {
+	blk := &cfgBlock{idx: len(b.g.blocks)}
+	b.g.blocks = append(b.g.blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *cfgBlock) {
+	for _, s := range from.succs {
+		if s == to {
+			return
+		}
+	}
+	from.succs = append(from.succs, to)
+}
+
+// stmts threads the statement list through cur, returning the block
+// that falls off the end, or nil when every path diverges.
+func (b *cfgBuilder) stmts(list []ast.Stmt, cur *cfgBlock) *cfgBlock {
+	for _, s := range list {
+		if cur == nil {
+			// Unreachable code after a terminal statement still gets
+			// blocks so its nodes are visited (e.g. labels after return).
+			cur = b.newBlock()
+		}
+		cur = b.stmt(s, cur, "")
+	}
+	return cur
+}
+
+func (b *cfgBuilder) frame(label string, breakTo, continueTo *cfgBlock) {
+	b.loops = append(b.loops, loopFrame{label: label, breakTo: breakTo, continueTo: continueTo})
+}
+
+func (b *cfgBuilder) pop() { b.loops = b.loops[:len(b.loops)-1] }
+
+func (b *cfgBuilder) findBreak(label string) *cfgBlock {
+	for i := len(b.loops) - 1; i >= 0; i-- {
+		f := b.loops[i]
+		if label == "" || f.label == label {
+			return f.breakTo
+		}
+	}
+	return b.g.exit
+}
+
+func (b *cfgBuilder) findContinue(label string) *cfgBlock {
+	for i := len(b.loops) - 1; i >= 0; i-- {
+		f := b.loops[i]
+		if f.continueTo == nil {
+			continue // switch/select frames absorb only break
+		}
+		if label == "" || f.label == label {
+			return f.continueTo
+		}
+	}
+	return b.g.exit
+}
+
+// stmt wires one statement into the graph; label names an enclosing
+// LabeledStmt when s is its direct body. Returns the fall-through
+// block, or nil when the statement diverges.
+func (b *cfgBuilder) stmt(s ast.Stmt, cur *cfgBlock, label string) *cfgBlock {
+	switch s := s.(type) {
+	case *ast.ReturnStmt:
+		cur.nodes = append(cur.nodes, s)
+		b.edge(cur, b.g.exit)
+		return nil
+	case *ast.BranchStmt:
+		name := ""
+		if s.Label != nil {
+			name = s.Label.Name
+		}
+		switch s.Tok {
+		case token.BREAK:
+			b.edge(cur, b.findBreak(name))
+		case token.CONTINUE:
+			b.edge(cur, b.findContinue(name))
+		case token.GOTO:
+			b.edge(cur, b.g.exit)
+		case token.FALLTHROUGH:
+			// Handled by the switch builder: clause bodies ending in
+			// fallthrough get an edge to the next clause.
+			return cur
+		}
+		return nil
+	case *ast.IfStmt:
+		if s.Init != nil {
+			cur = b.stmt(s.Init, cur, "")
+		}
+		cur.nodes = append(cur.nodes, s.Cond)
+		join := b.newBlock()
+		thenB := b.newBlock()
+		b.edge(cur, thenB)
+		if end := b.stmts(s.Body.List, thenB); end != nil {
+			b.edge(end, join)
+		}
+		switch e := s.Else.(type) {
+		case nil:
+			b.edge(cur, join)
+		case *ast.BlockStmt:
+			elseB := b.newBlock()
+			b.edge(cur, elseB)
+			if end := b.stmts(e.List, elseB); end != nil {
+				b.edge(end, join)
+			}
+		case *ast.IfStmt:
+			elseB := b.newBlock()
+			b.edge(cur, elseB)
+			if end := b.stmt(e, elseB, ""); end != nil {
+				b.edge(end, join)
+			}
+		}
+		if len(join.succs) == 0 && !hasPred(b.g, join) {
+			// Both arms diverged; join is dead.
+			return nil
+		}
+		return join
+	case *ast.ForStmt:
+		if s.Init != nil {
+			cur = b.stmt(s.Init, cur, "")
+		}
+		cond := b.newBlock()
+		body := b.newBlock()
+		post := b.newBlock()
+		join := b.newBlock()
+		b.edge(cur, cond)
+		if s.Cond != nil {
+			cond.nodes = append(cond.nodes, s.Cond)
+			b.edge(cond, join)
+		}
+		b.edge(cond, body)
+		b.frame(label, join, post)
+		if end := b.stmts(s.Body.List, body); end != nil {
+			b.edge(end, post)
+		}
+		b.pop()
+		if s.Post != nil {
+			b.stmt(s.Post, post, "")
+		}
+		b.edge(post, cond)
+		if s.Cond == nil && !hasPred(b.g, join) {
+			// for {} with no break out: nothing falls through.
+			return nil
+		}
+		return join
+	case *ast.RangeStmt:
+		head := b.newBlock()
+		body := b.newBlock()
+		join := b.newBlock()
+		b.edge(cur, head)
+		head.nodes = append(head.nodes, s) // X, key/value binding
+		b.edge(head, body)
+		b.edge(head, join)
+		b.frame(label, join, head)
+		if end := b.stmts(s.Body.List, body); end != nil {
+			b.edge(end, head)
+		}
+		b.pop()
+		return join
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			cur = b.stmt(s.Init, cur, "")
+		}
+		if s.Tag != nil {
+			cur.nodes = append(cur.nodes, s.Tag)
+		}
+		return b.clauses(s.Body.List, cur, label, nil)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			cur = b.stmt(s.Init, cur, "")
+		}
+		cur.nodes = append(cur.nodes, s.Assign)
+		return b.clauses(s.Body.List, cur, label, nil)
+	case *ast.SelectStmt:
+		join := b.newBlock()
+		b.frame(label, join, nil)
+		for _, cc := range s.Body.List {
+			comm := cc.(*ast.CommClause)
+			blk := b.newBlock()
+			b.edge(cur, blk)
+			if comm.Comm != nil {
+				blk = b.stmt(comm.Comm, blk, "")
+			}
+			if end := b.stmts(comm.Body, blk); end != nil {
+				b.edge(end, join)
+			}
+		}
+		b.pop()
+		if len(s.Body.List) == 0 {
+			b.edge(cur, join)
+		}
+		if !hasPred(b.g, join) {
+			return nil
+		}
+		return join
+	case *ast.BlockStmt:
+		return b.stmts(s.List, cur)
+	case *ast.LabeledStmt:
+		return b.stmt(s.Stmt, cur, s.Label.Name)
+	default:
+		// Straight-line statements: assignments, declarations, calls,
+		// defer, go, send, inc/dec, empty.
+		cur.nodes = append(cur.nodes, s)
+		return cur
+	}
+}
+
+// clauses wires switch/type-switch case bodies: every clause is a
+// successor of cur (condition order is irrelevant to may-analyses), a
+// missing default adds a direct edge to the join, and a body ending in
+// fallthrough flows into the next clause's block.
+func (b *cfgBuilder) clauses(list []ast.Stmt, cur *cfgBlock, label string, _ *cfgBlock) *cfgBlock {
+	join := b.newBlock()
+	hasDefault := false
+	bodies := make([]*cfgBlock, len(list))
+	for i := range list {
+		bodies[i] = b.newBlock()
+	}
+	b.frame(label, join, nil)
+	for i, cc := range list {
+		clause := cc.(*ast.CaseClause)
+		if clause.List == nil {
+			hasDefault = true
+		}
+		blk := bodies[i]
+		b.edge(cur, blk)
+		for _, e := range clause.List {
+			blk.nodes = append(blk.nodes, e)
+		}
+		stmts := clause.Body
+		fallsInto := -1
+		if n := len(stmts); n > 0 {
+			if br, ok := stmts[n-1].(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH && i+1 < len(list) {
+				fallsInto = i + 1
+			}
+		}
+		if end := b.stmts(stmts, blk); end != nil {
+			if fallsInto >= 0 {
+				b.edge(end, bodies[fallsInto])
+			} else {
+				b.edge(end, join)
+			}
+		}
+	}
+	b.pop()
+	if !hasDefault || len(list) == 0 {
+		b.edge(cur, join)
+	}
+	if !hasPred(b.g, join) {
+		return nil
+	}
+	return join
+}
+
+func hasPred(g *funcCFG, blk *cfgBlock) bool {
+	for _, b := range g.blocks {
+		for _, s := range b.succs {
+			if s == blk {
+				return true
+			}
+		}
+	}
+	return false
+}

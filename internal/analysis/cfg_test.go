@@ -1,0 +1,262 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parseBody parses a single function body for CFG unit tests. src is
+// the function's statements; no type-checking is involved, which keeps
+// these tests on the pure graph layer.
+func parseBody(t *testing.T, src string) *ast.BlockStmt {
+	t.Helper()
+	f, err := parser.ParseFile(token.NewFileSet(), "cfg_test_input.go",
+		"package p\nfunc f() {\n"+src+"\n}", 0)
+	if err != nil {
+		t.Fatalf("parsing body: %v", err)
+	}
+	return f.Decls[0].(*ast.FuncDecl).Body
+}
+
+// blockWithCall returns the block whose nodes contain a call to the
+// named function, treating a RangeStmt node as only its head (the
+// ranged expression) — the same view the dataflow scanners take.
+func blockWithCall(t *testing.T, g *funcCFG, name string) *cfgBlock {
+	t.Helper()
+	var found *cfgBlock
+	for _, blk := range g.blocks {
+		for _, n := range blk.nodes {
+			hit := false
+			ast.Inspect(rangeHeadNode(n), func(nn ast.Node) bool {
+				if call, ok := nn.(*ast.CallExpr); ok {
+					if id, ok := call.Fun.(*ast.Ident); ok && id.Name == name {
+						hit = true
+					}
+				}
+				return true
+			})
+			if hit {
+				if found != nil && found != blk {
+					t.Fatalf("call %s() appears in blocks %d and %d", name, found.idx, blk.idx)
+				}
+				found = blk
+			}
+		}
+	}
+	if found == nil {
+		t.Fatalf("no block contains a call to %s()", name)
+	}
+	return found
+}
+
+// reaches reports whether to is reachable from from over CFG edges.
+func reaches(from, to *cfgBlock) bool {
+	seen := map[*cfgBlock]bool{}
+	stack := []*cfgBlock{from}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if b == to {
+			return true
+		}
+		if seen[b] {
+			continue
+		}
+		seen[b] = true
+		stack = append(stack, b.succs...)
+	}
+	return false
+}
+
+// TestCFGIfShape: both arms of an if/else get distinct blocks and both
+// rejoin at the block holding the statement after the if.
+func TestCFGIfShape(t *testing.T) {
+	g := buildCFG(parseBody(t, `
+		if cond() {
+			then()
+		} else {
+			alt()
+		}
+		join()
+	`))
+	cond := blockWithCall(t, g, "cond")
+	then := blockWithCall(t, g, "then")
+	alt := blockWithCall(t, g, "alt")
+	join := blockWithCall(t, g, "join")
+	if then == alt {
+		t.Fatal("then and else arms share a block")
+	}
+	if len(cond.succs) != 2 {
+		t.Fatalf("cond block has %d successors, want 2", len(cond.succs))
+	}
+	for _, arm := range []*cfgBlock{then, alt} {
+		if !reaches(arm, join) {
+			t.Errorf("block %d does not reach the join block %d", arm.idx, join.idx)
+		}
+	}
+	if reaches(then, alt) || reaches(alt, then) {
+		t.Error("the two arms reach each other; they must be parallel")
+	}
+}
+
+// TestCFGIfNoElse: with no else, the condition block must have an edge
+// that skips the then-arm entirely.
+func TestCFGIfNoElse(t *testing.T) {
+	g := buildCFG(parseBody(t, `
+		if cond() {
+			then()
+		}
+		join()
+	`))
+	cond := blockWithCall(t, g, "cond")
+	join := blockWithCall(t, g, "join")
+	direct := false
+	for _, s := range cond.succs {
+		if s == join {
+			direct = true
+		}
+	}
+	if !direct {
+		t.Errorf("cond block %d has no direct edge to join block %d (then-arm is not skippable)", cond.idx, join.idx)
+	}
+}
+
+// TestCFGRangeShape pins the loop approximation the scanners depend
+// on: the *ast.RangeStmt node itself sits in the loop-head block, the
+// body statements live in their own block with a back edge to the
+// head, and the head also has an exit edge that skips the body.
+func TestCFGRangeShape(t *testing.T) {
+	g := buildCFG(parseBody(t, `
+		for _, v := range src() {
+			body(v)
+		}
+		after()
+	`))
+	head := blockWithCall(t, g, "src")
+	body := blockWithCall(t, g, "body")
+	after := blockWithCall(t, g, "after")
+	if head == body {
+		t.Fatal("range body shares the loop-head block; body effects would apply at the head, flow-insensitively")
+	}
+	isRange := false
+	for _, n := range head.nodes {
+		if _, ok := n.(*ast.RangeStmt); ok {
+			isRange = true
+		}
+	}
+	if !isRange {
+		t.Error("loop-head block does not carry the *ast.RangeStmt node")
+	}
+	if !reaches(body, head) {
+		t.Error("no back edge from the range body to the loop head")
+	}
+	headToAfter := false
+	for _, s := range head.succs {
+		if s == after || reaches(s, after) && s != body {
+			headToAfter = true
+		}
+	}
+	if !headToAfter {
+		t.Error("loop head has no exit edge skipping the body (empty ranges would be unrepresentable)")
+	}
+}
+
+// TestCFGReturnDiverges: statements after a return are parsed but the
+// return's block feeds exit, not the following statement.
+func TestCFGReturnDiverges(t *testing.T) {
+	g := buildCFG(parseBody(t, `
+		if cond() {
+			early()
+			return
+		}
+		late()
+	`))
+	early := blockWithCall(t, g, "early")
+	late := blockWithCall(t, g, "late")
+	if reaches(early, late) {
+		t.Error("the early-return arm reaches the fall-through statement")
+	}
+	if !reaches(early, g.exit) {
+		t.Error("the early-return arm does not reach exit")
+	}
+}
+
+// TestCFGBreakContinue: break leaves the loop, continue re-enters the
+// head without passing through the rest of the body.
+func TestCFGBreakContinue(t *testing.T) {
+	g := buildCFG(parseBody(t, `
+		for _, v := range src() {
+			if skip(v) {
+				continue
+			}
+			if stop(v) {
+				break
+			}
+			tail(v)
+		}
+		after()
+	`))
+	skip := blockWithCall(t, g, "skip")
+	tail := blockWithCall(t, g, "tail")
+	after := blockWithCall(t, g, "after")
+	head := blockWithCall(t, g, "src")
+	// The continue arm: skip's taken-successor must edge straight back
+	// to the loop head (everything reaches everything transitively
+	// around the loop, so only the direct edge is discriminating).
+	foundContinue := false
+	for _, s := range skip.succs {
+		if s == tail {
+			continue
+		}
+		for _, ss := range s.succs {
+			if ss == head {
+				foundContinue = true
+			}
+		}
+	}
+	if !foundContinue {
+		t.Error("continue does not route back to the loop head around the body tail")
+	}
+	// The break arm reaches after without re-entering the head.
+	stop := blockWithCall(t, g, "stop")
+	foundBreak := false
+	for _, s := range stop.succs {
+		if s != tail && reaches(s, after) && !reaches(s, head) {
+			foundBreak = true
+		}
+	}
+	if !foundBreak {
+		t.Error("break does not route to the statement after the loop")
+	}
+}
+
+// TestRangeHeadNode: the helper narrows a RangeStmt to its ranged
+// expression and leaves every other node alone.
+func TestRangeHeadNode(t *testing.T) {
+	body := parseBody(t, `
+		for _, v := range xs {
+			use(v)
+		}
+	`)
+	rs := body.List[0].(*ast.RangeStmt)
+	if got := rangeHeadNode(rs); got != rs.X {
+		t.Errorf("rangeHeadNode(RangeStmt) = %T, want the ranged expression", got)
+	}
+	if got := rangeHeadNode(rs.Body); got != rs.Body {
+		t.Errorf("rangeHeadNode(non-range) = %v, want identity", got)
+	}
+	// The narrowed view must not contain the body's statements.
+	var sawUse bool
+	ast.Inspect(rangeHeadNode(rs), func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && strings.HasPrefix(id.Name, "use") {
+			sawUse = true
+		}
+		return true
+	})
+	if sawUse {
+		t.Error("rangeHeadNode view still exposes body statements")
+	}
+}

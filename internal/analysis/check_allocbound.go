@@ -1,0 +1,361 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AllocBoundCheck polices per-query heap allocation on the hot path:
+// every function transitively reachable from a //ksplint:hotpath root
+// (or Config.HotPathRoots) is scanned for constructions the compiler
+// will heap-allocate per call —
+//
+//   - composite literals that escape: &T{...}, non-empty slice and map
+//     literals;
+//   - make(map), make(chan) (make([]T, n) is the FIX for append
+//     growth, so it is deliberately not flagged);
+//   - fmt.* calls (formatting allocates; hot paths log through
+//     preallocated observers or not at all);
+//   - interface boxing: a concrete non-pointer-shaped, non-constant
+//     argument passed to an interface parameter;
+//   - append growth from a provably empty slice (every reaching
+//     definition is nil/[]T{}/make([]T, 0)): the slice is rebuilt and
+//     regrown per call instead of reusing pooled or presized storage.
+//
+// Allocations on error paths are exempt — a node inside a return that
+// carries a non-nil error, or inside a block that ends by returning an
+// error or panicking, is not steady-state work. //ksplint:coldpath on
+// a function cuts the hot closure at that edge (setup, Close,
+// diagnostics). The static list is cross-checked against the dynamic
+// TestAllocBudget gate in CI so the two budgets cannot silently
+// diverge (DESIGN.md §17).
+var AllocBoundCheck = &Analyzer{
+	Name: "allocbound",
+	Doc:  "no per-call heap allocation in functions reachable from //ksplint:hotpath roots",
+	Run:  runAllocBound,
+}
+
+func runAllocBound(p *Pass) {
+	if p.mod == nil {
+		return
+	}
+	hot := p.mod.hotSet()
+	if len(hot) == 0 {
+		return
+	}
+	var parents parentMap
+	for _, f := range p.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, _ := p.Info.Defs[fd.Name].(*types.Func)
+			root, isHot := hot[fn]
+			if !isHot {
+				continue
+			}
+			if parents == nil {
+				parents = buildParents(p.Files)
+			}
+			ab := &allocBound{pass: p, root: root, parents: parents}
+			ab.scan(fd.Body)
+			ab.flowAppend(fd.Body)
+		}
+	}
+}
+
+type allocBound struct {
+	pass    *Pass
+	root    string
+	parents parentMap
+}
+
+func (ab *allocBound) reportf(n ast.Node, format string, args ...interface{}) {
+	if ab.onErrorPath(n) {
+		return
+	}
+	args = append(args, ab.root)
+	ab.pass.Reportf(n.Pos(), format+" in hot path (reachable from %s)", args...)
+}
+
+// scan walks the body (nested literals included — they run on behalf
+// of the hot function) for the flow-free allocation sites.
+func (ab *allocBound) scan(body *ast.BlockStmt) {
+	info := ab.pass.Info
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				if cl, ok := ast.Unparen(x.X).(*ast.CompositeLit); ok {
+					ab.reportf(x, "&%s literal heap-allocates per call; hoist it or reuse pooled storage", litTypeName(info, cl))
+					return false
+				}
+			}
+		case *ast.CompositeLit:
+			t := info.TypeOf(x)
+			if t == nil {
+				return true
+			}
+			switch t.Underlying().(type) {
+			case *types.Slice:
+				if len(x.Elts) > 0 {
+					ab.reportf(x, "slice literal heap-allocates per call; hoist it or reuse pooled storage")
+					return false
+				}
+			case *types.Map:
+				ab.reportf(x, "map literal heap-allocates per call; hoist it or reuse pooled storage")
+				return false
+			}
+		case *ast.CallExpr:
+			ab.callSites(x)
+		}
+		return true
+	})
+}
+
+// callSites reports make(map)/make(chan), fmt calls, and interface
+// boxing at one call expression.
+func (ab *allocBound) callSites(call *ast.CallExpr) {
+	info := ab.pass.Info
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+			if id.Name == "make" {
+				switch info.TypeOf(call).Underlying().(type) {
+				case *types.Map:
+					ab.reportf(call, "make(map) heap-allocates per call; hoist it or reuse pooled storage")
+				case *types.Chan:
+					ab.reportf(call, "make(chan) heap-allocates per call; hoist it or reuse pooled storage")
+				}
+			}
+			return
+		}
+	}
+	desc := calleeDesc(info, call)
+	if strings.HasPrefix(desc, "fmt.") {
+		ab.reportf(call, "%s formats and allocates per call; log through preallocated observers or move off the hot path", desc)
+		return // boxing into its ...any params is part of the same report
+	}
+	sig, ok := info.TypeOf(call.Fun).(*types.Signature)
+	if !ok || sig.Params() == nil {
+		return
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis.IsValid() {
+				continue // s... passes the slice itself, no per-element box
+			}
+			if sl, isSlice := params.At(params.Len() - 1).Type().Underlying().(*types.Slice); isSlice {
+				pt = sl.Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if pt == nil {
+			continue
+		}
+		if _, isIface := pt.Underlying().(*types.Interface); !isIface {
+			continue
+		}
+		if isNilIdent(arg) {
+			continue
+		}
+		if tv, known := info.Types[arg]; known && tv.Value != nil {
+			continue // constants convert through read-only static data
+		}
+		at := info.TypeOf(arg)
+		if at == nil || !boxAllocates(at) {
+			continue
+		}
+		ab.reportf(arg, "passing %s boxes a %s into an interface and heap-allocates per call; pass a pointer or restructure the callee", exprText(arg), at.String())
+	}
+}
+
+// boxAllocates reports whether converting a value of type t to an
+// interface allocates: pointer-shaped values (pointers, channels,
+// maps, funcs, unsafe.Pointer) and existing interfaces ride in the
+// data word for free; everything else is copied to the heap.
+func boxAllocates(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Interface, *types.Chan, *types.Map, *types.Signature:
+		return false
+	case *types.Basic:
+		return u.Kind() != types.UnsafePointer
+	}
+	return true
+}
+
+// flowAppend runs the reaching-definitions pass over the declaration
+// body and each nested literal body (each has its own CFG) and reports
+// append calls whose base slice is provably empty on every reaching
+// definition.
+func (ab *allocBound) flowAppend(body *ast.BlockStmt) {
+	var bodies []*ast.BlockStmt
+	bodies = append(bodies, body)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok {
+			bodies = append(bodies, lit.Body)
+		}
+		return true
+	})
+	adapter := sliceDefInfo{info: ab.pass.Info}
+	for _, b := range bodies {
+		g := buildCFG(b)
+		entries := reachingDefKinds(g, adapter)
+		replay(g, entries, func(n ast.Node, st chainFacts) {
+			ab.appendSites(n, st)
+			defTransfer(n, st, adapter)
+		})
+	}
+}
+
+// appendSites reports append calls in one CFG node whose first
+// argument's reaching definitions are all empty-slice bindings.
+func (ab *allocBound) appendSites(n ast.Node, st chainFacts) {
+	info := ab.pass.Info
+	ast.Inspect(rangeHeadNode(n), func(nn ast.Node) bool {
+		if _, isLit := nn.(*ast.FuncLit); isLit {
+			return false // analysed with its own CFG
+		}
+		call, ok := nn.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok || id.Name != "append" || len(call.Args) == 0 {
+			return true
+		}
+		if _, isBuiltin := info.Uses[id].(*types.Builtin); !isBuiltin {
+			return true
+		}
+		chain := chainString(call.Args[0])
+		if chain == "" {
+			return true
+		}
+		if st[chain] == defEmptySlice {
+			ab.reportf(call, "append grows %s from empty per call; preallocate with make([]T, 0, n) or reuse pooled storage", chain)
+		}
+		return true
+	})
+}
+
+// sliceDefInfo adapts *types.Info to the def classifier's queries.
+type sliceDefInfo struct{ info *types.Info }
+
+// isEmptySliceExpr classifies RHS expressions that bind an empty
+// slice: nil, a zero-element slice literal, or make([]T, 0) WITHOUT a
+// capacity (a capacity hint is the sanctioned preallocation).
+func (a sliceDefInfo) isEmptySliceExpr(e ast.Expr) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return x.Name == "nil"
+	case *ast.CompositeLit:
+		if t := a.info.TypeOf(x); t != nil {
+			if _, ok := t.Underlying().(*types.Slice); ok {
+				return len(x.Elts) == 0
+			}
+		}
+	case *ast.CallExpr:
+		id, ok := ast.Unparen(x.Fun).(*ast.Ident)
+		if !ok || id.Name != "make" || len(x.Args) != 2 {
+			return false
+		}
+		if _, isBuiltin := a.info.Uses[id].(*types.Builtin); !isBuiltin {
+			return false
+		}
+		if t := a.info.TypeOf(x); t != nil {
+			if _, isSlice := t.Underlying().(*types.Slice); isSlice {
+				if bl, isLit := ast.Unparen(x.Args[1]).(*ast.BasicLit); isLit && bl.Value == "0" {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// isZeroSliceVar classifies a value-less var declaration: its zero
+// value is an empty slice exactly when the var is slice-typed.
+func (a sliceDefInfo) isZeroSliceVar(id *ast.Ident) bool {
+	t := a.info.TypeOf(id)
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Slice)
+	return ok
+}
+
+// onErrorPath reports whether n sits on a path the steady state never
+// takes: inside a return carrying a non-nil error, or inside a block
+// (or case clause) whose last statement returns an error or panics.
+func (ab *allocBound) onErrorPath(n ast.Node) bool {
+	for cur := n; cur != nil; cur = ab.parents[cur] {
+		switch x := cur.(type) {
+		case *ast.ReturnStmt:
+			if returnsError(ab.pass.Info, x) {
+				return true
+			}
+		case *ast.BlockStmt:
+			if len(x.List) > 0 && isErrorExit(ab.pass.Info, x.List[len(x.List)-1]) {
+				return true
+			}
+		case *ast.CaseClause:
+			if len(x.Body) > 0 && isErrorExit(ab.pass.Info, x.Body[len(x.Body)-1]) {
+				return true
+			}
+		case *ast.FuncDecl:
+			return false
+		}
+	}
+	return false
+}
+
+// returnsError reports a return statement carrying a non-nil
+// error-typed result.
+func returnsError(info *types.Info, ret *ast.ReturnStmt) bool {
+	for _, e := range ret.Results {
+		if isNilIdent(e) {
+			continue
+		}
+		if t := info.TypeOf(e); t != nil && types.AssignableTo(t, errorType) && !types.Identical(t, types.Typ[types.UntypedNil]) {
+			return true
+		}
+	}
+	return false
+}
+
+// isErrorExit reports statements that leave via an error return or a
+// panic.
+func isErrorExit(info *types.Info, s ast.Stmt) bool {
+	switch x := s.(type) {
+	case *ast.ReturnStmt:
+		return returnsError(info, x)
+	case *ast.ExprStmt:
+		if call, ok := x.X.(*ast.CallExpr); ok {
+			if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+				_, isBuiltin := info.Uses[id].(*types.Builtin)
+				return isBuiltin
+			}
+		}
+	}
+	return false
+}
+
+// litTypeName renders a composite literal's type for messages.
+func litTypeName(info *types.Info, cl *ast.CompositeLit) string {
+	if t := info.TypeOf(cl); t != nil {
+		if n := namedName(t); n != "" {
+			if i := strings.LastIndex(n, "/"); i >= 0 {
+				n = n[i+1:]
+			}
+			return n
+		}
+		return t.String()
+	}
+	return "composite"
+}

@@ -1,0 +1,115 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// LeakCheck requires every spawned goroutine to have a visible join or
+// cancel path: the spawned body (a literal, a module function's
+// summary, or a local closure variable traced to its literal) touches
+// a context.Context, a sync.WaitGroup, or performs a channel
+// operation — or the go statement passes one of those in, which is
+// taken as handing the goroutine its leash. Anything else is a
+// goroutine nobody can stop or wait for, and the dynamic leak gates
+// only catch it when a test happens to drive that path. Callees the
+// summary table cannot resolve (interface dispatch, function-typed
+// parameters, stdlib) fall back to the argument test. Suppress with a
+// reason for the rare intentionally-unowned daemon.
+var LeakCheck = &Analyzer{
+	Name: "leakcheck",
+	Doc:  "goroutines must have a join or cancel path (context, channel, or WaitGroup)",
+	Run:  runLeakCheck,
+}
+
+func runLeakCheck(p *Pass) {
+	if p.mod == nil {
+		return
+	}
+	for _, f := range p.Files {
+		// closures maps a local name to the function literal it was
+		// bound to, for the `name := func() {...}; go name()` shape.
+		closures := make(map[types.Object]*ast.FuncLit)
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.AssignStmt:
+				for i, l := range s.Lhs {
+					if i >= len(s.Rhs) {
+						break
+					}
+					id, ok := ast.Unparen(l).(*ast.Ident)
+					if !ok {
+						continue
+					}
+					if lit, ok := ast.Unparen(s.Rhs[i]).(*ast.FuncLit); ok {
+						if obj := p.Info.ObjectOf(id); obj != nil {
+							closures[obj] = lit
+						}
+					}
+				}
+			case *ast.GoStmt:
+				checkGoStmt(p, s, closures)
+			}
+			return true
+		})
+	}
+}
+
+func checkGoStmt(p *Pass, s *ast.GoStmt, closures map[types.Object]*ast.FuncLit) {
+	// A context, channel, WaitGroup, or function argument at the spawn
+	// site is the goroutine's leash (or carries one in).
+	for _, arg := range s.Call.Args {
+		if cancelableArg(p.Info.TypeOf(arg)) {
+			return
+		}
+	}
+	switch fun := ast.Unparen(s.Call.Fun).(type) {
+	case *ast.FuncLit:
+		if bodyCancelable(p.pkg, fun.Body) {
+			return
+		}
+	case *ast.Ident:
+		if lit, ok := closures[p.Info.ObjectOf(fun)]; ok {
+			if bodyCancelable(p.pkg, lit.Body) {
+				return
+			}
+			break
+		}
+		if summaryCancelable(p, s.Call) {
+			return
+		}
+	default:
+		if summaryCancelable(p, s.Call) {
+			return
+		}
+	}
+	p.Reportf(s.Pos(),
+		"goroutine has no visible join or cancel path: no context, channel, or WaitGroup in its body or arguments; give it a leash or suppress with a reason")
+}
+
+// summaryCancelable consults the module summary table for a resolved
+// callee; methods count their receiver the way bodyCancelable counts
+// an ident (a *server receiver with a done channel is a leash the body
+// will reach for).
+func summaryCancelable(p *Pass, call *ast.CallExpr) bool {
+	s := p.mod.summaryOf(calleeOf(p.Info, call))
+	return s != nil && s.cancelable
+}
+
+// cancelableArg reports types that carry a join/cancel path into the
+// goroutine: contexts, channels, WaitGroups, and function values
+// (which the static walk cannot see inside — the benefit of the doubt
+// goes to the closure's own body check at its definition site).
+func cancelableArg(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if typeCancelable(t) {
+		return true
+	}
+	switch t.Underlying().(type) {
+	case *types.Chan, *types.Signature:
+		return true
+	}
+	return false
+}

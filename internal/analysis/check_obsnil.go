@@ -216,7 +216,11 @@ func checkBundleInFunc(pass *Pass, fi funcInfo) {
 	aliases := map[string]string{} // local name -> source chain
 
 	guardedChain := func(chain string, pos token.Pos) bool {
-		for {
+		// seen breaks alias cycles: a self-assignment like `s := s` (or a
+		// mutual pair) would otherwise loop forever here.
+		seen := map[string]bool{}
+		for !seen[chain] {
+			seen[chain] = true
 			for _, g := range guards {
 				if g.chain == chain && g.pos < pos {
 					return true
@@ -233,6 +237,7 @@ func checkBundleInFunc(pass *Pass, fi funcInfo) {
 			}
 			chain = src
 		}
+		return false
 	}
 
 	// First sweep: collect guard facts and aliasing.

@@ -1,0 +1,276 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// PoolSafeCheck enforces the recycled-value protocols: once a value
+// goes back to its pool — sync.Pool.Put, a configured PoolProtocol
+// Release method, or a summarized wrapper that releases its
+// parameter — it belongs to the pool, and the next Get may already be
+// refilling it on another goroutine. The check runs a forward
+// released-state analysis on the CFG and reports:
+//
+//   - any use of a released chain (or of a value reached through one)
+//     on some path, except rebinding assignments and nil comparisons;
+//   - double release: a second Put, or a second Release on a protocol
+//     WITHOUT the documented idempotent owner guard, of an
+//     already-released chain;
+//   - uses through aliases: a release poisons every local syntactically
+//     aliased to the released chain (a := pq.qv followed by
+//     pq.qv.Release() poisons a too), which is how "Put of a value
+//     still aliased by a live local" surfaces — as a use of the alias.
+//
+// Deferred releases are exempt: they run at return, after every use
+// this walk can see. Aliasing through anything but a plain chain
+// assignment, and values laundered through interfaces or function
+// values, defeat the analysis by design — rewrite recognizably or
+// suppress with a reason (DESIGN.md §17).
+var PoolSafeCheck = &Analyzer{
+	Name: "poolsafe",
+	Doc:  "no use after pool release, no double release without an idempotent owner guard",
+	Run:  runPoolSafe,
+}
+
+// Released-state bits per chain.
+const (
+	// poolReleased: released on some path into here.
+	poolReleased uint32 = 1 << iota
+	// poolReleasedStrict: released via Put or a non-idempotent protocol,
+	// where a second release is always a defect.
+	poolReleasedStrict
+)
+
+func runPoolSafe(p *Pass) {
+	if p.mod == nil {
+		return
+	}
+	for _, fi := range allFuncs(p.Files) {
+		ps := &poolSafe{
+			pass:    p,
+			fi:      fi,
+			te:      newTaintEngine(p.pkg, p.mod, fi),
+			aliases: make(map[string][]string),
+		}
+		ps.collectAliases()
+		ps.run()
+	}
+}
+
+type poolSafe struct {
+	pass *Pass
+	fi   funcInfo
+	te   *taintEngine
+	// aliases records chain pairs bound by plain assignments between
+	// values of a configured pooled type, both directions.
+	aliases map[string][]string
+}
+
+// collectAliases scans the body (not nested literals — they are
+// analysed as their own functions) for `a := b` / `a = b` where both
+// sides are chains and the value is a configured pooled type.
+func (ps *poolSafe) collectAliases() {
+	ast.Inspect(ps.fi.body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return true
+		}
+		l, r := chainString(as.Lhs[0]), chainString(as.Rhs[0])
+		if l == "" || r == "" || l == "_" {
+			return true
+		}
+		t := ps.pass.Info.TypeOf(as.Rhs[0])
+		name := namedName(t)
+		for _, proto := range ps.pass.Config.PoolTypes {
+			if proto.Type == name {
+				ps.aliases[l] = append(ps.aliases[l], r)
+				ps.aliases[r] = append(ps.aliases[r], l)
+				break
+			}
+		}
+		return true
+	})
+}
+
+// aliasSet returns the transitive alias closure of chain, including
+// chain itself.
+func (ps *poolSafe) aliasSet(chain string) []string {
+	seen := map[string]bool{chain: true}
+	out := []string{chain}
+	for i := 0; i < len(out); i++ {
+		for _, a := range ps.aliases[out[i]] {
+			if !seen[a] {
+				seen[a] = true
+				out = append(out, a)
+			}
+		}
+	}
+	return out
+}
+
+func (ps *poolSafe) run() {
+	entry := runForward(ps.te.g, nil, func(n ast.Node, st chainFacts) {
+		ps.transfer(n, st)
+	})
+	replay(ps.te.g, entry, func(n ast.Node, st chainFacts) {
+		ps.visit(n, st)
+	})
+}
+
+// transfer folds one node into the released-state: release events set
+// bits on the alias group; rebinding assignments kill their chain.
+func (ps *poolSafe) transfer(n ast.Node, st chainFacts) {
+	for _, ev := range ps.te.releaseEvents(n) {
+		bits := poolReleased
+		if ev.viaPut || !ev.protoIdempotent {
+			bits |= poolReleasedStrict
+		}
+		for _, c := range ps.aliasSet(ev.chain) {
+			st[c] |= bits
+		}
+	}
+	switch s := n.(type) {
+	case *ast.AssignStmt:
+		if s.Tok == token.ASSIGN || s.Tok == token.DEFINE {
+			for _, l := range s.Lhs {
+				if chain := chainString(l); chain != "" {
+					st.killChain(chain)
+				}
+			}
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, name := range vs.Names {
+						st.killChain(name.Name)
+					}
+				}
+			}
+		}
+	case *ast.RangeStmt:
+		for _, e := range []ast.Expr{s.Key, s.Value} {
+			if e != nil {
+				if chain := chainString(e); chain != "" {
+					st.killChain(chain)
+				}
+			}
+		}
+	}
+}
+
+// visit reports this node's violations against the pre-state, then
+// applies the transfer.
+func (ps *poolSafe) visit(n ast.Node, st chainFacts) {
+	if _, isDefer := n.(*ast.DeferStmt); isDefer {
+		ps.transfer(n, st)
+		return
+	}
+	events := ps.te.releaseEvents(n)
+	releaseCalls := make(map[*ast.CallExpr]bool, len(events))
+	for _, ev := range events {
+		releaseCalls[ev.call] = true
+		if releasedPrefix(st, ev.chain) != "" && (ev.viaPut || !ev.protoIdempotent) {
+			ps.pass.Reportf(ev.call.Pos(),
+				"%s is released twice on this path; a second Put hands the pool an aliased value (no idempotent owner guard applies here)", ev.chain)
+		}
+	}
+	ps.scanUses(n, st, releaseCalls)
+	ps.transfer(n, st)
+}
+
+// releasedPrefix returns the shortest dotted prefix of chain carrying
+// the released bit, or "".
+func releasedPrefix(st chainFacts, chain string) string {
+	for i := 0; i <= len(chain); i++ {
+		if i == len(chain) || chain[i] == '.' {
+			if st[chain[:i]]&poolReleased != 0 {
+				return chain[:i]
+			}
+		}
+	}
+	return ""
+}
+
+// scanUses reports reads/writes of released chains inside one
+// statement. Exempt: the release calls themselves, nil comparisons,
+// rebinding LHS positions, and defer/function-literal interiors.
+func (ps *poolSafe) scanUses(n ast.Node, st chainFacts, releaseCalls map[*ast.CallExpr]bool) {
+	reported := make(map[string]bool)
+	report := func(pos token.Pos, chain string) {
+		root := releasedPrefix(st, chain)
+		if root == "" || reported[chain] {
+			return
+		}
+		reported[chain] = true
+		ps.pass.Reportf(pos,
+			"use of %s after %s was released; the pool may already be refilling it — use before release, or re-Get", chain, root)
+	}
+	var scan func(nn ast.Node) bool
+	scanExpr := func(e ast.Expr) { ast.Inspect(e, scan) }
+	scanLHS := func(l ast.Expr, rebind bool) {
+		switch x := ast.Unparen(l).(type) {
+		case *ast.IndexExpr:
+			// Element store into a released container is a use of it.
+			if base := chainString(x.X); base != "" {
+				report(x.Pos(), base)
+			} else {
+				scanExpr(x.X)
+			}
+			scanExpr(x.Index)
+		default:
+			chain := chainString(l)
+			if chain == "" {
+				scanExpr(l)
+				return
+			}
+			if rebind {
+				// qv = fresh rebinds qv (not a use), but qv.f = v writes
+				// through released qv: check proper prefixes only.
+				if i := strings.LastIndex(chain, "."); i >= 0 {
+					report(l.Pos(), chain[:i])
+				}
+			} else {
+				report(l.Pos(), chain)
+			}
+		}
+	}
+	scan = func(nn ast.Node) bool {
+		switch x := nn.(type) {
+		case *ast.FuncLit, *ast.DeferStmt:
+			return false
+		case *ast.CallExpr:
+			if releaseCalls[x] {
+				return false
+			}
+		case *ast.BinaryExpr:
+			if (x.Op == token.EQL || x.Op == token.NEQ) && (isNilIdent(x.X) || isNilIdent(x.Y)) {
+				return false
+			}
+		case *ast.AssignStmt:
+			for _, r := range x.Rhs {
+				scanExpr(r)
+			}
+			rebind := x.Tok == token.ASSIGN || x.Tok == token.DEFINE
+			for _, l := range x.Lhs {
+				scanLHS(l, rebind)
+			}
+			return false
+		case *ast.SelectorExpr:
+			if chain := chainString(x); chain != "" {
+				report(x.Pos(), chain)
+				return false
+			}
+		case *ast.Ident:
+			report(x.Pos(), x.Name)
+			return false
+		}
+		return true
+	}
+	ast.Inspect(rangeHeadNode(n), scan)
+}

@@ -1,0 +1,195 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// dataflow.go is the second layer of the flow-aware core: a forward
+// may-analysis engine over funcCFG, with facts keyed by selector chain
+// ("qv", "pq.qv") and valued as bitsets, plus a reaching-definitions
+// pass for locals built on it. Join is bitwise union, so a fact that
+// holds on ANY path into a block holds at its entry; transfer functions
+// may set and kill bits (gen/kill), which keeps the fixpoint monotone.
+// Chains are the same approximate identity the locks and obsnil checks
+// use: aliasing through anything but a plain selector chain defeats
+// the analysis, by design — rewrite in a recognizable shape or
+// suppress with a reason.
+
+// chainFacts maps a selector chain to a client-defined bitset.
+type chainFacts map[string]uint32
+
+func (f chainFacts) clone() chainFacts {
+	c := make(chainFacts, len(f))
+	for k, v := range f {
+		c[k] = v
+	}
+	return c
+}
+
+// unionInto merges src into dst, reporting whether dst changed.
+func (f chainFacts) unionInto(dst chainFacts) bool {
+	changed := false
+	for k, v := range f {
+		if old := dst[k]; old|v != old {
+			dst[k] = old | v
+			changed = true
+		}
+	}
+	return changed
+}
+
+// killChain drops the chain and every chain extending it ("x" kills
+// "x.f.g" too): reassigning a root invalidates facts about its fields.
+func (f chainFacts) killChain(chain string) {
+	delete(f, chain)
+	prefix := chain + "."
+	for k := range f {
+		if len(k) > len(prefix) && k[:len(prefix)] == prefix {
+			delete(f, k)
+		}
+	}
+}
+
+// runForward iterates transfer over the CFG to fixpoint and returns the
+// per-block entry states. transfer folds one node into st in place; it
+// must be deterministic in (node, st).
+func runForward(g *funcCFG, seed chainFacts, transfer func(n ast.Node, st chainFacts)) []chainFacts {
+	entry := make([]chainFacts, len(g.blocks))
+	for i := range entry {
+		entry[i] = make(chainFacts)
+	}
+	seed.unionInto(entry[g.entry.idx])
+	// Every block starts on the worklist: a block must be transferred at
+	// least once even if no fact ever reaches its entry, or the facts it
+	// GENERATES (a release inside a branch, say) never cross its out-edges.
+	work := make([]*cfgBlock, 0, len(g.blocks))
+	inWork := make([]bool, len(g.blocks))
+	for i := len(g.blocks) - 1; i >= 0; i-- {
+		work = append(work, g.blocks[i])
+		inWork[i] = true
+	}
+	for iter := 0; len(work) > 0; iter++ {
+		if iter > 64*len(g.blocks)+256 {
+			break // fixpoint guard; union-join converges long before this
+		}
+		blk := work[len(work)-1]
+		work = work[:len(work)-1]
+		inWork[blk.idx] = false
+		st := entry[blk.idx].clone()
+		for _, n := range blk.nodes {
+			transfer(n, st)
+		}
+		for _, s := range blk.succs {
+			if st.unionInto(entry[s.idx]) && !inWork[s.idx] {
+				work = append(work, s)
+				inWork[s.idx] = true
+			}
+		}
+	}
+	return entry
+}
+
+// replay re-walks every block from its fixpoint entry state, calling
+// visit on each node with the state holding immediately before it.
+// visit both reports findings and applies the transfer. Each node is
+// visited exactly once, so findings do not duplicate.
+func replay(g *funcCFG, entry []chainFacts, visit func(n ast.Node, st chainFacts)) {
+	for _, blk := range g.blocks {
+		st := entry[blk.idx].clone()
+		for _, n := range blk.nodes {
+			visit(n, st)
+		}
+	}
+}
+
+// Reaching definitions for locals. defKind classifies what a reaching
+// definition binds: an empty slice (var s []T, s := []T{}, s :=
+// make([]T, 0)), or anything else. The allocbound check uses this to
+// tell append-growth-from-empty (the slice is (re)built per call) from
+// append into pooled or preallocated storage.
+const (
+	defEmptySlice uint32 = 1 << iota
+	defOther
+)
+
+// reachingDefKinds computes, per block entry, the union of definition
+// kinds reaching each local (by chain). Use with replay and the same
+// transfer to query the kinds at a specific node.
+func reachingDefKinds(g *funcCFG, info infoLike) []chainFacts {
+	return runForward(g, nil, func(n ast.Node, st chainFacts) {
+		defTransfer(n, st, info)
+	})
+}
+
+// infoLike is the slice of *types.Info the def classifier needs; a
+// narrow interface keeps the pass testable without full type-checking.
+// isEmptySliceExpr classifies an RHS expression (nil, []T{}, make([]T,
+// 0)); isZeroSliceVar classifies a value-less var declaration, whose
+// zero value is an empty slice exactly when the var is slice-typed.
+type infoLike interface {
+	isEmptySliceExpr(e ast.Expr) bool
+	isZeroSliceVar(id *ast.Ident) bool
+}
+
+// defTransfer folds one node's definitions into st.
+func defTransfer(n ast.Node, st chainFacts, info infoLike) {
+	switch s := n.(type) {
+	case *ast.AssignStmt:
+		for i, lhs := range s.Lhs {
+			chain := chainString(lhs)
+			if chain == "" {
+				continue
+			}
+			var rhs ast.Expr
+			if len(s.Rhs) == len(s.Lhs) {
+				rhs = s.Rhs[i]
+			}
+			kind := defOther
+			if rhs != nil && info.isEmptySliceExpr(rhs) {
+				kind = defEmptySlice
+			}
+			if s.Tok == token.ASSIGN || s.Tok == token.DEFINE {
+				st.killChain(chain)
+			}
+			st[chain] = kind
+		}
+	case *ast.DeclStmt:
+		gd, ok := s.Decl.(*ast.GenDecl)
+		if !ok {
+			return
+		}
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for i, name := range vs.Names {
+				if name.Name == "_" {
+					continue
+				}
+				kind := defOther
+				if len(vs.Values) == 0 {
+					// var s []T — zero value; empty for slice-typed vars.
+					if info.isZeroSliceVar(name) {
+						kind = defEmptySlice
+					}
+				} else if i < len(vs.Values) && info.isEmptySliceExpr(vs.Values[i]) {
+					kind = defEmptySlice
+				}
+				st.killChain(name.Name)
+				st[name.Name] = kind
+			}
+		}
+	case *ast.RangeStmt:
+		for _, e := range []ast.Expr{s.Key, s.Value} {
+			if e == nil {
+				continue
+			}
+			if chain := chainString(e); chain != "" {
+				st.killChain(chain)
+				st[chain] = defOther
+			}
+		}
+	}
+}

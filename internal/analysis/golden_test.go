@@ -99,3 +99,30 @@ func TestGoldenDroppedErr(t *testing.T) {
 func TestGoldenMetricName(t *testing.T) {
 	runGolden(t, "metricname", "metricname", nil)
 }
+
+func TestGoldenMmapLife(t *testing.T) {
+	runGolden(t, "mmaplife", "mmaplife", func(cfg *Config, pkgPath string) {
+		cfg.MmapSources = []string{pkgPath + ".File.Range"}
+		cfg.MmapOwnerPackages = nil
+		cfg.MmapBoundaryPackages = []string{pkgPath}
+	})
+}
+
+func TestGoldenPoolSafe(t *testing.T) {
+	runGolden(t, "poolsafe", "poolsafe", func(cfg *Config, pkgPath string) {
+		cfg.PoolTypes = []PoolProtocol{
+			{Type: pkgPath + ".Buf", Release: "Release"},
+			{Type: pkgPath + ".View", Release: "Release", Idempotent: true},
+		}
+	})
+}
+
+func TestGoldenAllocBound(t *testing.T) {
+	runGolden(t, "allocbound", "allocbound", func(cfg *Config, pkgPath string) {
+		cfg.HotPathRoots = []string{pkgPath + ".ConfigRoot"}
+	})
+}
+
+func TestGoldenLeakCheck(t *testing.T) {
+	runGolden(t, "leakcheck", "leakcheck", nil)
+}

@@ -1,0 +1,319 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// summary.go is the third layer of the flow-aware core: a module-wide
+// call-summary table computed bottom-up (by fixpoint iteration, so
+// mutual recursion converges) over every loaded package. Summaries are
+// the SSA-lite stand-in for interprocedural analysis: each function is
+// reduced to the few facts its callers need —
+//
+//   - resultTaint: which results alias storage a configured zero-copy
+//     source owns (bit 0) or alias a parameter (bit i+1), so taint
+//     flows through helpers like decodeList(buf, dst) without the
+//     caller seeing their bodies;
+//   - releasesParams: which pointer parameters the function hands back
+//     to a pool (directly or through a subchain), so wrappers like
+//     Engine.releasePrep poison their argument at every call site;
+//   - cancelable: whether the function, run as a goroutine, has a
+//     join/cancel path (context, WaitGroup, or channel operation);
+//   - callees: statically resolved module-internal callees, the edge
+//     set for the hot-path closure;
+//   - hotRoot/coldPath: the //ksplint:hotpath and //ksplint:coldpath
+//     directives on the declaration's doc comment.
+//
+// Calls the table cannot resolve — interface dispatch, function
+// values — contribute no summary facts; the affected checks document
+// that blind spot and rely on intraprocedural evidence plus
+// suppressions at the few sites that need them.
+
+// taintBitSource is the "aliases a configured zero-copy source" bit;
+// parameter i contributes bit i+1 (functions with more than 30
+// parameters forfeit param-flow precision, not soundness of bit 0).
+const taintBitSource uint32 = 1
+
+func taintBitParam(i int) uint32 {
+	if i >= 30 {
+		return 0
+	}
+	return 1 << (uint(i) + 1)
+}
+
+// funcSummary is one function's facts.
+type funcSummary struct {
+	fn   *types.Func
+	decl *ast.FuncDecl
+	pkg  *Package
+
+	callees []*types.Func
+
+	resultTaint    []uint32
+	releasesParams uint32
+	cancelable     bool
+	hotRoot        bool
+	coldPath       bool
+}
+
+// modFacts is the module-wide context shared by the flow-aware checks.
+type modFacts struct {
+	cfg   Config
+	pkgs  []*Package
+	funcs map[*types.Func]*funcSummary
+	hot   map[*types.Func]string // lazy hotPathSet cache
+}
+
+// hotSet returns the cached hot-path closure (runChecks is
+// single-threaded, so plain lazy init suffices).
+func (m *modFacts) hotSet() map[*types.Func]string {
+	if m.hot == nil {
+		m.hot = m.hotPathSet()
+	}
+	return m.hot
+}
+
+const (
+	hotpathDirective  = "//ksplint:hotpath"
+	coldpathDirective = "//ksplint:coldpath"
+)
+
+func hasDirective(doc *ast.CommentGroup, directive string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if text, ok := strings.CutPrefix(c.Text, directive); ok {
+			if text == "" || text[0] == ' ' || text[0] == '\t' {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// buildModFacts computes the summary table over all loaded packages.
+func buildModFacts(pkgs []*Package, cfg Config) *modFacts {
+	m := &modFacts{cfg: cfg, pkgs: pkgs, funcs: make(map[*types.Func]*funcSummary)}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, _ := pkg.Info.Defs[fd.Name].(*types.Func)
+				if fn == nil {
+					continue
+				}
+				s := &funcSummary{
+					fn:       fn,
+					decl:     fd,
+					pkg:      pkg,
+					hotRoot:  hasDirective(fd.Doc, hotpathDirective),
+					coldPath: hasDirective(fd.Doc, coldpathDirective),
+				}
+				s.callees = collectCallees(pkg, fd, m)
+				s.cancelable = bodyCancelable(pkg, fd.Body)
+				m.funcs[fn] = s
+			}
+		}
+	}
+	// Bottom-up fixpoint over taint and release summaries: a pass
+	// recomputes every function against the current table; stop when a
+	// pass changes nothing (mutual recursion converges because facts
+	// only grow).
+	for pass := 0; pass < 10; pass++ {
+		changed := false
+		for _, s := range m.funcs {
+			if m.summarizeFlow(s) {
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	return m
+}
+
+// collectCallees resolves the statically known callees of fd's body
+// (including calls inside nested function literals: their bodies run
+// on behalf of the enclosing function for hot-path purposes).
+func collectCallees(pkg *Package, fd *ast.FuncDecl, m *modFacts) []*types.Func {
+	seen := make(map[*types.Func]bool)
+	var out []*types.Func
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeOf(pkg.Info, call)
+		if fn == nil || seen[fn] {
+			return true
+		}
+		seen[fn] = true
+		out = append(out, fn)
+		return true
+	})
+	return out
+}
+
+// summarizeFlow recomputes s's taint and release facts; reports change.
+func (m *modFacts) summarizeFlow(s *funcSummary) bool {
+	te := newTaintEngine(s.pkg, m, funcInfo{decl: s.decl, typ: s.decl.Type, body: s.decl.Body})
+	resultTaint, releases := te.summarize()
+	changed := false
+	if len(s.resultTaint) != len(resultTaint) {
+		s.resultTaint = resultTaint
+		changed = true
+	} else {
+		for i, v := range resultTaint {
+			if s.resultTaint[i]|v != s.resultTaint[i] {
+				s.resultTaint[i] |= v
+				changed = true
+			}
+		}
+	}
+	if s.releasesParams|releases != s.releasesParams {
+		s.releasesParams |= releases
+		changed = true
+	}
+	return changed
+}
+
+func (m *modFacts) summaryOf(fn *types.Func) *funcSummary {
+	if fn == nil {
+		return nil
+	}
+	return m.funcs[fn]
+}
+
+// bodyCancelable reports whether a function body, run as a goroutine,
+// has any recognizable join or cancel path: it touches a
+// context.Context, a sync.WaitGroup, or performs a channel operation
+// (receive, send, close, select, range over a channel). The dynamic
+// goroutine-leak gates remain the backstop for anything subtler.
+func bodyCancelable(pkg *Package, body ast.Node) bool {
+	cancelable := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if cancelable {
+			return false
+		}
+		switch x := n.(type) {
+		case *ast.SelectStmt, *ast.SendStmt:
+			cancelable = true
+		case *ast.UnaryExpr:
+			if x.Op == token.ARROW {
+				cancelable = true
+			}
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok && id.Name == "close" {
+				if _, isBuiltin := pkg.Info.Uses[id].(*types.Builtin); isBuiltin {
+					cancelable = true
+				}
+			}
+		case *ast.RangeStmt:
+			if t := pkg.Info.TypeOf(x.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					cancelable = true
+				}
+			}
+		case *ast.Ident:
+			if t := pkg.Info.TypeOf(x); t != nil && typeCancelable(t) {
+				cancelable = true
+			}
+		}
+		return !cancelable
+	})
+	return cancelable
+}
+
+// typeCancelable reports types whose presence marks a join/cancel path.
+func typeCancelable(t types.Type) bool {
+	switch namedName(t) {
+	case "context.Context", "sync.WaitGroup":
+		return true
+	}
+	return false
+}
+
+// hotPathSet computes the transitive closure of module functions
+// reachable from the hot-path roots (//ksplint:hotpath directives plus
+// Config.HotPathRoots), stopping at //ksplint:coldpath functions. The
+// result maps each hot function to the description of the root it was
+// reached from (for messages).
+func (m *modFacts) hotPathSet() map[*types.Func]string {
+	hot := make(map[*types.Func]string)
+	var queue []*types.Func
+	push := func(fn *types.Func, root string) {
+		s := m.summaryOf(fn)
+		if s == nil || s.coldPath {
+			return
+		}
+		if _, ok := hot[fn]; ok {
+			return
+		}
+		hot[fn] = root
+		queue = append(queue, fn)
+	}
+	for _, s := range m.funcs {
+		if s.hotRoot {
+			push(s.fn, funcDesc(s.fn))
+		}
+	}
+	for _, desc := range m.cfg.HotPathRoots {
+		for _, s := range m.funcs {
+			if funcDesc(s.fn) == desc {
+				push(s.fn, desc)
+			}
+		}
+	}
+	for len(queue) > 0 {
+		fn := queue[0]
+		queue = queue[1:]
+		root := hot[fn]
+		for _, callee := range m.summaryOf(fn).callees {
+			push(callee, root)
+		}
+	}
+	return hot
+}
+
+// funcDesc renders a *types.Func the way calleeDesc renders call sites:
+// "pkgpath.Func" or "pkgpath.Type.Method".
+func funcDesc(fn *types.Func) string {
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if n := namedName(sig.Recv().Type()); n != "" {
+			return n + "." + fn.Name()
+		}
+		return fn.Name()
+	}
+	if fn.Pkg() == nil {
+		return fn.Name()
+	}
+	return fn.Pkg().Path() + "." + fn.Name()
+}
+
+// HotPathRootDescs returns the descriptions of every function carrying
+// a //ksplint:hotpath directive, sorted. CI cross-references this list
+// against the dynamic allocation gate's entry points so the static and
+// dynamic budgets cannot silently diverge.
+func HotPathRootDescs(pkgs []*Package, cfg Config) []string {
+	m := buildModFacts(pkgs, cfg)
+	var out []string
+	for _, s := range m.funcs {
+		if s.hotRoot {
+			out = append(out, funcDesc(s.fn))
+		}
+	}
+	for _, d := range cfg.HotPathRoots {
+		out = append(out, d)
+	}
+	sort.Strings(out)
+	return out
+}

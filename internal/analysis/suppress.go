@@ -1,7 +1,9 @@
 package analysis
 
 import (
+	"fmt"
 	"go/ast"
+	"go/token"
 	"strings"
 )
 
@@ -18,7 +20,9 @@ const suppressPrefix = "//ksplint:ignore"
 
 type suppression struct {
 	line   int
+	pos    token.Position
 	checks map[string]bool // nil means all
+	names  string          // the raw check list, for audit messages
 }
 
 func (s suppression) covers(check string) bool {
@@ -45,7 +49,7 @@ func fileSuppressions(pkg *Package, f *ast.File) []suppression {
 					rest = fields[0]
 				}
 			}
-			s := suppression{line: pkg.Fset.Position(c.Pos()).Line}
+			s := suppression{line: pkg.Fset.Position(c.Pos()).Line, pos: pkg.Fset.Position(c.Pos()), names: rest}
 			if rest != "" && rest != "all" {
 				s.checks = make(map[string]bool)
 				for _, name := range strings.Split(rest, ",") {
@@ -61,28 +65,64 @@ func fileSuppressions(pkg *Package, f *ast.File) []suppression {
 }
 
 // filterSuppressed drops findings covered by a suppression comment in
-// their file.
-func filterSuppressed(findings []Finding, pkgs []*Package) []Finding {
+// their file. With audit set it also returns one "unused-ignore"
+// pseudo-finding per suppression that dropped nothing: a suppression
+// without a finding is a license nobody holds any more — the invariant
+// either got fixed or the comment drifted off its line. It likewise
+// flags suppressions naming checks that do not exist (typo insurance).
+func filterSuppressed(findings []Finding, pkgs []*Package, audit bool) (kept, unused []Finding) {
 	// filename -> suppressions
-	byFile := make(map[string][]suppression)
+	byFile := make(map[string][]*suppression)
+	var all []*suppression
 	for _, pkg := range pkgs {
 		for _, f := range pkg.Files {
 			name := pkg.Fset.Position(f.Pos()).Filename
-			byFile[name] = append(byFile[name], fileSuppressions(pkg, f)...)
+			for _, s := range fileSuppressions(pkg, f) {
+				byFile[name] = append(byFile[name], &s)
+				all = append(all, &s)
+			}
 		}
 	}
-	out := findings[:0]
+	used := make(map[*suppression]bool)
+	kept = findings[:0]
 	for _, fd := range findings {
 		suppressed := false
 		for _, s := range byFile[fd.Pos.Filename] {
 			if (s.line == fd.Pos.Line || s.line == fd.Pos.Line-1) && s.covers(fd.Check) {
 				suppressed = true
-				break
+				used[s] = true
+				// Keep scanning: a second suppression covering the same
+				// finding is also "used" — dedup is the author's call.
 			}
 		}
 		if !suppressed {
-			out = append(out, fd)
+			kept = append(kept, fd)
 		}
 	}
-	return out
+	if !audit {
+		return kept, nil
+	}
+	for _, s := range all {
+		for name := range s.checks {
+			if CheckByName(name) == nil {
+				unused = append(unused, Finding{
+					Pos:   s.pos,
+					Check: "unused-ignore",
+					Msg:   fmt.Sprintf("//ksplint:ignore names unknown check %q (try ksplint -list)", name),
+				})
+			}
+		}
+		if !used[s] {
+			what := s.names
+			if what == "" {
+				what = "all"
+			}
+			unused = append(unused, Finding{
+				Pos:   s.pos,
+				Check: "unused-ignore",
+				Msg:   fmt.Sprintf("//ksplint:ignore %s suppresses nothing here; delete it (or re-anchor it to the flagged line)", what),
+			})
+		}
+	}
+	return kept, unused
 }

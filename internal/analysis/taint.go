@@ -1,0 +1,444 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// taint.go tracks which locals alias storage owned by someone else —
+// the zero-copy slices behind Config.MmapSources (an mmapfile.Range
+// view, a cache-owned document) — through one function, on the CFG +
+// chain-fact core. The same engine serves two callers: summary mode
+// (summarize: which results leave tainted, which params get released)
+// and report mode (the mmaplife check's sinks). Taint propagates
+// through slicing, reslicing-conversions, composite literals, append,
+// and summarized module calls; it dies at value copies (element reads
+// of scalar type, string conversions, copy into fresh storage), which
+// is exactly the sanctioned copy-before-store escape.
+type taintEngine struct {
+	pkg *Package
+	mod *modFacts
+	fi  funcInfo
+	g   *funcCFG
+	// paramChain[i] is the name of parameter i ("" when unnamed).
+	paramChain []string
+}
+
+func newTaintEngine(pkg *Package, mod *modFacts, fi funcInfo) *taintEngine {
+	te := &taintEngine{pkg: pkg, mod: mod, fi: fi, g: buildCFG(fi.body)}
+	if fi.typ != nil && fi.typ.Params != nil {
+		for _, field := range fi.typ.Params.List {
+			if len(field.Names) == 0 {
+				te.paramChain = append(te.paramChain, "")
+				continue
+			}
+			for _, name := range field.Names {
+				te.paramChain = append(te.paramChain, name.Name)
+			}
+		}
+	}
+	return te
+}
+
+// seed taints each named parameter with its own bit, so summarize can
+// express "result i aliases param j".
+func (te *taintEngine) seed() chainFacts {
+	seed := make(chainFacts)
+	for i, chain := range te.paramChain {
+		if chain != "" && chain != "_" {
+			if bit := taintBitParam(i); bit != 0 {
+				seed[chain] = bit
+			}
+		}
+	}
+	return seed
+}
+
+// run computes the fixpoint entry states for the function.
+func (te *taintEngine) run() []chainFacts {
+	return runForward(te.g, te.seed(), func(n ast.Node, st chainFacts) {
+		te.transfer(n, st)
+	})
+}
+
+// summarize runs the analysis and extracts the function's summary: the
+// taint bits of each result and the set of parameters released to a
+// pool on some path.
+func (te *taintEngine) summarize() (resultTaint []uint32, releases uint32) {
+	nResults := 0
+	var resultChains []string
+	if te.fi.typ.Results != nil {
+		for _, field := range te.fi.typ.Results.List {
+			if len(field.Names) == 0 {
+				nResults++
+				resultChains = append(resultChains, "")
+				continue
+			}
+			for _, name := range field.Names {
+				nResults++
+				resultChains = append(resultChains, name.Name)
+			}
+		}
+	}
+	resultTaint = make([]uint32, nResults)
+	entry := te.run()
+	replay(te.g, entry, func(n ast.Node, st chainFacts) {
+		switch s := n.(type) {
+		case *ast.ReturnStmt:
+			switch {
+			case len(s.Results) == nResults:
+				for i, e := range s.Results {
+					resultTaint[i] |= te.taintOf(e, st)
+				}
+			case len(s.Results) == 1 && nResults > 1:
+				// return f() — spread call results.
+				if call, ok := ast.Unparen(s.Results[0]).(*ast.CallExpr); ok {
+					ts := te.taintsOfCall(call, st)
+					for i := 0; i < nResults && i < len(ts); i++ {
+						resultTaint[i] |= ts[i]
+					}
+				}
+			case len(s.Results) == 0:
+				// Bare return with named results.
+				for i, chain := range resultChains {
+					if chain != "" {
+						resultTaint[i] |= st[chain]
+					}
+				}
+			}
+		default:
+			for _, rel := range te.releaseEvents(n) {
+				for i, p := range te.paramChain {
+					if p == "" {
+						continue
+					}
+					if rel.chain == p || strings.HasPrefix(rel.chain, p+".") {
+						releases |= 1 << uint(i)
+					}
+				}
+			}
+		}
+		te.transfer(n, st)
+	})
+	// A released parameter must not count as result-aliasing noise:
+	// the two fact kinds are independent; nothing to reconcile here.
+	return resultTaint, releases
+}
+
+// releaseEvent is one "value handed back to a pool" occurrence.
+type releaseEvent struct {
+	chain string
+	call  *ast.CallExpr
+	// protoIdempotent is set when the protocol documents double-release
+	// as a no-op (the owner-guard pattern).
+	protoIdempotent bool
+	// viaPut is set for sync.Pool.Put (and summarized wrappers), where
+	// a second Put of the same value is always a defect.
+	viaPut bool
+}
+
+// releaseEvents classifies the release operations performed by one
+// statement node (not descending into nested function literals, which
+// run later). Deferred releases are NOT events at their defer site —
+// they run at return, after every use the walk can see.
+func (te *taintEngine) releaseEvents(n ast.Node) []releaseEvent {
+	var out []releaseEvent
+	ast.Inspect(rangeHeadNode(n), func(nn ast.Node) bool {
+		switch x := nn.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.DeferStmt:
+			return false
+		case *ast.CallExpr:
+			out = append(out, te.releaseEventsOfCall(x)...)
+		}
+		return true
+	})
+	return out
+}
+
+func (te *taintEngine) releaseEventsOfCall(call *ast.CallExpr) []releaseEvent {
+	var out []releaseEvent
+	desc := calleeDesc(te.pkg.Info, call)
+	// sync.Pool.Put(x) — x goes back to the pool.
+	if desc == "sync.Pool.Put" && len(call.Args) == 1 {
+		if chain := chainString(call.Args[0]); chain != "" {
+			out = append(out, releaseEvent{chain: chain, call: call, viaPut: true})
+		}
+		return out
+	}
+	// Configured protocol: x.Release() on a pooled type.
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		recvType := te.pkg.Info.TypeOf(sel.X)
+		for _, proto := range te.mod.cfg.PoolTypes {
+			if proto.Release == sel.Sel.Name && namedName(recvType) == proto.Type {
+				if chain := chainString(sel.X); chain != "" {
+					out = append(out, releaseEvent{chain: chain, call: call, protoIdempotent: proto.Idempotent})
+				}
+			}
+		}
+	}
+	// Summarized wrapper: f(x) where f releases that parameter.
+	if s := te.mod.summaryOf(calleeOf(te.pkg.Info, call)); s != nil && s.releasesParams != 0 {
+		for i, arg := range call.Args {
+			if s.releasesParams&(1<<uint(i)) == 0 {
+				continue
+			}
+			if chain := chainString(arg); chain != "" {
+				out = append(out, releaseEvent{chain: chain, call: call, viaPut: true})
+			}
+		}
+	}
+	return out
+}
+
+// transfer folds one CFG node into the taint state.
+func (te *taintEngine) transfer(n ast.Node, st chainFacts) {
+	switch s := n.(type) {
+	case *ast.AssignStmt:
+		te.assign(s.Lhs, s.Rhs, s.Tok, st)
+	case *ast.DeclStmt:
+		gd, ok := s.Decl.(*ast.GenDecl)
+		if !ok {
+			return
+		}
+		for _, spec := range gd.Specs {
+			if vs, ok := spec.(*ast.ValueSpec); ok && len(vs.Values) > 0 {
+				lhs := make([]ast.Expr, len(vs.Names))
+				for i, name := range vs.Names {
+					lhs[i] = name
+				}
+				te.assign(lhs, vs.Values, token.DEFINE, st)
+			}
+		}
+	case *ast.RangeStmt:
+		// for _, v := range X: v aliases X's backing store only when
+		// the element type is itself a slice.
+		if s.Value != nil {
+			chain := chainString(s.Value)
+			if chain != "" {
+				st.killChain(chain)
+				if elemIsSlice(te.pkg.Info.TypeOf(s.X)) {
+					if t := te.taintOf(s.X, st); t != 0 {
+						st[chain] = t
+					}
+				}
+			}
+		}
+		if s.Key != nil {
+			if chain := chainString(s.Key); chain != "" {
+				st.killChain(chain)
+			}
+		}
+	}
+}
+
+// assignTaints computes, for an assignment's shape, the taint arriving
+// at each lhs position. Shared by the transfer function and the
+// mmaplife sink visitor so both see the same pairing rules.
+func (te *taintEngine) assignTaints(lhs, rhs []ast.Expr, st chainFacts) []uint32 {
+	var taints []uint32
+	if len(lhs) > 1 && len(rhs) == 1 {
+		if call, ok := ast.Unparen(rhs[0]).(*ast.CallExpr); ok {
+			taints = te.taintsOfCall(call, st)
+		} else {
+			// v, ok := m[k] / x.(T) / <-ch: element copies; only the
+			// slice-typed aliasing forms propagate.
+			t := te.taintOf(rhs[0], st)
+			taints = []uint32{t, 0}
+		}
+	} else {
+		for i := range lhs {
+			if i < len(rhs) {
+				taints = append(taints, te.taintOf(rhs[i], st))
+			} else {
+				taints = append(taints, 0)
+			}
+		}
+	}
+	return taints
+}
+
+func (te *taintEngine) assign(lhs, rhs []ast.Expr, tok token.Token, st chainFacts) {
+	taints := te.assignTaints(lhs, rhs, st)
+	for i, l := range lhs {
+		var t uint32
+		if i < len(taints) {
+			t = taints[i]
+		}
+		switch x := ast.Unparen(l).(type) {
+		case *ast.IndexExpr:
+			// Element store: a tainted value placed into a container
+			// poisons the container (the alias now lives inside it).
+			if base := chainString(x.X); base != "" && t != 0 {
+				st[base] |= t
+			}
+		default:
+			chain := chainString(l)
+			if chain == "" || chain == "_" {
+				continue
+			}
+			if tok == token.ASSIGN || tok == token.DEFINE {
+				st.killChain(chain)
+			}
+			if t != 0 {
+				st[chain] |= t
+			}
+		}
+	}
+}
+
+// taintOf computes the taint bits of one expression under st.
+func (te *taintEngine) taintOf(e ast.Expr, st chainFacts) uint32 {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident, *ast.SelectorExpr:
+		if chain := chainString(x); chain != "" {
+			return st[chain]
+		}
+		return 0
+	case *ast.SliceExpr:
+		return te.taintOf(x.X, st)
+	case *ast.IndexExpr:
+		// x[i] is a value copy unless the elements are slices.
+		if elemIsSlice(te.pkg.Info.TypeOf(x.X)) {
+			return te.taintOf(x.X, st)
+		}
+		return 0
+	case *ast.StarExpr:
+		return te.taintOf(x.X, st)
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			return te.taintOf(x.X, st)
+		}
+		return 0
+	case *ast.CallExpr:
+		ts := te.taintsOfCall(x, st)
+		if len(ts) > 0 {
+			return ts[0]
+		}
+		return 0
+	case *ast.CompositeLit:
+		var t uint32
+		for _, el := range x.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				el = kv.Value
+			}
+			t |= te.taintOf(el, st)
+		}
+		return t
+	case *ast.TypeAssertExpr:
+		return te.taintOf(x.X, st)
+	}
+	return 0
+}
+
+// taintsOfCall computes the per-result taint of a call.
+func (te *taintEngine) taintsOfCall(call *ast.CallExpr, st chainFacts) []uint32 {
+	info := te.pkg.Info
+	// Conversions: a slice-to-slice conversion aliases; conversions to
+	// string (or anything non-slice) copy.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+		if _, isSlice := tv.Type.Underlying().(*types.Slice); isSlice {
+			if argT := info.TypeOf(call.Args[0]); argT != nil {
+				if _, argSlice := argT.Underlying().(*types.Slice); argSlice {
+					return []uint32{te.taintOf(call.Args[0], st)}
+				}
+			}
+		}
+		return []uint32{0}
+	}
+	// Builtins.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+			switch id.Name {
+			case "append":
+				if len(call.Args) == 0 {
+					return []uint32{0}
+				}
+				t := te.taintOf(call.Args[0], st)
+				// append(dst, src...) copies ELEMENTS: aliasing crosses
+				// only when the elements are themselves slices.
+				if elemIsSlice(info.TypeOf(call.Args[0])) {
+					for _, a := range call.Args[1:] {
+						t |= te.taintOf(a, st)
+					}
+				}
+				return []uint32{t}
+			case "min", "max", "len", "cap", "copy":
+				return []uint32{0}
+			}
+			return []uint32{0}
+		}
+	}
+	nResults := 1
+	if tv, ok := info.Types[call]; ok {
+		if tup, isTup := tv.Type.(*types.Tuple); isTup {
+			nResults = tup.Len()
+		}
+	}
+	out := make([]uint32, nResults)
+	// Configured zero-copy source: slice-typed results are tainted.
+	if containsString(te.mod.cfg.MmapSources, calleeDesc(info, call)) {
+		te.markSliceResults(call, out)
+		return out
+	}
+	// Summarized module function: translate its result facts.
+	if s := te.mod.summaryOf(calleeOf(info, call)); s != nil {
+		for i := 0; i < nResults && i < len(s.resultTaint); i++ {
+			bits := s.resultTaint[i]
+			if bits&taintBitSource != 0 {
+				out[i] |= taintBitSource
+			}
+			for j, arg := range call.Args {
+				if bits&taintBitParam(j) != 0 {
+					out[i] |= te.taintOf(arg, st)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// markSliceResults sets the source bit on each slice-typed result.
+func (te *taintEngine) markSliceResults(call *ast.CallExpr, out []uint32) {
+	tv, ok := te.pkg.Info.Types[call]
+	if !ok {
+		return
+	}
+	if tup, isTup := tv.Type.(*types.Tuple); isTup {
+		for i := 0; i < tup.Len() && i < len(out); i++ {
+			if _, isSlice := tup.At(i).Type().Underlying().(*types.Slice); isSlice {
+				out[i] |= taintBitSource
+			}
+		}
+		return
+	}
+	if _, isSlice := tv.Type.Underlying().(*types.Slice); isSlice && len(out) > 0 {
+		out[0] |= taintBitSource
+	}
+}
+
+// elemIsSlice reports whether t is a slice/array/map whose element type
+// is itself a slice (so element reads alias).
+func elemIsSlice(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	var elem types.Type
+	switch u := t.Underlying().(type) {
+	case *types.Slice:
+		elem = u.Elem()
+	case *types.Array:
+		elem = u.Elem()
+	case *types.Map:
+		elem = u.Elem()
+	case *types.Pointer:
+		return elemIsSlice(u.Elem())
+	default:
+		return false
+	}
+	_, ok := elem.Underlying().(*types.Slice)
+	return ok
+}

@@ -1,0 +1,117 @@
+// Package allocbound is golden-test input for the allocbound check.
+// Root carries the //ksplint:hotpath directive; ConfigRoot is rooted
+// through Config.HotPathRoots by the test.
+package allocbound
+
+import (
+	"errors"
+	"fmt"
+)
+
+type big struct{ x int }
+
+func take(v interface{}) { _ = v }
+
+func vararg(vs ...interface{}) { _ = vs }
+
+//ksplint:hotpath
+func Root(n int, ifaces []interface{}) {
+	setup()
+	sub()
+	mayFail(n)
+	p := &big{} // want allocbound
+	_ = p
+	m := map[int]int{} // want allocbound
+	_ = m
+	mm := make(map[string]int) // want allocbound
+	_ = mm
+	c := make(chan int) // want allocbound
+	_ = c
+	sl := []int{1, 2} // want allocbound
+	_ = sl
+	fmt.Println(n) // want allocbound
+	var s []int
+	s = append(s, n) // want allocbound
+	_ = s
+	pre := make([]int, 0, 8)
+	pre = append(pre, n)
+	appendInto(pre, n)
+	take(n) // want allocbound
+	take(nil)
+	take("const")
+	take(&pre)
+	vararg(ifaces...)
+	vararg(n) // want allocbound
+	mixedDefs(n)
+	closures()
+	v := big{}
+	_ = v
+}
+
+// sub is hot by reachability from Root.
+func sub() *big {
+	return &big{} // want allocbound
+}
+
+// setup is construction-time work; the coldpath directive cuts the hot
+// closure here, so its allocation is legal.
+//
+//ksplint:coldpath
+func setup() *big {
+	return &big{}
+}
+
+// ConfigRoot is rooted via Config.HotPathRoots instead of the
+// directive.
+func ConfigRoot() *big {
+	return &big{} // want allocbound
+}
+
+// notHot is unreachable from any root.
+func notHot() *big {
+	return &big{}
+}
+
+var _ = notHot
+
+// mayFail allocates only on paths the steady state never takes.
+func mayFail(n int) (*big, error) {
+	if n < 0 {
+		return &big{}, errors.New("negative")
+	}
+	if n > 1<<20 {
+		b := &big{}
+		_ = b
+		panic("huge")
+	}
+	return nil, nil
+}
+
+// appendInto appends into caller-owned storage: the base reaches from
+// the parameter, not from an empty binding.
+func appendInto(dst []int, n int) []int {
+	return append(dst, n)
+}
+
+// mixedDefs: one reaching definition carries capacity, so the append
+// is not provably growth-from-empty.
+func mixedDefs(n int) []int {
+	var s []int
+	if n > 0 {
+		s = make([]int, 0, 4)
+	}
+	s = append(s, n)
+	return s
+}
+
+// closures: a nested literal runs on behalf of the hot caller and is
+// analysed with its own CFG.
+func closures() func() []int {
+	buf := make([]int, 0, 4)
+	return func() []int {
+		var tmp []int
+		tmp = append(tmp, 1) // want allocbound
+		buf = append(buf, 1)
+		return tmp
+	}
+}

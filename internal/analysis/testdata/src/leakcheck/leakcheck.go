@@ -1,0 +1,101 @@
+// Package leakcheck is golden-test input for the leakcheck check.
+package leakcheck
+
+import (
+	"context"
+	"sync"
+)
+
+func work() {}
+
+func bare() {
+	go func() { // want leakcheck
+		work()
+	}()
+}
+
+func chanBody(done chan struct{}) {
+	go func() {
+		<-done
+		work()
+	}()
+}
+
+func ctxBody(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}
+
+func wgBody(wg *sync.WaitGroup) {
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+}
+
+// A channel argument at the spawn site is the goroutine's leash.
+func argLeash() {
+	ch := make(chan int)
+	go pump(ch)
+}
+
+func pump(ch chan int) {
+	for range ch {
+	}
+}
+
+// A func-typed argument gets the benefit of the doubt: it may carry
+// the cancel path in its closure.
+func funcArg(stop func()) {
+	go watch(stop)
+}
+
+func watch(stop func()) { stop() }
+
+var feed chan int
+
+// drain's leash is visible only through the summary table.
+func drain() {
+	for range feed {
+	}
+}
+
+func summaryLeash() {
+	go drain()
+}
+
+func spin() {
+	for i := 0; ; i++ {
+		_ = i
+	}
+}
+
+func noLeash() {
+	go spin() // want leakcheck
+}
+
+// A closure variable is traced to its literal.
+func closureLeash(done chan struct{}) {
+	f := func() { <-done }
+	go f()
+}
+
+func closureNoLeash() {
+	f := func() { work() }
+	go f() // want leakcheck
+}
+
+type srv struct{ done chan struct{} }
+
+func (s *srv) run() { <-s.done }
+
+func (s *srv) busy() { work() }
+
+func methodLeash(s *srv) {
+	go s.run()
+}
+
+func methodNoLeash(s *srv) {
+	go s.busy() // want leakcheck
+}

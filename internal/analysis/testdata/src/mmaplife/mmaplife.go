@@ -1,0 +1,117 @@
+// Package mmaplife is golden-test input for the mmaplife check. The
+// test config points MmapSources at File.Range and makes this package
+// the boundary, so exported returns count as escapes.
+package mmaplife
+
+// File stands in for the mmap-backed owner; Range returns a zero-copy
+// view valid only until Close.
+type File struct{ data []byte }
+
+func (f *File) Range(off, n int) []byte { return f.data[off : off+n] }
+
+type holder struct {
+	b []byte
+	m map[int][]byte
+}
+
+var global []byte
+
+func storeField(f *File, h *holder) {
+	v := f.Range(0, 8)
+	h.b = v // want mmaplife
+}
+
+func storeGlobal(f *File) {
+	global = f.Range(0, 1) // want mmaplife
+}
+
+func storeElem(f *File, h *holder) {
+	v := f.Range(0, 2)
+	h.m[0] = v // want mmaplife
+}
+
+func send(f *File, ch chan []byte) {
+	ch <- f.Range(0, 1) // want mmaplife
+}
+
+func spawnArg(f *File) {
+	v := f.Range(0, 4)
+	go consume(v) // want mmaplife
+}
+
+func spawnCapture(f *File) {
+	v := f.Range(0, 4)
+	go func() { // want mmaplife
+		consume(v)
+	}()
+}
+
+func consume(b []byte) { _ = b }
+
+// Leak is exported from the boundary package: returning a view hands a
+// dangling-after-Close slice past the API.
+func Leak(f *File) []byte {
+	return f.Range(0, 2) // want mmaplife
+}
+
+// view passes taint through the summary table: callers of view hold a
+// source alias without calling Range themselves.
+func view(f *File) []byte { return f.Range(0, 4) }
+
+func storeViaHelper(f *File, h *holder) {
+	h.b = view(f) // want mmaplife
+}
+
+// Resliced views still alias the mapping.
+func storeSlice(f *File, h *holder) {
+	v := f.Range(0, 8)
+	h.b = v[2:4] // want mmaplife
+}
+
+// Taint acquired inside a branch reaches the join: may-analysis.
+func branchTaint(f *File, h *holder, cond bool) {
+	var v []byte
+	if cond {
+		v = f.Range(0, 4)
+	}
+	h.b = v // want mmaplife
+}
+
+// Safe returns a copy: append into fresh storage clears the taint.
+func Safe(f *File) []byte {
+	v := f.Range(0, 2)
+	return append([]byte(nil), v...)
+}
+
+// SafeString copies through a string conversion.
+func SafeString(f *File) string {
+	return string(f.Range(0, 2))
+}
+
+func copyBeforeStore(f *File, h *holder) {
+	v := f.Range(0, 8)
+	h.b = append([]byte(nil), v...)
+}
+
+// localOnly never escapes the view.
+func localOnly(f *File) int {
+	v := f.Range(0, 8)
+	n := 0
+	for _, b := range v {
+		n += int(b)
+	}
+	return n
+}
+
+// unexported returns stay inside the package, where lifetimes are the
+// author's problem; only the exported boundary is policed.
+func passThrough(f *File) []byte {
+	return f.Range(0, 2)
+}
+
+// Rebinding to a copy clears the taint on that chain.
+func rebound(f *File, h *holder) {
+	v := f.Range(0, 8)
+	v = append([]byte(nil), v...)
+	h.b = v
+}

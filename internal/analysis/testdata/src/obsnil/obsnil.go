@@ -82,3 +82,13 @@ func interiorUnguarded(b *bundle) {
 	s := b.sub    // want obsnil
 	s.depth.Inc() // want obsnil
 }
+
+// aliasCycle binds two locals to each other, closing an alias loop.
+// The guard walk must terminate on the cycle (it once recursed forever
+// on exactly this shape) and still flag both unguarded reads.
+func aliasCycle(b *bundle) {
+	a := b
+	b = a
+	b.hits.Inc() // want obsnil
+	a.hits.Inc() // want obsnil
+}

@@ -1,0 +1,147 @@
+// Package poolsafe is golden-test input for the poolsafe check. The
+// test config registers Buf (Release, not idempotent) and View
+// (Release, idempotent owner guard) as pooled protocols.
+package poolsafe
+
+import (
+	"errors"
+	"sync"
+)
+
+type Buf struct {
+	n     int
+	items []int
+}
+
+func (b *Buf) Release() {}
+
+type View struct{ n int }
+
+func (v *View) Release() {}
+
+var pool sync.Pool
+
+func useAfterRelease(b *Buf) {
+	b.Release()
+	b.n = 1 // want poolsafe
+}
+
+func readAfterRelease(b *Buf) {
+	b.Release()
+	_ = b.n // want poolsafe
+}
+
+func doubleRelease(b *Buf) {
+	b.Release()
+	b.Release() // want poolsafe
+}
+
+// View documents an idempotent owner guard: the second Release is a
+// no-op, not a defect.
+func doubleReleaseIdempotent(v *View) {
+	v.Release()
+	v.Release()
+}
+
+// Use after an idempotent release is still a defect: the guard only
+// covers releasing, not touching.
+func useAfterIdempotent(v *View) {
+	v.Release()
+	_ = v.n // want poolsafe
+}
+
+func useAfterPut(b *Buf) {
+	pool.Put(b)
+	b.n = 2 // want poolsafe
+}
+
+func doublePut(b *Buf) {
+	pool.Put(b)
+	pool.Put(b) // want poolsafe
+}
+
+// A release poisons every syntactic alias of the released chain.
+func aliasedUse(b *Buf) {
+	a := b
+	b.Release()
+	_ = a.n // want poolsafe
+}
+
+// release is a wrapper the summary table resolves: callers of
+// release(b) release b without writing Put themselves.
+func release(b *Buf) { pool.Put(b) }
+
+func useAfterWrapper(b *Buf) {
+	release(b)
+	b.n = 3 // want poolsafe
+}
+
+// Rebinding re-Gets a fresh value; the old facts die with the chain.
+func rebind(b *Buf) {
+	b.Release()
+	b = fresh()
+	b.n = 4
+}
+
+func fresh() *Buf { return &Buf{} }
+
+// Deferred releases run at return, after every use below them.
+func deferred(b *Buf) {
+	defer b.Release()
+	b.n = 5
+}
+
+// Nil comparisons of a released chain are reads of the pointer word,
+// not of the pooled storage.
+func nilCheck(b *Buf) bool {
+	b.Release()
+	return b == nil
+}
+
+// Release on only one branch: the merged state still flags the use,
+// because the pool MAY already be refilling it.
+func branchRelease(b *Buf, cond bool) {
+	if cond {
+		b.Release()
+	}
+	_ = b.n // want poolsafe
+}
+
+var errNeg = errors.New("negative")
+
+// Release on a diverging error path inside a loop must not poison the
+// next iteration: the released state flows only to the return, not
+// around the back edge (the RangeStmt head carries the whole loop node
+// syntactically, but only the ranged expression is evaluated there).
+func loopErrorPath(bs []*Buf) error {
+	for _, b := range bs {
+		if b.n < 0 {
+			b.Release()
+			return errNeg
+		}
+		b.n++
+	}
+	return nil
+}
+
+// Release then use within one iteration is still a defect.
+func loopUseAfter(bs []*Buf) {
+	for _, b := range bs {
+		b.Release()
+		b.n = 1 // want poolsafe
+	}
+}
+
+// Ranging over a released value's storage is a use of it.
+func rangeUse(b *Buf) {
+	b.Release()
+	for _, v := range b.items { // want poolsafe
+		_ = v
+	}
+}
+
+// useThenRelease is the sanctioned order.
+func useThenRelease(b *Buf) {
+	_ = b.n
+	b.Release()
+}

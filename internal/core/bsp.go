@@ -9,9 +9,11 @@ import (
 // nearest-neighbour search on the R-tree, the TQSP of every retrieved
 // place is fully constructed, and search stops when the next entry's
 // minimal possible score reaches the kth candidate's score.
+//
+//ksplint:hotpath
 func (e *Engine) BSP(q Query, opts Options) (results []Result, stats *Stats, err error) {
 	start := time.Now()
-	stats = &Stats{}
+	stats = &Stats{} //ksplint:ignore allocbound -- API contract: the caller owns the returned Stats
 	defer e.noteOutcome(algoBSP, stats, &err)
 	defer guard("core.BSP", &results, &err)
 	root := opts.Trace.Root()

@@ -1,8 +1,9 @@
 package core
 
 import (
+	"cmp"
 	"math"
-	"sort"
+	"slices"
 
 	"ksp/internal/faultinject"
 	"ksp/internal/obs"
@@ -60,6 +61,7 @@ type bfsEnt struct {
 }
 
 func newSearcher(e *Engine, pq *prepQuery, stats *Stats, collect bool) *searcher {
+	//ksplint:ignore allocbound -- one searcher per worker per query; the allocation-heavy scratch inside is pooled
 	return &searcher{
 		e:       e,
 		pq:      pq,
@@ -205,6 +207,7 @@ func (s *searcher) buildTree(root uint32, matched []matchRec) *Tree {
 		matched []int
 	}
 	parent := s.scratch.parent
+	//ksplint:ignore allocbound -- result materialization: buildTree runs only when s.collect, for the k reported trees
 	nodes := make(map[uint32]*info)
 	var addPath func(v uint32) int
 	addPath = func(v uint32) int {
@@ -212,10 +215,12 @@ func (s *searcher) buildTree(root uint32, matched []matchRec) *Tree {
 			return ni.depth
 		}
 		if v == root {
+			//ksplint:ignore allocbound -- result materialization (s.collect only)
 			nodes[v] = &info{depth: 0}
 			return 0
 		}
 		d := addPath(parent[v]) + 1
+		//ksplint:ignore allocbound -- result materialization (s.collect only)
 		nodes[v] = &info{depth: d}
 		return d
 	}
@@ -228,18 +233,20 @@ func (s *searcher) buildTree(root uint32, matched []matchRec) *Tree {
 			}
 		}
 	}
-	t := &Tree{Root: root}
+	t := &Tree{Root: root} //ksplint:ignore allocbound -- result materialization (s.collect only)
 	// Emit in BFS order: depth, then vertex ID for determinism.
 	order := make([]uint32, 0, len(nodes))
 	for v := range nodes {
 		order = append(order, v)
 	}
-	sort.Slice(order, func(i, j int) bool {
-		a, b := order[i], order[j]
+	// slices.SortFunc, not sort.Slice: the latter boxes the slice header
+	// and allocates per call. Depth then vertex ID is a total order, so
+	// the unstable sort is deterministic.
+	slices.SortFunc(order, func(a, b uint32) int {
 		if nodes[a].depth != nodes[b].depth {
-			return nodes[a].depth < nodes[b].depth
+			return cmp.Compare(nodes[a].depth, nodes[b].depth)
 		}
-		return a < b
+		return cmp.Compare(a, b)
 	})
 	for _, v := range order {
 		p := parent[v]

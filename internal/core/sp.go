@@ -14,9 +14,11 @@ import (
 // pruned (Pruning Rules 3 and 4); surviving places still pass through
 // Pruning Rules 1 and 2. Requires EnableAlpha (and EnableReach for
 // Rule 1).
+//
+//ksplint:hotpath
 func (e *Engine) SP(q Query, opts Options) (results []Result, stats *Stats, err error) {
 	start := time.Now()
-	stats = &Stats{}
+	stats = &Stats{} //ksplint:ignore allocbound -- API contract: the caller owns the returned Stats
 	defer e.noteOutcome(algoSP, stats, &err)
 	if e.Alpha == nil {
 		return nil, stats, fmt.Errorf("core: SP requires the α-radius index (EnableAlpha)")

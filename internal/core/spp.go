@@ -10,9 +10,11 @@ import (
 // queries before any TQSP construction) and Pruning Rule 2 (TQSP
 // construction aborts once its dynamic looseness lower bound reaches the
 // threshold Lw = f⁻¹(θ; S)). Requires EnableReach.
+//
+//ksplint:hotpath
 func (e *Engine) SPP(q Query, opts Options) (results []Result, stats *Stats, err error) {
 	start := time.Now()
-	stats = &Stats{}
+	stats = &Stats{} //ksplint:ignore allocbound -- API contract: the caller owns the returned Stats
 	defer e.noteOutcome(algoSPP, stats, &err)
 	if e.Reach == nil {
 		return nil, stats, fmt.Errorf("core: SPP requires the reachability index (EnableReach)")

@@ -62,8 +62,10 @@ type stealDeques struct {
 }
 
 func newStealDeques(workers, depth int) *stealDeques {
+	//ksplint:ignore allocbound -- one deque set per parallel query, inside TestAllocBudget's budget
 	d := &stealDeques{qs: make([]chan *candidate, workers)}
 	for i := range d.qs {
+		//ksplint:ignore allocbound -- one channel per worker per query
 		d.qs[i] = make(chan *candidate, depth)
 	}
 	return d

@@ -171,6 +171,7 @@ type windowSource struct {
 }
 
 func newWindowSource(e *Engine, inner bulkCandSource, pq *prepQuery, qv *alpha.QueryView, theta func() float64, st *Stats, w int, adaptive bool, rule1, rule2 bool) *windowSource {
+	//ksplint:ignore allocbound -- one source per query, inside TestAllocBudget's budget
 	return &windowSource{
 		e: e, inner: inner, pq: pq, qv: qv, theta: theta, stats: st,
 		rule1: rule1, rule2: rule2,
@@ -337,7 +338,7 @@ func (e *Engine) windowFactory(inner sourceFactory, pq *prepQuery, w int, adapti
 		}
 		bulk, ok := src.(bulkCandSource)
 		if !ok {
-			bulk = &genericBulk{src: src}
+			bulk = &genericBulk{src: src} //ksplint:ignore allocbound -- one adapter per query, only for non-bulk sources
 		}
 		var qv *alpha.QueryView
 		if rule2 {

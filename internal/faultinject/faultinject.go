@@ -148,6 +148,10 @@ func Fire(point string) {
 	p.fire(point)
 }
 
+// fire applies the armed faults at point. It runs only when a plan is
+// active, i.e. under tests; production queries stop at Fire's nil check.
+//
+//ksplint:coldpath
 func (p *Plan) fire(point string) {
 	var stall time.Duration
 	var calls []func()

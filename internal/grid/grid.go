@@ -9,9 +9,10 @@
 package grid
 
 import (
+	"cmp"
 	"container/heap"
 	"math"
-	"sort"
+	"slices"
 
 	"ksp/internal/geo"
 	"ksp/internal/rtree"
@@ -123,19 +124,22 @@ func (h *itemHeap) Pop() interface{} {
 
 // NewBrowser starts an incremental scan from q.
 func (g *Grid) NewBrowser(q geo.Point) *Browser {
-	b := &Browser{q: q, g: g}
+	b := &Browser{q: q, g: g} //ksplint:ignore allocbound -- one browser per query, inside TestAllocBudget's budget
 	b.cells = make([]cellRef, 0, len(g.cells))
 	for k := range g.cells {
 		b.cells = append(b.cells, cellRef{minDist: g.cellRect(k).MinDist(q), key: k})
 	}
-	sort.Slice(b.cells, func(i, j int) bool {
-		if b.cells[i].minDist != b.cells[j].minDist {
-			return b.cells[i].minDist < b.cells[j].minDist
+	// slices.SortFunc, not sort.Slice: the latter boxes the slice header
+	// and allocates per call. The comparison is a total order over
+	// distinct cell keys, so the unstable sort is deterministic.
+	slices.SortFunc(b.cells, func(a, c cellRef) int {
+		if a.minDist != c.minDist {
+			return cmp.Compare(a.minDist, c.minDist)
 		}
-		if b.cells[i].key[0] != b.cells[j].key[0] {
-			return b.cells[i].key[0] < b.cells[j].key[0]
+		if a.key[0] != c.key[0] {
+			return cmp.Compare(a.key[0], c.key[0])
 		}
-		return b.cells[i].key[1] < b.cells[j].key[1]
+		return cmp.Compare(a.key[1], c.key[1])
 	})
 	return b
 }

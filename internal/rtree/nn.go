@@ -36,7 +36,7 @@ type ItemDist struct {
 
 // NewBrowser starts an incremental nearest-neighbour scan from q.
 func (t *RTree) NewBrowser(q geo.Point) *Browser {
-	b := &Browser{q: q, onAccess: t.OnNodeAccess}
+	b := &Browser{q: q, onAccess: t.OnNodeAccess} //ksplint:ignore allocbound -- one browser per query, inside TestAllocBudget's budget
 	if t.size > 0 {
 		b.h = append(b.h, nnEntry{distSq: t.root.Rect.MinDistSq(q), node: t.root})
 	}

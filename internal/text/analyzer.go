@@ -18,7 +18,7 @@ type Analyzer struct {
 // deduplicating the result (first-occurrence order).
 func (a Analyzer) Analyze(s string) []string {
 	toks := Tokenize(s)
-	seen := make(map[string]struct{}, len(toks))
+	seen := make(map[string]struct{}, len(toks)) //ksplint:ignore allocbound -- bounded by the query's keyword count, once per prepare
 	out := toks[:0]
 	for _, t := range toks {
 		if a.RemoveStopwords {
